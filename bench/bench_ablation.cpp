@@ -1,0 +1,73 @@
+// Ablations of FCM-Sketch design choices called out in DESIGN.md §5.
+//   A. Overflow-marker encoding (counting range 2^b-2) vs a dedicated flag
+//      bit (counting range 2^(b-1)-1): same physical storage, the flag-bit
+//      variant halves each stage's counting range — quantifies §3.1's
+//      "efficient usage of bit-space" claim.
+//   B. Byte-aligned (8/16/32) vs narrower (4/16/32) leaf counters at equal
+//      memory: narrower leaves mean more counters but earlier overflow.
+//   C. Depth: two stages (8/32) vs three (8/16/32) at equal memory.
+#include <iostream>
+
+#include "bench_common.h"
+#include "controlplane/em.h"
+
+using namespace fcm;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::FcmConfig config;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = metrics::bench_scale();
+  bench::Workload workload = bench::caida_workload(scale);
+  const std::size_t memory = bench::scaled_memory(1'500'000, scale);
+  bench::print_preamble("Ablation: FCM design choices", workload, memory);
+  const auto& truth = workload.truth;
+  const auto true_fsd = truth.flow_size_distribution();
+  control::EmConfig em;
+  em.max_iterations = 6;
+
+  // A flag-bit node with b physical bits counts with b-1 bits: emulate by a
+  // config with bits-1 semantics but memory accounted at the physical width
+  // (same leaf_count as the marker-encoded config).
+  const core::FcmConfig marker = bench::fcm_config(memory, 8);
+  core::FcmConfig flag_bit = marker;
+  flag_bit.stage_bits = {7, 15, 31};
+
+  std::vector<Variant> variants;
+  variants.push_back({"marker_8/16/32 (paper)", marker});
+  variants.push_back({"flag-bit_7/15/31", flag_bit});
+  variants.push_back(
+      {"narrow-leaf_4/16/32",
+       core::FcmConfig::for_memory(memory, 2, 8, {4, 16, 32})});
+  variants.push_back(
+      {"two-stage_8/32", core::FcmConfig::for_memory(memory, 2, 8, {8, 32})});
+  variants.push_back(
+      {"four-stage_4/8/16/32",
+       core::FcmConfig::for_memory(memory, 2, 8, {4, 8, 16, 32})});
+
+  metrics::Table table("ablation_design_choices",
+                       {"variant", "ARE", "AAE", "fsd_WMRE", "leaves/tree"});
+  for (const Variant& variant : variants) {
+    core::FcmSketch sketch(variant.config);
+    for (const flow::Packet& p : workload.trace.packets()) sketch.update(p.key);
+    const auto err = metrics::size_errors(
+        truth.flow_sizes(), [&](flow::FlowKey key) { return sketch.query(key); });
+    const auto fsd =
+        control::EmFsdEstimator(control::convert_sketch(sketch), em).run();
+    table.add_row({variant.name, metrics::Table::fmt(err.are),
+                   metrics::Table::fmt(err.aae),
+                   metrics::Table::fmt(fsd.wmre(true_fsd), 4),
+                   std::to_string(variant.config.leaf_count)});
+  }
+  table.print(std::cout);
+  std::puts("expectation: the paper's marker encoding beats the flag-bit\n"
+            "variant at identical storage; 3 stages of 8/16/32 is the sweet\n"
+            "spot for this trace profile.");
+  return 0;
+}

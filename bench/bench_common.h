@@ -1,0 +1,91 @@
+// Shared plumbing for the per-figure/table bench harnesses.
+//
+// Every harness reproduces one table or figure from the paper (see
+// DESIGN.md §3). Traces and sketch memory are both scaled by FCM_SCALE
+// (default 0.15) so the sketches operate at the paper's load factor; run
+// with FCM_SCALE=full for the paper's exact 20M-packet / 1.5MB setup.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "fcm/fcm_estimator.h"
+#include "flow/synthetic.h"
+#include "flow/trace_io.h"
+#include "metrics/evaluator.h"
+#include "metrics/table.h"
+
+namespace fcm::bench {
+
+struct Workload {
+  flow::Trace trace;
+  flow::GroundTruth truth;
+  std::uint64_t hh_threshold;
+
+  explicit Workload(flow::Trace t)
+      : trace(std::move(t)), truth(trace),
+        hh_threshold(metrics::heavy_hitter_threshold(truth)) {}
+};
+
+// A real capture (converted with flow::save_trace) can replace the
+// synthetic CAIDA-like trace via the FCM_TRACE environment variable.
+inline Workload caida_workload(double scale, std::uint64_t seed = 1) {
+  if (auto trace = flow::load_trace_from_env()) {
+    return Workload(std::move(*trace));
+  }
+  return Workload(flow::SyntheticTraceGenerator::caida_like(scale, seed));
+}
+
+inline Workload zipf_workload(double alpha, double scale, std::uint64_t seed = 1) {
+  return Workload(flow::SyntheticTraceGenerator::zipf(alpha, scale, seed));
+}
+
+// Memory scaled with the trace so sketches run at the paper's load factor.
+inline std::size_t scaled_memory(std::size_t paper_bytes, double scale) {
+  return static_cast<std::size_t>(static_cast<double>(paper_bytes) * scale);
+}
+
+inline core::FcmConfig fcm_config(std::size_t memory, std::size_t k,
+                                  std::size_t trees = 2,
+                                  std::uint64_t seed = 0x5555aaaa) {
+  return core::FcmConfig::for_memory(memory, trees, k, {8, 16, 32}, seed);
+}
+
+// Fixed-size tables (TopK filters, Elastic heavy parts, UnivMon heaps) keep
+// the paper's entries-per-byte ratio when the whole experiment is scaled
+// down, so every structure runs at the published load factor.
+inline std::size_t scaled_entries(std::size_t paper_entries,
+                                  std::size_t paper_memory, std::size_t memory) {
+  const auto entries = static_cast<std::size_t>(
+      static_cast<double>(paper_entries) * static_cast<double>(memory) /
+      static_cast<double>(paper_memory));
+  return std::max<std::size_t>(64, entries);
+}
+
+// The paper's FCM+TopK: 4K filter entries per 1.5 MB.
+inline std::size_t auto_topk_entries(std::size_t memory) {
+  return scaled_entries(4096, 1'500'000, memory);
+}
+
+inline core::FcmTopK::Config fcm_topk_config(std::size_t memory, std::size_t k,
+                                             std::size_t topk_entries = 0,
+                                             std::size_t trees = 2,
+                                             std::uint64_t seed = 0x5555aaaa) {
+  core::FcmTopK::Config config;
+  config.topk_entries =
+      topk_entries > 0 ? topk_entries : auto_topk_entries(memory);
+  config.fcm = core::FcmConfig::for_memory(memory - config.topk_entries * 8,
+                                           trees, k, {8, 16, 32}, seed);
+  return config;
+}
+
+inline void print_preamble(const char* name, const Workload& workload,
+                           std::size_t memory) {
+  std::printf("%s\n", name);
+  std::printf("workload: %zu packets, %zu flows, HH threshold %llu, memory %zu bytes\n\n",
+              workload.trace.size(), workload.truth.flow_count(),
+              static_cast<unsigned long long>(workload.hh_threshold), memory);
+}
+
+}  // namespace fcm::bench

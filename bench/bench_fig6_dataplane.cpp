@@ -1,0 +1,126 @@
+// Figure 6: accuracy of data-plane queries vs the k-ary tree parameter.
+//   6a ARE / 6b AAE of flow size: FCM, FCM+TopK vs CM, CU, PCM.
+//   6c heavy-hitter F1: FCM, FCM+TopK vs HashPipe.
+//   6d cardinality RE: FCM, FCM+TopK vs HLL.
+// CAIDA-like trace, fixed 1.5 MB (scaled by FCM_SCALE).
+#include <iostream>
+
+#include "bench_common.h"
+#include "sketch/cardinality.h"
+#include "sketch/cm_sketch.h"
+#include "sketch/hashpipe.h"
+#include "sketch/pyramid_sketch.h"
+
+using namespace fcm;
+
+int main() {
+  const double scale = metrics::bench_scale();
+  bench::Workload workload = bench::caida_workload(scale);
+  const std::size_t memory = bench::scaled_memory(1'500'000, scale);
+  bench::print_preamble("Figure 6: data-plane query accuracy vs k", workload, memory);
+  const auto& truth = workload.truth;
+
+  // Baselines (k-independent).
+  sketch::CmSketch cm = sketch::CmSketch::for_memory(memory, 3);
+  sketch::CuSketch cu = sketch::CuSketch::for_memory(memory, 3);
+  sketch::PyramidCmSketch pcm = sketch::PyramidCmSketch::for_memory(memory, 4);
+  sketch::HashPipe hashpipe = sketch::HashPipe::for_memory(memory, 6);
+  sketch::HyperLogLog hll = sketch::HyperLogLog::for_memory(
+      std::min<std::size_t>(memory, 1 << 16));
+  for (const flow::Packet& p : workload.trace.packets()) {
+    cm.update(p.key);
+    cu.update(p.key);
+    pcm.update(p.key);
+    hashpipe.update(p.key);
+    hll.update(p.key);
+  }
+  const auto cm_err = metrics::evaluate_sizes(cm, truth);
+  const auto cu_err = metrics::evaluate_sizes(cu, truth);
+  const auto pcm_err = metrics::evaluate_sizes(pcm, truth);
+
+  const auto true_heavy = truth.heavy_hitters(workload.hh_threshold);
+  const auto hp_reported =
+      metrics::heavy_hitters_by_query(hashpipe, truth, workload.hh_threshold);
+  const double hp_f1 =
+      metrics::classification_scores(hp_reported, true_heavy).f1;
+  const double true_card = static_cast<double>(truth.flow_count());
+  const double hll_re = metrics::relative_error(hll.estimate(), true_card);
+
+  // The paper plots 10–90% error bars; average FCM variants over hash seeds.
+  constexpr int kSeeds = 3;
+  metrics::Table size_table(
+      "fig6ab_flow_size",
+      {"k", "FCM_ARE(p10..p90)", "FCM+TopK_ARE", "CM_ARE", "CU_ARE", "PCM_ARE",
+       "FCM_AAE", "FCM+TopK_AAE", "CM_AAE", "CU_AAE", "PCM_AAE"});
+  metrics::Table hh_table("fig6c_heavy_hitter",
+                          {"k", "FCM_F1", "FCM+TopK_F1", "HashPipe_F1"});
+  metrics::Table card_table("fig6d_cardinality",
+                            {"k", "FCM_RE", "FCM+TopK_RE", "HLL_RE"});
+
+  for (const std::size_t k : {2, 4, 8, 16, 32}) {
+    std::vector<double> fcm_ares, fcm_aaes, topk_ares, topk_aaes;
+    std::vector<double> fcm_f1s, topk_f1s, fcm_cards, topk_cards;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const std::uint64_t sketch_seed = 0x5555aaaa + 7919u * seed;
+      core::FcmSketch fcm(bench::fcm_config(memory, k, 2, sketch_seed));
+      core::FcmTopK topk(bench::fcm_topk_config(memory, k, 0, 2, sketch_seed));
+      fcm.set_heavy_hitter_threshold(workload.hh_threshold);
+      topk.set_heavy_hitter_threshold(workload.hh_threshold);
+      for (const flow::Packet& p : workload.trace.packets()) {
+        fcm.update(p.key);
+        topk.update(p.key);
+      }
+      const auto fcm_err = metrics::size_errors(
+          truth.flow_sizes(), [&](flow::FlowKey key) { return fcm.query(key); });
+      const auto topk_err = metrics::size_errors(
+          truth.flow_sizes(), [&](flow::FlowKey key) { return topk.query(key); });
+      fcm_ares.push_back(fcm_err.are);
+      fcm_aaes.push_back(fcm_err.aae);
+      topk_ares.push_back(topk_err.are);
+      topk_aaes.push_back(topk_err.aae);
+      const auto fcm_heavy = fcm.heavy_hitters();
+      fcm_f1s.push_back(metrics::classification_scores(
+                            std::vector<flow::FlowKey>(fcm_heavy.begin(),
+                                                       fcm_heavy.end()),
+                            true_heavy)
+                            .f1);
+      topk_f1s.push_back(
+          metrics::classification_scores(
+              topk.heavy_hitters(workload.hh_threshold), true_heavy)
+              .f1);
+      fcm_cards.push_back(
+          metrics::relative_error(fcm.estimate_cardinality(), true_card));
+      topk_cards.push_back(
+          metrics::relative_error(topk.estimate_cardinality(), true_card));
+    }
+
+    const auto fcm_are = metrics::summarize(fcm_ares);
+    size_table.add_row(
+        {std::to_string(k),
+         metrics::Table::fmt(fcm_are.mean) + " (" +
+             metrics::Table::fmt(fcm_are.p10) + ".." +
+             metrics::Table::fmt(fcm_are.p90) + ")",
+         metrics::Table::fmt(metrics::summarize(topk_ares).mean),
+         metrics::Table::fmt(cm_err.are), metrics::Table::fmt(cu_err.are),
+         metrics::Table::fmt(pcm_err.are),
+         metrics::Table::fmt(metrics::summarize(fcm_aaes).mean),
+         metrics::Table::fmt(metrics::summarize(topk_aaes).mean),
+         metrics::Table::fmt(cm_err.aae), metrics::Table::fmt(cu_err.aae),
+         metrics::Table::fmt(pcm_err.aae)});
+
+    hh_table.add_row({std::to_string(k),
+                      metrics::Table::fmt(metrics::summarize(fcm_f1s).mean, 4),
+                      metrics::Table::fmt(metrics::summarize(topk_f1s).mean, 4),
+                      metrics::Table::fmt(hp_f1, 4)});
+    card_table.add_row(
+        {std::to_string(k),
+         metrics::Table::sci(metrics::summarize(fcm_cards).mean),
+         metrics::Table::sci(metrics::summarize(topk_cards).mean),
+         metrics::Table::sci(hll_re)});
+  }
+
+  size_table.print(std::cout);
+  hh_table.print(std::cout);
+  card_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 9: cost and convergence of the EM algorithm.
+//   9a per-iteration runtime: MRAC vs single-threaded FCM vs multi-threaded FCM
+//      (8-ary trees, as in the paper).
+//   9b WMRE vs iteration count: FCM vs MRAC.
+#include <iostream>
+
+#include "bench_common.h"
+#include "controlplane/em.h"
+#include "sketch/mrac.h"
+
+using namespace fcm;
+
+int main() {
+  const double scale = metrics::bench_scale();
+  bench::Workload workload = bench::caida_workload(scale);
+  const std::size_t memory = bench::scaled_memory(1'500'000, scale);
+  bench::print_preamble("Figure 9: EM runtime and convergence", workload, memory);
+  const auto true_fsd = workload.truth.flow_size_distribution();
+
+  core::FcmSketch fcm(bench::fcm_config(memory, 8));
+  sketch::Mrac mrac = sketch::Mrac::for_memory(memory);
+  for (const flow::Packet& p : workload.trace.packets()) {
+    fcm.update(p.key);
+    mrac.update(p.key);
+  }
+
+  constexpr std::size_t kIterations = 15;
+  struct Run {
+    std::string name;
+    std::vector<double> seconds;
+    std::vector<double> wmre;
+  };
+  std::vector<Run> runs;
+
+  const auto run_em = [&](std::string name,
+                          std::vector<control::VirtualCounterArray> arrays,
+                          std::size_t threads) {
+    control::EmConfig config;
+    config.max_iterations = kIterations;
+    config.thread_count = threads;
+    Run run;
+    run.name = std::move(name);
+    control::EmFsdEstimator estimator(std::move(arrays), config);
+    estimator.run([&](std::size_t, double seconds, const auto& fsd) {
+      run.seconds.push_back(seconds);
+      run.wmre.push_back(fsd.wmre(true_fsd));
+    });
+    runs.push_back(std::move(run));
+  };
+
+  run_em("MRAC", {control::from_plain_counters(mrac.counters())}, 1);
+  run_em("FCM(s)", control::convert_sketch(fcm), 1);
+  run_em("FCM(m)", control::convert_sketch(fcm), 4);
+
+  metrics::Table runtime_table("fig9a_em_runtime_per_iteration",
+                               {"algorithm", "avg_seconds_per_iteration"});
+  for (const Run& run : runs) {
+    double total = 0.0;
+    for (const double s : run.seconds) total += s;
+    runtime_table.add_row(
+        {run.name, metrics::Table::fmt(total / run.seconds.size(), 4)});
+  }
+  runtime_table.print(std::cout);
+
+  metrics::Table convergence_table("fig9b_wmre_vs_iteration",
+                                   {"iteration", "FCM", "MRAC"});
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    convergence_table.add_row({std::to_string(i + 1),
+                               metrics::Table::fmt(runs[1].wmre[i], 4),
+                               metrics::Table::fmt(runs[0].wmre[i], 4)});
+  }
+  convergence_table.print(std::cout);
+  std::puts("expectation: FCM stabilizes within ~5 iterations at lower WMRE\n"
+            "than MRAC; on a single core FCM(m) ~= FCM(s) (thread overhead).");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Tables 4 and 5: hardware resource utilization on the modeled Tofino pipe.
+//   Table 4: FCM-Sketch and FCM+TopK at 1.3 MB vs the published switch.p4
+//            numbers, plus the extra resources for data-plane cardinality
+//            (TCAM lookup table, §8.3 / Appendix C).
+//   Table 5: stages and stateful ALUs vs published figures for SketchLearn,
+//            QPipe and SpreadSketch.
+#include <iostream>
+
+#include "metrics/table.h"
+#include "pisa/resources.h"
+#include "pisa/tcam_cardinality.h"
+
+using namespace fcm;
+
+int main() {
+  const pisa::PipelineBudget budget;
+  const core::FcmConfig config =
+      core::FcmConfig::for_memory(1'300'000, 2, 8, {8, 16, 32});
+  const auto fcm = pisa::fcm_usage(config, budget);
+  const auto fcm_topk = pisa::fcm_topk_usage(config, 16384, budget);
+  const auto switch_p4 = pisa::switch_p4_published();
+
+  std::puts("Tables 4/5: modeled resource consumption (paper values in EXPERIMENTS.md)\n");
+
+  metrics::Table table4("table4_resource_utilization",
+                        {"resource", "switch.p4(published)", "FCM-Sketch", "FCM+TopK"});
+  const auto pct = [](double v) { return metrics::Table::fmt(v, 2) + "%"; };
+  table4.add_row({"SRAM", pct(switch_p4.sram_percent), pct(fcm.sram_percent(budget)),
+                  pct(fcm_topk.sram_percent(budget))});
+  table4.add_row({"Match Crossbar", pct(switch_p4.crossbar_percent),
+                  pct(fcm.crossbar_percent(budget)),
+                  pct(fcm_topk.crossbar_percent(budget))});
+  table4.add_row({"TCAM", pct(switch_p4.tcam_percent), "0.00%", "0.00%"});
+  table4.add_row({"Stateful ALUs", pct(switch_p4.salu_percent),
+                  pct(fcm.salu_percent(budget)), pct(fcm_topk.salu_percent(budget))});
+  table4.add_row({"Hash Bits", pct(switch_p4.hash_percent),
+                  pct(fcm.hash_percent(budget)), pct(fcm_topk.hash_percent(budget))});
+  table4.add_row({"VLIW Actions", pct(switch_p4.vliw_percent),
+                  pct(fcm.vliw_percent(budget)), pct(fcm_topk.vliw_percent(budget))});
+  table4.add_row({"Physical Stages", std::to_string(switch_p4.stages),
+                  std::to_string(fcm.stages), std::to_string(fcm_topk.stages)});
+  table4.print(std::cout);
+
+  metrics::Table table5("table5_related_systems",
+                        {"solution", "measurement", "stages", "stateful_ALUs"});
+  table5.add_row({"FCM-Sketch", "Generic", std::to_string(fcm.stages),
+                  pct(fcm.salu_percent(budget))});
+  table5.add_row({"FCM+TopK", "Generic", std::to_string(fcm_topk.stages),
+                  pct(fcm_topk.salu_percent(budget))});
+  for (const auto& system : pisa::related_systems_published()) {
+    const char* task = system.name == "QPipe" ? "Quantile"
+                       : system.name == "SpreadSketch" ? "Superspreader"
+                                                       : "Generic";
+    table5.add_row({system.name + " (published)", task,
+                    std::to_string(system.stages), pct(system.salu_percent)});
+  }
+  table5.print(std::cout);
+
+  // §8.3: extra resources for the data-plane cardinality query.
+  const pisa::TcamCardinalityTable tcam(config.leaf_count, 0.002);
+  metrics::Table extra("table4_extra_cardinality_resources",
+                       {"item", "value"});
+  extra.add_row({"TCAM entries (sensitivity-spaced)", std::to_string(tcam.entry_count())});
+  extra.add_row({"naive TCAM entries (one per w0)", std::to_string(tcam.full_table_size())});
+  extra.add_row({"compression", metrics::Table::fmt(
+      static_cast<double>(tcam.full_table_size()) / tcam.entry_count(), 1) + "x"});
+  extra.add_row({"additional error bound", "0.2%"});
+  extra.print(std::cout);
+  return 0;
+}

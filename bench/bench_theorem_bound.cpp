@@ -1,0 +1,68 @@
+// Empirical validation of Theorem 5.1 (the paper's accuracy guarantee):
+// with w1 = ceil(e/eps) leaves per tree and d = ceil(ln(1/delta)) trees,
+//     x̂_i <= x_i + eps*||x||_1  (+ overflow term, zero when ||x||_1 < w1*theta1)
+// holds with probability >= 1 - delta. The harness sweeps (eps, d) and
+// reports the observed violation fraction, which must stay below delta.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace fcm;
+
+int main() {
+  const double scale = metrics::bench_scale();
+  bench::Workload workload = bench::caida_workload(scale);
+  bench::print_preamble("Theorem 5.1: empirical error-bound validation",
+                        workload, 0);
+  const auto& truth = workload.truth;
+  const double total_packets = static_cast<double>(truth.total_packets());
+
+  metrics::Table table("theorem51_bound",
+                       {"eps", "trees(d)", "delta=e^-d", "w1", "bound_term",
+                        "violations", "violation_rate", "holds"});
+
+  for (const double eps : {2e-4, 1e-4, 5e-5}) {
+    for (const std::size_t d : {1, 2, 3}) {
+      const double delta = std::exp(-static_cast<double>(d));
+      constexpr std::size_t k = 8;
+      auto w1 = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
+      w1 += (k * k) - w1 % (k * k);  // round up to the divisibility constraint
+
+      core::FcmConfig config;
+      config.tree_count = d;
+      config.k = k;
+      config.stage_bits = {8, 16, 32};
+      config.leaf_count = w1;
+      core::FcmSketch sketch(config);
+      for (const flow::Packet& p : workload.trace.packets()) sketch.update(p.key);
+
+      // The theorem's overflow term vanishes when ||x||_1 <= w1 * theta1.
+      const double theta1 = static_cast<double>(config.counting_max(1));
+      double bound = eps * total_packets;
+      if (total_packets > static_cast<double>(w1) * theta1) {
+        // Max degree from the converted counters (finite by construction).
+        bound += eps * total_packets;  // conservative D-1 >= 1 fallback
+      }
+
+      std::size_t violations = 0;
+      for (const auto& [key, size] : truth.flow_sizes()) {
+        if (static_cast<double>(sketch.query(key)) >
+            static_cast<double>(size) + bound) {
+          ++violations;
+        }
+      }
+      const double rate =
+          static_cast<double>(violations) / static_cast<double>(truth.flow_count());
+      table.add_row({metrics::Table::sci(eps, 1), std::to_string(d),
+                     metrics::Table::fmt(delta, 3), std::to_string(w1),
+                     metrics::Table::fmt(bound, 0), std::to_string(violations),
+                     metrics::Table::sci(rate, 2),
+                     rate <= delta ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  std::puts("expectation: every row holds (violation rate <= delta); the\n"
+            "bound is loose in practice, so most rows show zero violations.");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Update/query throughput of every sketch (google-benchmark).
+// Not a paper figure per se; it substantiates §8.3's accuracy-complexity
+// trade-off discussion (FCM costs more per update than CM in sequential
+// software, which the pipeline hides in hardware).
+#include <benchmark/benchmark.h>
+
+#include "fcm/fcm_estimator.h"
+#include "flow/synthetic.h"
+#include "sketch/cm_sketch.h"
+#include "sketch/elastic_sketch.h"
+#include "sketch/hashpipe.h"
+#include "sketch/mrac.h"
+#include "sketch/pyramid_sketch.h"
+#include "sketch/univmon.h"
+
+namespace {
+
+using namespace fcm;
+
+constexpr std::size_t kMemory = 600'000;
+
+const flow::Trace& shared_trace() {
+  static const flow::Trace trace = [] {
+    flow::SyntheticTraceConfig config;
+    config.packet_count = 1 << 18;
+    config.flow_count = 20000;
+    return flow::SyntheticTraceGenerator(config).generate();
+  }();
+  return trace;
+}
+
+template <typename MakeSketch>
+void run_update_bench(benchmark::State& state, MakeSketch make) {
+  const flow::Trace& trace = shared_trace();
+  auto sketch = make();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.update(trace.packets()[i].key);
+    i = (i + 1) & (trace.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename MakeSketch>
+void run_query_bench(benchmark::State& state, MakeSketch make) {
+  const flow::Trace& trace = shared_trace();
+  auto sketch = make();
+  for (std::size_t i = 0; i < trace.size() / 4; ++i) {
+    sketch.update(trace.packets()[i].key);
+  }
+  std::size_t i = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += sketch.query(trace.packets()[i].key);
+    i = (i + 1) & (trace.size() - 1);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_UpdateFcm(benchmark::State& state) {
+  run_update_bench(state, [] {
+    return core::FcmEstimator(core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32}));
+  });
+}
+void BM_UpdateFcmTopK(benchmark::State& state) {
+  run_update_bench(state, [] {
+    return core::FcmTopKEstimator(core::FcmTopK::for_memory(kMemory, 2, 16));
+  });
+}
+void BM_UpdateCm(benchmark::State& state) {
+  run_update_bench(state, [] { return sketch::CmSketch::for_memory(kMemory); });
+}
+void BM_UpdateCu(benchmark::State& state) {
+  run_update_bench(state, [] { return sketch::CuSketch::for_memory(kMemory); });
+}
+void BM_UpdatePcm(benchmark::State& state) {
+  run_update_bench(state, [] { return sketch::PyramidCmSketch::for_memory(kMemory); });
+}
+void BM_UpdateMrac(benchmark::State& state) {
+  run_update_bench(state, [] { return sketch::Mrac::for_memory(kMemory); });
+}
+void BM_UpdateHashPipe(benchmark::State& state) {
+  run_update_bench(state, [] { return sketch::HashPipe::for_memory(kMemory); });
+}
+void BM_UpdateElastic(benchmark::State& state) {
+  run_update_bench(state, [] { return sketch::ElasticSketch::for_memory(kMemory); });
+}
+void BM_UpdateUnivMon(benchmark::State& state) {
+  run_update_bench(state, [] { return sketch::UnivMon::for_memory(kMemory); });
+}
+
+void BM_QueryFcm(benchmark::State& state) {
+  run_query_bench(state, [] {
+    return core::FcmEstimator(core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32}));
+  });
+}
+void BM_QueryCm(benchmark::State& state) {
+  run_query_bench(state, [] { return sketch::CmSketch::for_memory(kMemory); });
+}
+void BM_QueryElastic(benchmark::State& state) {
+  run_query_bench(state, [] { return sketch::ElasticSketch::for_memory(kMemory); });
+}
+
+BENCHMARK(BM_UpdateFcm);
+BENCHMARK(BM_UpdateFcmTopK);
+BENCHMARK(BM_UpdateCm);
+BENCHMARK(BM_UpdateCu);
+BENCHMARK(BM_UpdatePcm);
+BENCHMARK(BM_UpdateMrac);
+BENCHMARK(BM_UpdateHashPipe);
+BENCHMARK(BM_UpdateElastic);
+BENCHMARK(BM_UpdateUnivMon);
+BENCHMARK(BM_QueryFcm);
+BENCHMARK(BM_QueryCm);
+BENCHMARK(BM_QueryElastic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

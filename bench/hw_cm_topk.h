@@ -1,0 +1,80 @@
+// CM(d)+TopK: the paper's hardware emulation of ElasticSketch (§8.2.2) —
+// a single-level hardware TopK filter in front of d arrays of 8-bit
+// saturating registers. Lives in bench/ because it exists purely as the
+// Figure 14 comparison point.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+#include "pisa/hardware_topk.h"
+
+namespace fcm::bench {
+
+class HwCmTopK {
+ public:
+  HwCmTopK(std::size_t depth, std::size_t counters_per_array,
+           std::size_t topk_entries, std::uint64_t seed = 0xcafe)
+      : filter_(topk_entries, 32, common::mix64(seed)) {
+    for (std::size_t d = 0; d < depth; ++d) {
+      hashes_.push_back(common::make_hash(seed, static_cast<std::uint32_t>(d)));
+      rows_.emplace_back(counters_per_array, std::uint8_t{0});
+    }
+  }
+
+  // Splits `memory` as in §8.2.2: 16K filter entries, the rest split over d
+  // 8-bit register arrays.
+  static HwCmTopK for_memory(std::size_t memory, std::size_t depth,
+                             std::size_t topk_entries = 16384,
+                             std::uint64_t seed = 0xcafe) {
+    const std::size_t register_bytes = memory - topk_entries * 8;
+    return HwCmTopK(depth, register_bytes / depth, topk_entries, seed);
+  }
+
+  void update(flow::FlowKey key) {
+    const auto offer = filter_.offer(key);
+    switch (offer.outcome) {
+      case sketch::TopKFilter::Offer::Outcome::kKept:
+        return;
+      case sketch::TopKFilter::Offer::Outcome::kPassThrough:
+        add(key, 1);
+        return;
+      case sketch::TopKFilter::Offer::Outcome::kEvicted:
+        add(offer.evicted_key, offer.evicted_count);
+        return;
+    }
+  }
+
+  std::uint64_t query(flow::FlowKey key) const {
+    if (const auto hit = filter_.query(key)) {
+      return hit->has_light_part ? hit->count + cm_query(key) : hit->count;
+    }
+    return cm_query(key);
+  }
+
+ private:
+  void add(flow::FlowKey key, std::uint64_t count) {
+    for (std::size_t d = 0; d < rows_.size(); ++d) {
+      auto& cell = rows_[d][hashes_[d].index(key, rows_[d].size())];
+      // 8-bit saturating registers: the overflow loss the paper highlights.
+      cell = static_cast<std::uint8_t>(
+          std::min<std::uint64_t>(cell + count, 255));
+    }
+  }
+
+  std::uint64_t cm_query(flow::FlowKey key) const {
+    std::uint64_t result = 255;
+    for (std::size_t d = 0; d < rows_.size(); ++d) {
+      result = std::min<std::uint64_t>(
+          result, rows_[d][hashes_[d].index(key, rows_[d].size())]);
+    }
+    return result;
+  }
+
+  pisa::HardwareTopKFilter filter_;
+  std::vector<common::SeededHash> hashes_;
+  std::vector<std::vector<std::uint8_t>> rows_;
+};
+
+}  // namespace fcm::bench

@@ -1,0 +1,85 @@
+// DDoS detection via entropy collapse — the anomaly-detection application
+// of §4.4 ([13, 15, 23] in the paper). Under normal traffic the flow-size
+// entropy is stable; during a volumetric attack a handful of sources
+// dominate and the entropy drops sharply. The control plane recovers the
+// flow size distribution (EM over virtual counters) each epoch and alarms
+// on the deviation.
+//
+// Build & run:  ./build/examples/ddos_entropy_detector
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "framework/fcm_framework.h"
+#include "flow/synthetic.h"
+
+namespace {
+
+using namespace fcm;
+
+// Appends an attack epoch: `attack_fraction` of packets concentrated on a
+// few attacker sources layered over the usual background mix.
+flow::Trace make_epoch(std::uint64_t seed, double attack_fraction) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 800'000;
+  config.flow_count = 40'000;
+  config.seed = seed;
+  flow::Trace background = flow::SyntheticTraceGenerator(config).generate();
+  if (attack_fraction <= 0.0) return background;
+
+  common::Xoshiro256 rng(seed ^ 0xa77ac);
+  const auto attack_packets =
+      static_cast<std::uint64_t>(config.packet_count * attack_fraction);
+  flow::Trace epoch;
+  epoch.reserve(background.size() + attack_packets);
+  for (const flow::Packet& p : background.packets()) epoch.append(p);
+  for (std::uint64_t i = 0; i < attack_packets; ++i) {
+    // 4 attacking sources (e.g. spoofed reflectors behind one /30).
+    flow::Packet p;
+    p.key = flow::FlowKey{0xdead0000u + static_cast<std::uint32_t>(rng.next_below(4))};
+    p.bytes = 64;
+    epoch.append(p);
+  }
+  return epoch;
+}
+
+}  // namespace
+
+int main() {
+  framework::FcmFramework::Options options;
+  options.fcm = core::FcmConfig::for_memory(450'000, 2, 8, {8, 16, 32});
+  options.em.max_iterations = 6;
+  framework::FcmFramework fcm(options);
+
+  struct Epoch {
+    const char* label;
+    double attack_fraction;
+  };
+  const std::vector<Epoch> epochs{{"baseline", 0.0},     {"baseline", 0.0},
+                                  {"ramp-up", 0.5},      {"attack", 2.0},
+                                  {"attack peak", 4.0},  {"mitigated", 0.0}};
+
+  std::puts("epoch        entropy(est)  entropy(true)  flows(est)  alarm");
+  double baseline_entropy = 0.0;
+  int epoch_index = 0;
+  for (const Epoch& epoch : epochs) {
+    const flow::Trace trace = make_epoch(100 + epoch_index, epoch.attack_fraction);
+    const flow::GroundTruth truth(trace);
+
+    fcm.reset();  // fresh measurement window
+    fcm.process(trace.packets());
+    const auto report = fcm.analyze();
+
+    if (epoch_index < 2) {
+      baseline_entropy = (baseline_entropy * epoch_index + report.entropy) /
+                         (epoch_index + 1);
+    }
+    const bool alarm =
+        epoch_index >= 2 && report.entropy < 0.8 * baseline_entropy;
+    std::printf("%-12s %-13.4f %-14.4f %-11.0f %s\n", epoch.label,
+                report.entropy, truth.entropy(), report.estimated_flows,
+                alarm ? "*** ENTROPY COLLAPSE ***" : "-");
+    ++epoch_index;
+  }
+  return 0;
+}

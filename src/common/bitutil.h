@@ -1,0 +1,35 @@
+// Small bit-manipulation helpers shared by counter implementations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace fcm::common {
+
+// Largest value representable in `bits` bits (bits in [1, 64]).
+constexpr std::uint64_t max_value_for_bits(unsigned bits) noexcept {
+  return bits >= 64 ? ~0ull : (1ull << bits) - 1;
+}
+
+// FCM node semantics (paper §3.1, Figure 3): a b-bit node counts 0..2^b-2;
+// the all-ones pattern 2^b-1 marks "saturated at 2^b-2, overflowed".
+constexpr std::uint64_t fcm_counting_max(unsigned bits) noexcept {
+  return max_value_for_bits(bits) - 1;  // 2^b - 2
+}
+constexpr std::uint64_t fcm_overflow_marker(unsigned bits) noexcept {
+  return max_value_for_bits(bits);  // 2^b - 1
+}
+
+constexpr bool is_power_of_two(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+// Rounds v down/up to a power of two (v must be > 0 for round_up).
+constexpr std::uint64_t round_down_pow2(std::uint64_t v) noexcept {
+  return v == 0 ? 0 : std::bit_floor(v);
+}
+constexpr std::uint64_t round_up_pow2(std::uint64_t v) noexcept {
+  return std::bit_ceil(v);
+}
+
+}  // namespace fcm::common

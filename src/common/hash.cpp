@@ -1,0 +1,86 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace fcm::common {
+namespace {
+
+inline std::uint32_t rot(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+inline void mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) noexcept {
+  a -= c; a ^= rot(c, 4);  c += b;
+  b -= a; b ^= rot(a, 6);  a += c;
+  c -= b; c ^= rot(b, 8);  b += a;
+  a -= c; a ^= rot(c, 16); c += b;
+  b -= a; b ^= rot(a, 19); a += c;
+  c -= b; c ^= rot(b, 4);  b += a;
+}
+
+inline void final_mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) noexcept {
+  c ^= b; c -= rot(b, 14);
+  a ^= c; a -= rot(c, 11);
+  b ^= a; b -= rot(a, 25);
+  c ^= b; c -= rot(b, 16);
+  a ^= c; a -= rot(c, 4);
+  b ^= a; b -= rot(a, 14);
+  c ^= b; c -= rot(b, 24);
+}
+
+inline std::uint32_t load_u32(const std::byte* p, std::size_t n) noexcept {
+  // Loads up to 4 bytes little-endian, zero-padded. memcpy keeps this
+  // well-defined regardless of alignment.
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, n);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t bob_hash(std::span<const std::byte> data, std::uint32_t seed) noexcept {
+  std::uint32_t a = 0xdeadbeef + static_cast<std::uint32_t>(data.size()) + seed;
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+
+  const std::byte* p = data.data();
+  std::size_t length = data.size();
+
+  while (length > 12) {
+    a += load_u32(p, 4);
+    b += load_u32(p + 4, 4);
+    c += load_u32(p + 8, 4);
+    mix(a, b, c);
+    p += 12;
+    length -= 12;
+  }
+
+  if (length > 0) {
+    if (length > 8) {
+      a += load_u32(p, 4);
+      b += load_u32(p + 4, 4);
+      c += load_u32(p + 8, length - 8);
+    } else if (length > 4) {
+      a += load_u32(p, 4);
+      b += load_u32(p + 4, length - 4);
+    } else {
+      a += load_u32(p, length);
+    }
+    final_mix(a, b, c);
+  }
+  return c;
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+SeededHash make_hash(std::uint64_t master_seed, std::uint32_t function_index) noexcept {
+  const std::uint64_t derived = mix64(master_seed + 0x100000001b3ull * (function_index + 1));
+  return SeededHash{static_cast<std::uint32_t>(derived ^ (derived >> 32))};
+}
+
+}  // namespace fcm::common

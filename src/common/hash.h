@@ -1,0 +1,57 @@
+// Hash functions used throughout the FCM framework.
+//
+// The paper (§7.1) recommends BobHash [Henke et al., CCR 2008] for sketching;
+// we implement Bob Jenkins' lookup3 from scratch plus a cheap 64-bit mixer
+// used for seeding and for splitting one hash into independent sub-hashes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fcm::common {
+
+// Bob Jenkins' lookup3 hash (public-domain algorithm, reimplemented).
+// Deterministic for a given (data, seed) pair across platforms.
+std::uint32_t bob_hash(std::span<const std::byte> data, std::uint32_t seed) noexcept;
+
+// Convenience overload for trivially-copyable values (flow keys, integers).
+template <typename T>
+std::uint32_t bob_hash_value(const T& value, std::uint32_t seed) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return bob_hash(std::as_bytes(std::span<const T, 1>{&value, 1}), seed);
+}
+
+// SplitMix64 finalizer: a strong 64-bit mixer. Used to derive independent
+// seeds and to fold 64-bit keys.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+// A seeded hash function object: one member of a pairwise-independent family.
+// Instances with different `seed` values behave as independent hash functions
+// (the property CM/FCM analyses require).
+class SeededHash {
+ public:
+  constexpr SeededHash() noexcept : seed_(0) {}
+  explicit constexpr SeededHash(std::uint32_t seed) noexcept : seed_(seed) {}
+
+  std::uint32_t seed() const noexcept { return seed_; }
+
+  template <typename T>
+  std::uint32_t operator()(const T& value) const noexcept {
+    return bob_hash_value(value, seed_);
+  }
+
+  // Hash reduced to a table index in [0, width).
+  template <typename T>
+  std::size_t index(const T& value, std::size_t width) const noexcept {
+    return static_cast<std::size_t>((*this)(value)) % width;
+  }
+
+ private:
+  std::uint32_t seed_;
+};
+
+// Derives the i-th hash function of a family rooted at `master_seed`.
+SeededHash make_hash(std::uint64_t master_seed, std::uint32_t function_index) noexcept;
+
+}  // namespace fcm::common

@@ -1,0 +1,81 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace fcm::common {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  // SplitMix64 seeding, as recommended by the xoshiro authors.
+  std::uint64_t state = seed;
+  for (auto& word : s_) {
+    state += 0x9e3779b97f4a7c15ull;
+    word = mix64(state);
+  }
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire-style rejection: accept when the low product part is unbiased.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfSampler: alpha must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    total += std::pow(static_cast<double>(r), -alpha);
+    cdf_[r - 1] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Xoshiro256& rng) const noexcept {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank == 0 || rank > cdf_.size()) {
+    throw std::out_of_range("ZipfSampler::probability: rank out of range");
+  }
+  const double lo = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - lo;
+}
+
+}  // namespace fcm::common

@@ -1,0 +1,56 @@
+// Deterministic PRNG and samplers for workload generation.
+//
+// xoshiro256++ is implemented from scratch so trace generation is
+// reproducible across standard-library implementations (std::mt19937 output
+// is portable but distributions are not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fcm::common {
+
+// xoshiro256++ by Blackman & Vigna (public-domain algorithm, reimplemented).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipf(alpha) sampler over ranks {1, ..., n}: P(rank = r) ∝ r^-alpha.
+// Uses an inverse-CDF table; construction is O(n), sampling O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t n() const noexcept { return cdf_.size(); }
+  double alpha() const noexcept { return alpha_; }
+
+  // Returns a rank in [1, n].
+  std::size_t sample(Xoshiro256& rng) const noexcept;
+
+  // Expected probability mass of rank r (1-based).
+  double probability(std::size_t rank) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+}  // namespace fcm::common

@@ -1,0 +1,241 @@
+#include "controlplane/em.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+namespace fcm::control {
+namespace {
+
+// Prior mass floor so a size absent from the current estimate can still be
+// proposed by a combination (plain zero would lock it out forever).
+constexpr double kLambdaSmoothing = 1e-9;
+
+// Enumerates partitions of `n` into exactly `p` non-increasing parts, each
+// in [min_part, max_part], invoking `f(parts)` per partition.
+template <typename F>
+void enumerate_partitions(std::uint64_t n, std::size_t p, std::uint64_t max_part,
+                          std::uint64_t min_part, std::vector<std::uint64_t>& parts,
+                          const F& f) {
+  if (p == 1) {
+    if (n >= min_part && n <= max_part) {
+      parts.push_back(n);
+      f(parts);
+      parts.pop_back();
+    }
+    return;
+  }
+  if (n < p * min_part) return;
+  const std::uint64_t hi = std::min<std::uint64_t>(max_part, n - (p - 1) * min_part);
+  // first part must be at least ceil(n/p) to keep the sequence non-increasing.
+  const std::uint64_t lo = std::max<std::uint64_t>(min_part, (n + p - 1) / p);
+  for (std::uint64_t first = hi; first + 1 > lo; --first) {
+    parts.push_back(first);
+    enumerate_partitions(n - first, p - 1, first, min_part, parts, f);
+    parts.pop_back();
+  }
+}
+
+}  // namespace
+
+EmFsdEstimator::EmFsdEstimator(std::vector<VirtualCounterArray> arrays,
+                               EmConfig config)
+    : config_(config), arrays_(std::move(arrays)) {
+  if (arrays_.empty()) {
+    throw std::invalid_argument("EmFsdEstimator: no virtual counter arrays");
+  }
+  // Histogram each tree by (degree, value); deterministic order via std::map.
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    std::map<std::pair<std::uint32_t, std::uint64_t>, double> histogram;
+    for (const VirtualCounter& vc : arrays_[a].counters) {
+      if (vc.value == 0) continue;
+      histogram[{vc.degree, vc.value}] += 1.0;
+      max_value_ = std::max(max_value_, vc.value);
+    }
+    for (const auto& [key, multiplicity] : histogram) {
+      groups_.push_back(Group{key.first, key.second, multiplicity, a});
+    }
+  }
+  initialize();
+}
+
+double EmFsdEstimator::lambda(std::size_t size, std::uint32_t degree,
+                              std::size_t array) const {
+  const double n_j = current_.counts()[size];
+  const double w1 = static_cast<double>(arrays_[array].leaf_count);
+  return (n_j > 0.0 ? n_j : kLambdaSmoothing) * static_cast<double>(degree) / w1;
+}
+
+void EmFsdEstimator::initialize() {
+  // §4.3: the initial guess is the observed distribution — each degree-1
+  // counter reads as one flow of its value; merged counters read as their
+  // minimal-flow split.
+  std::vector<double> init(max_value_ + 1, 0.0);
+  current_ = FlowSizeDistribution(std::vector<double>(max_value_ + 1, 0.0));
+  for (const Group& g : groups_) {
+    split_fallback(g, init);
+  }
+  const double d = static_cast<double>(arrays_.size());
+  for (auto& v : init) v /= d;
+  current_ = FlowSizeDistribution(std::move(init));
+}
+
+void EmFsdEstimator::split_fallback(const Group& group,
+                                    std::vector<double>& out) const {
+  const std::uint64_t ell = arrays_[group.array].leaf_counting_max + 1;
+  if (group.degree <= 1 || group.value <= ell * group.degree) {
+    out[group.value] += group.multiplicity;
+    return;
+  }
+  // Minimal-flow reading of a merged counter: degree-1 flows at the path
+  // minimum, one flow carrying the remainder.
+  const std::uint64_t rest = group.value - (group.degree - 1) * ell;
+  out[rest] += group.multiplicity;
+  out[ell] += group.multiplicity * static_cast<double>(group.degree - 1);
+}
+
+void EmFsdEstimator::accumulate_group(const Group& group,
+                                      std::vector<double>& out) const {
+  const std::uint64_t v = group.value;
+  const std::uint32_t degree = group.degree;
+  const std::uint64_t theta = arrays_[group.array].leaf_counting_max;
+  const std::uint64_t ell = theta + 1;
+
+  // Decide whether this group is enumerable under the truncation heuristic.
+  const bool enumerable =
+      degree <= config_.max_enumeration_degree &&
+      (degree == 1
+           ? v <= config_.value_enumeration_cap
+           : v >= static_cast<std::uint64_t>(degree) * ell &&
+                 v - degree * ell <= config_.value_enumeration_cap);
+  if (!enumerable) {
+    split_fallback(group, out);
+    return;
+  }
+
+  // Collect combinations as (weight, multiset) pairs. A combination's prior
+  // weight is prod_s lambda_s^{c_s} / c_s! (the shared exp(-sum lambda)
+  // cancels in the per-counter normalization of Eqn. 2).
+  struct Combo {
+    double weight;
+    std::vector<std::uint64_t> parts;  // non-increasing flow sizes
+  };
+  std::vector<Combo> combos;
+
+  const auto weigh = [&](const std::vector<std::uint64_t>& parts) {
+    double weight = 1.0;
+    std::size_t run = 1;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      weight *= lambda(static_cast<std::size_t>(parts[i]), degree, group.array);
+      if (i + 1 < parts.size() && parts[i + 1] == parts[i]) {
+        ++run;
+        weight /= static_cast<double>(run);
+      } else {
+        run = 1;
+      }
+    }
+    combos.push_back(Combo{weight, parts});
+  };
+
+  std::vector<std::uint64_t> scratch;
+  if (degree == 1) {
+    // Up to 1 + max_extra_flows colliding flows, any sizes >= 1.
+    for (std::size_t p = 1; p <= 1 + config_.max_extra_flows; ++p) {
+      if (v < p) break;
+      enumerate_partitions(v, p, v, 1, scratch, weigh);
+    }
+  } else {
+    // Exactly `degree` merged paths, each with mandatory mass >= ell
+    // (every merged path overflowed its leaf, §4.3's constraint).
+    const std::uint64_t residual = v - degree * ell;
+    const auto weigh_shifted = [&](const std::vector<std::uint64_t>& t_parts) {
+      std::vector<std::uint64_t> parts(t_parts);
+      for (auto& part : parts) part += ell;
+      weigh(parts);
+    };
+    enumerate_partitions(residual, degree, residual, 0, scratch, weigh_shifted);
+
+    // One additional small flow (< ell, so it cannot be its own overflowed
+    // path) colliding into one of the merged paths.
+    if (config_.max_extra_flows >= 1 && ell >= 2) {
+      const std::uint64_t extra_max = std::min<std::uint64_t>(residual, ell - 1);
+      for (std::uint64_t extra = 1; extra <= extra_max; ++extra) {
+        const auto weigh_with_extra = [&](const std::vector<std::uint64_t>& t_parts) {
+          std::vector<std::uint64_t> parts(t_parts);
+          for (auto& part : parts) part += ell;
+          parts.push_back(extra);  // extra < ell <= all other parts
+          weigh(parts);
+        };
+        enumerate_partitions(residual - extra, degree, residual - extra, 0,
+                             scratch, weigh_with_extra);
+      }
+    }
+  }
+
+  double total_weight = 0.0;
+  for (const Combo& combo : combos) total_weight += combo.weight;
+  if (!(total_weight > 0.0)) {
+    split_fallback(group, out);
+    return;
+  }
+  for (const Combo& combo : combos) {
+    const double posterior = combo.weight / total_weight;
+    for (const std::uint64_t size : combo.parts) {
+      out[size] += group.multiplicity * posterior;
+    }
+  }
+}
+
+void EmFsdEstimator::iterate() {
+  std::vector<double> next(max_value_ + 1, 0.0);
+  const std::size_t threads =
+      std::min<std::size_t>(std::max<std::size_t>(config_.thread_count, 1),
+                            groups_.size() > 0 ? groups_.size() : 1);
+  if (threads <= 1) {
+    for (const Group& group : groups_) accumulate_group(group, next);
+  } else {
+    std::vector<std::vector<double>> partial(
+        threads, std::vector<double>(max_value_ + 1, 0.0));
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t g = t; g < groups_.size(); g += threads) {
+          accumulate_group(groups_[g], partial[t]);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (const auto& local : partial) {
+      for (std::size_t j = 0; j <= max_value_; ++j) next[j] += local[j];
+    }
+  }
+  const double d = static_cast<double>(arrays_.size());
+  for (auto& value : next) value /= d;
+  current_ = FlowSizeDistribution(std::move(next));
+}
+
+FlowSizeDistribution EmFsdEstimator::run(const IterationCallback& callback) {
+  for (std::size_t i = 0; i < config_.max_iterations; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    iterate();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (callback) callback(i, seconds, current_);
+  }
+  return current_;
+}
+
+FlowSizeDistribution estimate_fsd(const core::FcmSketch& sketch, EmConfig config) {
+  return EmFsdEstimator(convert_sketch(sketch), config).run();
+}
+
+FlowSizeDistribution estimate_fsd(const VirtualCounterArray& array, EmConfig config) {
+  return EmFsdEstimator({array}, config).run();
+}
+
+}  // namespace fcm::control

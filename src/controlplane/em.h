@@ -1,0 +1,90 @@
+// Expectation-Maximization recovery of the flow-size distribution from
+// virtual counters (paper §4.2–§4.3 and Appendix A).
+//
+// Virtual counters are grouped by (tree, degree, value); one posterior is
+// computed per distinct group and weighted by multiplicity. The combination
+// set Ω is truncated with the paper's heuristic: only combinations with few
+// flows are enumerated (collisions of many flows are rare), and counters
+// whose residual value exceeds a cap fall back to a minimal-flow split.
+// Multi-tree sketches average the per-tree expected counts (Eqn. 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "controlplane/fsd.h"
+#include "controlplane/virtual_counter.h"
+
+namespace fcm::control {
+
+struct EmConfig {
+  std::size_t max_iterations = 10;
+
+  // Combinations are enumerated only when the value left after subtracting
+  // each path's mandatory minimum is <= this cap (paper §4.3: "truncate the
+  // set of possible combinations based on the counter value and degree").
+  std::uint64_t value_enumeration_cap = 300;
+
+  // Degree-1 counters consider up to 1 + max_extra_flows colliding flows.
+  std::size_t max_extra_flows = 2;
+
+  // Degrees above this always use the minimal-flow split heuristic.
+  std::uint32_t max_enumeration_degree = 3;
+
+  // Worker threads for the per-iteration scan (Fig. 9a's FCM(m) mode).
+  std::size_t thread_count = 1;
+};
+
+class EmFsdEstimator {
+ public:
+  // `arrays` is one VirtualCounterArray per tree (§4.1); a single-array
+  // input covers MRAC and other plain-counter sketches.
+  EmFsdEstimator(std::vector<VirtualCounterArray> arrays, EmConfig config = {});
+
+  // Called after every iteration with (iteration index, seconds spent in
+  // that iteration, current estimate).
+  using IterationCallback =
+      std::function<void(std::size_t, double, const FlowSizeDistribution&)>;
+
+  // Runs max_iterations EM steps (from the §4.3 initialization) and returns
+  // the final estimate.
+  FlowSizeDistribution run(const IterationCallback& callback = nullptr);
+
+  // Single EM step, for callers that manage their own schedule.
+  void iterate();
+
+  const FlowSizeDistribution& current() const noexcept { return current_; }
+
+  // Estimated total number of flows n (paper's second EM output).
+  double estimated_flow_count() const noexcept { return current_.total_flows(); }
+
+ private:
+  // One distinct (degree, value) cell of one tree's histogram.
+  struct Group {
+    std::uint32_t degree;
+    std::uint64_t value;
+    double multiplicity;
+    std::size_t array;  // which tree
+  };
+
+  void initialize();
+  // Expected flow-size contributions of `group`, accumulated into `out`
+  // (scaled by the group's multiplicity).
+  void accumulate_group(const Group& group, std::vector<double>& out) const;
+  void split_fallback(const Group& group, std::vector<double>& out) const;
+
+  double lambda(std::size_t size, std::uint32_t degree, std::size_t array) const;
+
+  EmConfig config_;
+  std::vector<VirtualCounterArray> arrays_;
+  std::vector<Group> groups_;
+  std::uint64_t max_value_ = 0;
+  FlowSizeDistribution current_;
+};
+
+// Convenience drivers.
+FlowSizeDistribution estimate_fsd(const core::FcmSketch& sketch, EmConfig config = {});
+FlowSizeDistribution estimate_fsd(const VirtualCounterArray& array, EmConfig config = {});
+
+}  // namespace fcm::control

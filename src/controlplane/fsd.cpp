@@ -1,0 +1,53 @@
+#include "controlplane/fsd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcm::control {
+
+double FlowSizeDistribution::total_flows() const noexcept {
+  double total = 0.0;
+  for (std::size_t j = 1; j < counts_.size(); ++j) total += counts_[j];
+  return total;
+}
+
+double FlowSizeDistribution::total_packets() const noexcept {
+  double total = 0.0;
+  for (std::size_t j = 1; j < counts_.size(); ++j) {
+    total += counts_[j] * static_cast<double>(j);
+  }
+  return total;
+}
+
+double FlowSizeDistribution::entropy() const {
+  const double m = total_packets();
+  if (m <= 0.0) return 0.0;
+  double h = 0.0;
+  for (std::size_t j = 1; j < counts_.size(); ++j) {
+    if (counts_[j] <= 0.0) continue;
+    const double p = static_cast<double>(j) / m;
+    h -= counts_[j] * p * std::log(p);
+  }
+  return h;
+}
+
+void FlowSizeDistribution::add_flows(std::size_t size, double count) {
+  if (size == 0) return;
+  if (size >= counts_.size()) counts_.resize(size + 1, 0.0);
+  counts_[size] += count;
+}
+
+double FlowSizeDistribution::wmre(std::span<const std::uint64_t> true_fsd) const {
+  const std::size_t z = std::max(counts_.size(), true_fsd.size());
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 1; i < z; ++i) {
+    const double est = i < counts_.size() ? counts_[i] : 0.0;
+    const double truth = i < true_fsd.size() ? static_cast<double>(true_fsd[i]) : 0.0;
+    numerator += std::abs(truth - est);
+    denominator += (truth + est) / 2.0;
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+}  // namespace fcm::control

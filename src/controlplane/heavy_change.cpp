@@ -1,0 +1,23 @@
+#include "controlplane/heavy_change.h"
+
+#include <unordered_set>
+
+namespace fcm::control {
+
+std::vector<flow::FlowKey> detect_heavy_changes(
+    const std::function<std::uint64_t(flow::FlowKey)>& query_a,
+    const std::function<std::uint64_t(flow::FlowKey)>& query_b,
+    std::span<const flow::FlowKey> candidates, std::uint64_t threshold) {
+  std::vector<flow::FlowKey> result;
+  std::unordered_set<flow::FlowKey> seen;
+  for (const flow::FlowKey key : candidates) {
+    if (!seen.insert(key).second) continue;
+    const std::uint64_t a = query_a(key);
+    const std::uint64_t b = query_b(key);
+    const std::uint64_t delta = a > b ? a - b : b - a;
+    if (delta > threshold) result.push_back(key);
+  }
+  return result;
+}
+
+}  // namespace fcm::control

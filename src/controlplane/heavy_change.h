@@ -1,0 +1,24 @@
+// Heavy-change detection (paper §4.4): flows whose size changed by more than
+// a threshold between two adjacent measurement windows. If the change
+// exceeds the threshold, at least one window's size does too, so candidates
+// are the union of both windows' heavy-hitter reports; their count-queries
+// against the two collected sketches are then compared.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "flow/flow_key.h"
+
+namespace fcm::control {
+
+// `query_a` / `query_b` are count-queries against the sketches collected in
+// the two windows; `candidates` the union of per-window heavy-hitter keys.
+std::vector<flow::FlowKey> detect_heavy_changes(
+    const std::function<std::uint64_t(flow::FlowKey)>& query_a,
+    const std::function<std::uint64_t(flow::FlowKey)>& query_b,
+    std::span<const flow::FlowKey> candidates, std::uint64_t threshold);
+
+}  // namespace fcm::control

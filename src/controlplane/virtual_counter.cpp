@@ -1,0 +1,122 @@
+#include "controlplane/virtual_counter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fcm::control {
+
+std::uint64_t VirtualCounterArray::total_value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& vc : counters) total += vc.value;
+  return total;
+}
+
+std::size_t VirtualCounterArray::nonempty_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(counters.begin(), counters.end(),
+                    [](const VirtualCounter& vc) { return vc.value > 0; }));
+}
+
+std::uint32_t VirtualCounterArray::max_degree() const noexcept {
+  std::uint32_t d = 0;
+  for (const auto& vc : counters) {
+    if (vc.value > 0) d = std::max(d, vc.degree);
+  }
+  return d;
+}
+
+std::vector<std::size_t> VirtualCounterArray::degree_histogram() const {
+  std::vector<std::size_t> histogram(max_degree() + 1, 0);
+  for (const auto& vc : counters) {
+    if (vc.value > 0) ++histogram[vc.degree];
+  }
+  return histogram;
+}
+
+VirtualCounterArray convert_tree(const core::FcmTree& tree) {
+  const auto& config = tree.config();
+  const std::size_t levels = config.stage_count();
+
+  // Terminal node of the path starting at (stage, index): walk up while the
+  // node overflowed and a parent exists. Encoded as stage * 2^32 + index.
+  const auto terminal_of = [&](std::size_t stage, std::size_t index) {
+    while (stage < levels && tree.node_overflowed(stage, index)) {
+      ++stage;
+      index /= config.k;
+    }
+    if (stage > levels) stage = levels;  // root overflowed: terminal is root
+    // When the loop exited because stage == levels was reached with the root
+    // overflowed, (stage, index) already points past; clamp handled above.
+    return (static_cast<std::uint64_t>(stage) << 32) | static_cast<std::uint64_t>(index);
+  };
+
+  VirtualCounterArray array;
+  array.leaf_count = config.leaf_count;
+  array.leaf_counting_max = config.counting_max(1);
+
+  std::unordered_map<std::uint64_t, std::size_t> vc_index;
+  vc_index.reserve(config.leaf_count);
+
+  // Step 1: one virtual counter per distinct terminal, degree = merged leaves.
+  for (std::size_t leaf = 0; leaf < config.leaf_count; ++leaf) {
+    const std::uint64_t terminal = terminal_of(1, leaf);
+    const auto [it, inserted] = vc_index.try_emplace(terminal, array.counters.size());
+    if (inserted) {
+      array.counters.push_back(VirtualCounter{0, 0});
+    }
+    array.counters[it->second].degree += 1;
+  }
+
+  // Step 2: every node's capped count is credited to its terminal's counter
+  // exactly once. Nodes whose terminal has no leaf path carry value 0 (a
+  // non-leaf node only receives counts via child overflow), so skipping them
+  // loses nothing.
+  for (std::size_t stage = 1; stage <= levels; ++stage) {
+    const std::size_t width = config.width(stage);
+    for (std::size_t index = 0; index < width; ++index) {
+      const std::uint64_t count = tree.node_count(stage, index);
+      if (count == 0) continue;
+      const std::uint64_t terminal = terminal_of(stage, index);
+      const auto it = vc_index.find(terminal);
+      if (it != vc_index.end()) {
+        array.counters[it->second].value += count;
+      }
+    }
+  }
+  return array;
+}
+
+std::vector<VirtualCounterArray> convert_sketch(const core::FcmSketch& sketch) {
+  std::vector<VirtualCounterArray> arrays;
+  arrays.reserve(sketch.tree_count());
+  for (std::size_t t = 0; t < sketch.tree_count(); ++t) {
+    arrays.push_back(convert_tree(sketch.tree(t)));
+  }
+  return arrays;
+}
+
+namespace {
+
+template <typename T>
+VirtualCounterArray from_counters_impl(std::span<const T> counters) {
+  VirtualCounterArray array;
+  array.leaf_count = counters.size();
+  array.leaf_counting_max = 0;  // plain counters have no overflow semantics
+  array.counters.reserve(counters.size());
+  for (const T v : counters) {
+    array.counters.push_back(VirtualCounter{static_cast<std::uint64_t>(v), 1});
+  }
+  return array;
+}
+
+}  // namespace
+
+VirtualCounterArray from_plain_counters(std::span<const std::uint32_t> counters) {
+  return from_counters_impl(counters);
+}
+
+VirtualCounterArray from_plain_counters_u8(std::span<const std::uint8_t> counters) {
+  return from_counters_impl(counters);
+}
+
+}  // namespace fcm::control

@@ -1,0 +1,51 @@
+// FCM-Sketch → virtual counter conversion (paper §4.1).
+//
+// Each leaf traces its path upward until the first non-overflowed node (or
+// the root). Paths ending at the same terminal node merge into one virtual
+// counter whose value is the sum of the capped counts of every node in the
+// merged subtree and whose degree is the number of merged leaf paths. The
+// conversion preserves the total count exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fcm/fcm_sketch.h"
+
+namespace fcm::control {
+
+struct VirtualCounter {
+  std::uint64_t value = 0;
+  std::uint32_t degree = 1;
+};
+
+struct VirtualCounterArray {
+  std::vector<VirtualCounter> counters;  // every counter, including value-0 leaves
+  std::size_t leaf_count = 0;            // w1 of the source tree
+  std::uint64_t leaf_counting_max = 0;   // theta_1 (2^b1 - 2)
+
+  // Sum of all counter values (== tree total count by construction).
+  std::uint64_t total_value() const noexcept;
+  // Counters with value > 0 (what the EM operates on).
+  std::size_t nonempty_count() const noexcept;
+  // Largest degree among non-empty counters (D in the paper).
+  std::uint32_t max_degree() const noexcept;
+  // Histogram: result[d] = number of non-empty counters of degree d.
+  std::vector<std::size_t> degree_histogram() const;
+};
+
+// Converts one FCM tree.
+VirtualCounterArray convert_tree(const core::FcmTree& tree);
+
+// Converts every tree of a multi-tree sketch (§4.1 last paragraph).
+std::vector<VirtualCounterArray> convert_sketch(const core::FcmSketch& sketch);
+
+// Wraps a plain counter array (MRAC, ElasticSketch light part) as degree-1
+// virtual counters so the same EM engine applies. `saturated_value`, if
+// non-zero, marks counters that pegged at their maximum (their true value is
+// >= that); they are still passed through as-is.
+VirtualCounterArray from_plain_counters(std::span<const std::uint32_t> counters);
+VirtualCounterArray from_plain_counters_u8(std::span<const std::uint8_t> counters);
+
+}  // namespace fcm::control

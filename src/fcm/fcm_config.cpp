@@ -1,0 +1,87 @@
+#include "fcm/fcm_config.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/bitutil.h"
+
+namespace fcm::core {
+
+std::size_t FcmConfig::width(std::size_t stage) const noexcept {
+  std::size_t w = leaf_count;
+  for (std::size_t l = 1; l < stage; ++l) w /= k;
+  return w;
+}
+
+std::uint64_t FcmConfig::counting_max(std::size_t stage) const noexcept {
+  return common::fcm_counting_max(stage_bits[stage - 1]);
+}
+
+std::size_t FcmConfig::memory_bytes() const noexcept {
+  std::size_t bits = 0;
+  for (std::size_t l = 1; l <= stage_count(); ++l) {
+    bits += width(l) * stage_bits[l - 1];
+  }
+  return tree_count * bits / 8;
+}
+
+void FcmConfig::validate() const {
+  if (tree_count == 0) throw std::invalid_argument("FcmConfig: tree_count == 0");
+  if (k < 2) throw std::invalid_argument("FcmConfig: k must be >= 2");
+  if (stage_bits.empty()) throw std::invalid_argument("FcmConfig: no stages");
+  for (std::size_t i = 0; i < stage_bits.size(); ++i) {
+    if (stage_bits[i] < 2 || stage_bits[i] > 32) {
+      throw std::invalid_argument("FcmConfig: stage bits must be in [2, 32]");
+    }
+    if (i > 0 && stage_bits[i] <= stage_bits[i - 1]) {
+      throw std::invalid_argument("FcmConfig: stage bits must be increasing");
+    }
+  }
+  std::size_t divisor = 1;
+  for (std::size_t l = 1; l < stage_count(); ++l) divisor *= k;
+  if (leaf_count == 0 || leaf_count % divisor != 0) {
+    throw std::invalid_argument(
+        "FcmConfig: leaf_count (" + std::to_string(leaf_count) +
+        ") must be a positive multiple of k^(L-1) = " + std::to_string(divisor));
+  }
+}
+
+FcmConfig FcmConfig::for_memory(std::size_t memory_bytes, std::size_t tree_count,
+                                std::size_t k, std::vector<unsigned> stage_bits,
+                                std::uint64_t seed) {
+  FcmConfig config;
+  config.tree_count = tree_count;
+  config.k = k;
+  config.stage_bits = std::move(stage_bits);
+  config.seed = seed;
+
+  // Bits per leaf slot across all stages: sum_l b_l / k^(l-1).
+  double bits_per_leaf = 0.0;
+  double scale = 1.0;
+  for (const unsigned b : config.stage_bits) {
+    bits_per_leaf += static_cast<double>(b) / scale;
+    scale *= static_cast<double>(k);
+  }
+  if (tree_count == 0 || bits_per_leaf <= 0.0) {
+    throw std::invalid_argument("FcmConfig::for_memory: bad parameters");
+  }
+  const double budget_bits =
+      static_cast<double>(memory_bytes) * 8.0 / static_cast<double>(tree_count);
+  auto leaves = static_cast<std::size_t>(budget_bits / bits_per_leaf);
+
+  std::size_t divisor = 1;
+  for (std::size_t l = 1; l < config.stage_count(); ++l) divisor *= k;
+  leaves -= leaves % divisor;
+  if (leaves == 0) {
+    throw std::invalid_argument("FcmConfig::for_memory: memory too small");
+  }
+  config.leaf_count = leaves;
+  config.validate();
+  return config;
+}
+
+FcmConfig FcmConfig::paper_default() {
+  return for_memory(1'500'000, /*tree_count=*/2, /*k=*/8, {8, 16, 32});
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,47 @@
+// Adapters exposing FCM-Sketch and FCM+TopK through the generic
+// FrequencyEstimator interface used by the evaluation harness.
+#pragma once
+
+#include <memory>
+
+#include "fcm/fcm_topk.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::core {
+
+class FcmEstimator final : public sketch::FrequencyEstimator {
+ public:
+  explicit FcmEstimator(FcmConfig config) : sketch_(std::move(config)) {}
+
+  void update(flow::FlowKey key) override { sketch_.update(key); }
+  std::uint64_t query(flow::FlowKey key) const override { return sketch_.query(key); }
+  std::size_t memory_bytes() const override { return sketch_.memory_bytes(); }
+  std::string name() const override { return "FCM"; }
+  void clear() override { sketch_.clear(); }
+
+  FcmSketch& sketch() noexcept { return sketch_; }
+  const FcmSketch& sketch() const noexcept { return sketch_; }
+
+ private:
+  FcmSketch sketch_;
+};
+
+class FcmTopKEstimator final : public sketch::FrequencyEstimator {
+ public:
+  explicit FcmTopKEstimator(FcmTopK::Config config) : inner_(std::move(config)) {}
+  explicit FcmTopKEstimator(FcmTopK inner) : inner_(std::move(inner)) {}
+
+  void update(flow::FlowKey key) override { inner_.update(key); }
+  std::uint64_t query(flow::FlowKey key) const override { return inner_.query(key); }
+  std::size_t memory_bytes() const override { return inner_.memory_bytes(); }
+  std::string name() const override { return "FCM+TopK"; }
+  void clear() override { inner_.clear(); }
+
+  FcmTopK& inner() noexcept { return inner_; }
+  const FcmTopK& inner() const noexcept { return inner_; }
+
+ private:
+  FcmTopK inner_;
+};
+
+}  // namespace fcm::core

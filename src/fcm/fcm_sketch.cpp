@@ -1,0 +1,69 @@
+#include "fcm/fcm_sketch.h"
+
+#include <cmath>
+
+namespace fcm::core {
+
+FcmSketch::FcmSketch(FcmConfig config) : config_(std::move(config)) {
+  config_.validate();
+  trees_.reserve(config_.tree_count);
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    trees_.emplace_back(config_, common::make_hash(config_.seed, static_cast<std::uint32_t>(t)));
+  }
+}
+
+std::uint64_t FcmSketch::add(flow::FlowKey key, std::uint64_t count) {
+  std::uint64_t estimate = std::numeric_limits<std::uint64_t>::max();
+  for (auto& tree : trees_) {
+    estimate = std::min(estimate, tree.add(key, count));
+  }
+  if (hh_threshold_ && estimate >= *hh_threshold_) {
+    heavy_hitters_.insert(key);
+  }
+  return estimate;
+}
+
+std::uint64_t FcmSketch::update_conservative(flow::FlowKey key) {
+  std::uint64_t minimum = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& tree : trees_) {
+    minimum = std::min(minimum, tree.query(key));
+  }
+  std::uint64_t estimate = minimum + 1;
+  for (auto& tree : trees_) {
+    if (tree.query(key) == minimum) {
+      estimate = std::min(estimate, tree.add(key, 1));
+    }
+  }
+  if (hh_threshold_ && estimate >= *hh_threshold_) {
+    heavy_hitters_.insert(key);
+  }
+  return estimate;
+}
+
+std::uint64_t FcmSketch::query(flow::FlowKey key) const noexcept {
+  std::uint64_t estimate = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& tree : trees_) {
+    estimate = std::min(estimate, tree.query(key));
+  }
+  return estimate;
+}
+
+double FcmSketch::estimate_cardinality() const {
+  const double w1 = static_cast<double>(config_.leaf_count);
+  double empty_sum = 0.0;
+  for (const auto& tree : trees_) {
+    empty_sum += static_cast<double>(tree.empty_leaf_count());
+  }
+  double w0 = empty_sum / static_cast<double>(trees_.size());
+  // Standard linear-counting guard: a full table has no finite estimate;
+  // treat as half an empty slot (upper end of the estimable range).
+  if (w0 < 0.5) w0 = 0.5;
+  return -w1 * std::log(w0 / w1);
+}
+
+void FcmSketch::clear() {
+  for (auto& tree : trees_) tree.clear();
+  heavy_hitters_.clear();
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,69 @@
+// Multi-tree FCM-Sketch (paper §3): the data-plane structure.
+//
+// d independent trees are updated in parallel; a count-query returns the
+// minimum per-tree estimate (as in Count-Min). Data-plane queries supported
+// here: flow size (count-query), heavy-hitter detection (threshold crossing
+// observed on update, as the switch would mirror it), and cardinality via
+// linear counting over the leaf stage (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "fcm/fcm_tree.h"
+
+namespace fcm::core {
+
+class FcmSketch {
+ public:
+  explicit FcmSketch(FcmConfig config);
+
+  // Per-packet update; returns the post-update estimate (min over trees).
+  // When a heavy-hitter threshold is set, flows whose estimate reaches it
+  // are recorded, mirroring the data plane's on-path detection.
+  std::uint64_t update(flow::FlowKey key) { return add(key, 1); }
+
+  // Conservative-update variant (the paper's footnote 3: "CU can improve
+  // the count-query of FCM"): only trees currently at the minimum estimate
+  // are incremented, so no other flow's query changes. Strictly tightens
+  // estimates; not implementable on PISA (needs a read-all-then-write pass),
+  // provided for software deployments and the ablation bench.
+  std::uint64_t update_conservative(flow::FlowKey key);
+
+  // Bulk insert of `count` packets of the same flow.
+  std::uint64_t add(flow::FlowKey key, std::uint64_t count);
+
+  // Count-query (§3.2): min over trees. Never underestimates.
+  std::uint64_t query(flow::FlowKey key) const noexcept;
+
+  // Linear-counting cardinality over stage-1 nodes (§3.3):
+  // n̂ = -w1 * ln(w0/w1), with w0 averaged across trees.
+  double estimate_cardinality() const;
+
+  // --- heavy hitters (data-plane query) ---
+  void set_heavy_hitter_threshold(std::uint64_t threshold) {
+    hh_threshold_ = threshold;
+  }
+  const std::unordered_set<flow::FlowKey>& heavy_hitters() const noexcept {
+    return heavy_hitters_;
+  }
+
+  // --- introspection ---
+  const FcmConfig& config() const noexcept { return config_; }
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  const FcmTree& tree(std::size_t i) const noexcept { return trees_[i]; }
+  std::size_t memory_bytes() const noexcept { return config_.memory_bytes(); }
+
+  void clear();
+
+ private:
+  FcmConfig config_;
+  std::vector<FcmTree> trees_;
+  std::optional<std::uint64_t> hh_threshold_;
+  std::unordered_set<flow::FlowKey> heavy_hitters_;
+};
+
+}  // namespace fcm::core

@@ -1,0 +1,105 @@
+#include "fcm/fcm_tree.h"
+
+#include <algorithm>
+
+namespace fcm::core {
+
+FcmTree::FcmTree(const FcmConfig& config, common::SeededHash hash)
+    : config_(config), hash_(hash) {
+  config_.validate();
+  const std::size_t levels = config_.stage_count();
+  stages_.resize(levels);
+  counting_max_.resize(levels);
+  marker_.resize(levels);
+  for (std::size_t l = 1; l <= levels; ++l) {
+    stages_[l - 1].assign(config_.width(l), 0);
+    counting_max_[l - 1] = static_cast<std::uint32_t>(config_.counting_max(l));
+    marker_[l - 1] = counting_max_[l - 1] + 1;
+  }
+}
+
+std::uint64_t FcmTree::add(flow::FlowKey key, std::uint64_t count) {
+  std::size_t index = leaf_index(key);
+  std::uint64_t estimate = 0;
+  std::uint64_t carry = count;
+  const std::size_t levels = stages_.size();
+
+  for (std::size_t l = 0; l < levels; ++l) {
+    auto& node = stages_[l][index];
+    const std::uint64_t cap = counting_max_[l];
+    const std::uint64_t mark = marker_[l];
+
+    if (node == mark) {
+      // Already overflowed: everything carries forward (Algorithm 1 skips
+      // the increment and recurses).
+      estimate += cap;
+    } else {
+      const std::uint64_t room = cap - node;
+      if (carry <= room) {
+        node = static_cast<std::uint32_t>(node + carry);
+        estimate += node;
+        return estimate;
+      }
+      // The increments fill the node and trip the overflow marker; the
+      // remainder (including the tripping increment) carries forward.
+      carry -= room;
+      node = static_cast<std::uint32_t>(mark);
+      estimate += cap;
+    }
+    if (l + 1 == levels) {
+      // Final stage has no parent; counts beyond its range are lost
+      // (unreachable with 32-bit roots in practice).
+      return estimate;
+    }
+    index /= config_.k;
+  }
+  return estimate;
+}
+
+std::uint64_t FcmTree::query(flow::FlowKey key) const noexcept {
+  std::size_t index = leaf_index(key);
+  std::uint64_t estimate = 0;
+  const std::size_t levels = stages_.size();
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::uint32_t node = stages_[l][index];
+    if (node != marker_[l]) {
+      return estimate + node;
+    }
+    estimate += counting_max_[l];
+    if (l + 1 == levels) return estimate;  // root overflowed: best effort
+    index /= config_.k;
+  }
+  return estimate;
+}
+
+std::uint64_t FcmTree::node_count(std::size_t stage_1based,
+                                  std::size_t index) const noexcept {
+  const std::uint32_t v = stages_[stage_1based - 1][index];
+  return std::min<std::uint64_t>(v, counting_max_[stage_1based - 1]);
+}
+
+bool FcmTree::node_overflowed(std::size_t stage_1based,
+                              std::size_t index) const noexcept {
+  return stages_[stage_1based - 1][index] == marker_[stage_1based - 1];
+}
+
+std::size_t FcmTree::empty_leaf_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(stages_[0].begin(), stages_[0].end(), 0u));
+}
+
+std::uint64_t FcmTree::total_count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < stages_.size(); ++l) {
+    for (const std::uint32_t v : stages_[l]) {
+      total += std::min<std::uint64_t>(v, counting_max_[l]);
+    }
+  }
+  return total;
+}
+
+void FcmTree::clear() noexcept {
+  for (auto& stage : stages_) std::fill(stage.begin(), stage.end(), 0u);
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,72 @@
+// A single k-ary FCM tree (paper §3.1–3.2).
+//
+// Stage l holds width(l) nodes of b_l bits. A node stores values
+// 0..2^b_l - 2 directly; the all-ones value 2^b_l - 1 means "count saturated
+// at 2^b_l - 2 and increments have been carried to the parent" (Figure 3).
+// Update feeds increments forward (Algorithm 1); count-query sums capped
+// values along the path until the first non-overflowed node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "fcm/fcm_config.h"
+#include "flow/flow_key.h"
+
+namespace fcm::core {
+
+class FcmTree {
+ public:
+  // `config` describes geometry; `hash` selects this tree's leaf index.
+  FcmTree(const FcmConfig& config, common::SeededHash hash);
+
+  // Adds `count` to the flow (Algorithm 1 generalized to bulk increments;
+  // count = 1 is the per-packet update). Returns the post-update estimate
+  // for the flow, mirroring the data plane's write-and-return sALU.
+  std::uint64_t add(flow::FlowKey key, std::uint64_t count = 1);
+
+  // Count-query (paper §3.2): sum along the overflow path.
+  std::uint64_t query(flow::FlowKey key) const noexcept;
+
+  // Leaf index this tree assigns to `key`.
+  std::size_t leaf_index(flow::FlowKey key) const noexcept {
+    return hash_.index(key, config_.leaf_count);
+  }
+
+  // Raw stored node values at stage l (1-based): 2^b-1 entries are overflow
+  // markers. Used by the control-plane conversion algorithm.
+  std::span<const std::uint32_t> stage(std::size_t stage_1based) const noexcept {
+    return stages_[stage_1based - 1];
+  }
+
+  // The count a node contributes locally: min(value, 2^b - 2).
+  std::uint64_t node_count(std::size_t stage_1based, std::size_t index) const noexcept;
+  bool node_overflowed(std::size_t stage_1based, std::size_t index) const noexcept;
+
+  // Number of zero-valued leaf nodes (w_1^0), for linear counting.
+  std::size_t empty_leaf_count() const noexcept;
+
+  // Total count absorbed by the tree (sum of capped node counts). Preserved
+  // exactly by the virtual-counter conversion; used as an invariant check.
+  std::uint64_t total_count() const noexcept;
+
+  const FcmConfig& config() const noexcept { return config_; }
+
+  // The hash function selecting this tree's leaf (needed to compile the
+  // tree onto the PISA pipeline with identical indexing).
+  common::SeededHash hash() const noexcept { return hash_; }
+
+  void clear() noexcept;
+
+ private:
+  FcmConfig config_;
+  common::SeededHash hash_;
+  std::vector<std::vector<std::uint32_t>> stages_;
+  // Per-stage cached limits, so the hot path avoids recomputing shifts.
+  std::vector<std::uint32_t> counting_max_;
+  std::vector<std::uint32_t> marker_;
+};
+
+}  // namespace fcm::core

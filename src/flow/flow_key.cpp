@@ -1,0 +1,11 @@
+#include "flow/flow_key.h"
+
+namespace fcm::flow {
+
+std::string to_string(FlowKey key) {
+  const std::uint32_t v = key.value;
+  return std::to_string((v >> 24) & 0xff) + '.' + std::to_string((v >> 16) & 0xff) +
+         '.' + std::to_string((v >> 8) & 0xff) + '.' + std::to_string(v & 0xff);
+}
+
+}  // namespace fcm::flow

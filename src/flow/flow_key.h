@@ -1,0 +1,58 @@
+// Flow identifiers.
+//
+// The paper's evaluation keys flows by source IP (§7.2); applications may use
+// the full 5-tuple. Both are provided. FlowKey is the 32-bit source-IP key
+// used throughout the evaluation; FiveTuple converts down to it.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.h"
+
+namespace fcm::flow {
+
+// 32-bit flow key (source IPv4 address in the paper's setup).
+struct FlowKey {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const FlowKey&) const = default;
+};
+
+// Full transport 5-tuple, for applications that need finer granularity.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  constexpr auto operator<=>(const FiveTuple&) const = default;
+
+  // The evaluation key: source host.
+  constexpr FlowKey source_key() const noexcept { return FlowKey{src_ip}; }
+};
+
+// Dotted-quad rendering, for logs and examples.
+std::string to_string(FlowKey key);
+
+}  // namespace fcm::flow
+
+template <>
+struct std::hash<fcm::flow::FlowKey> {
+  std::size_t operator()(const fcm::flow::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(fcm::common::mix64(k.value));
+  }
+};
+
+template <>
+struct std::hash<fcm::flow::FiveTuple> {
+  std::size_t operator()(const fcm::flow::FiveTuple& t) const noexcept {
+    std::uint64_t a = (static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip;
+    std::uint64_t b = (static_cast<std::uint64_t>(t.src_port) << 24) |
+                      (static_cast<std::uint64_t>(t.dst_port) << 8) | t.protocol;
+    return static_cast<std::size_t>(fcm::common::mix64(a ^ fcm::common::mix64(b)));
+  }
+};

@@ -1,0 +1,16 @@
+// A measurement-plane view of a packet: just what sketches consume.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/flow_key.h"
+
+namespace fcm::flow {
+
+struct Packet {
+  FlowKey key;
+  std::uint32_t bytes = 0;       // payload size; counts can be packets or bytes
+  std::uint64_t timestamp_ns = 0;
+};
+
+}  // namespace fcm::flow

@@ -1,0 +1,116 @@
+#include "flow/synthetic.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace fcm::flow {
+namespace {
+
+using common::Xoshiro256;
+using common::ZipfSampler;
+
+// Distinct pseudo-random 32-bit keys, deterministic in `seed`.
+std::vector<FlowKey> make_keys(std::uint64_t count, std::uint64_t seed) {
+  std::vector<FlowKey> keys;
+  keys.reserve(count);
+  std::unordered_set<std::uint32_t> used;
+  used.reserve(count * 2);
+  std::uint64_t i = 0;
+  while (keys.size() < count) {
+    const auto candidate =
+        static_cast<std::uint32_t>(common::mix64(seed ^ (0xabcdef
+  + i++)));
+    if (candidate != 0 && used.insert(candidate).second) {
+      keys.push_back(FlowKey{candidate});
+    }
+  }
+  return keys;
+}
+
+Trace generate_with_keys(const SyntheticTraceConfig& config,
+                         const std::vector<FlowKey>& keys) {
+  const ZipfSampler zipf(keys.size(), config.zipf_alpha);
+  Xoshiro256 rng(config.seed);
+  Trace trace;
+  trace.reserve(config.packet_count);
+  const std::uint32_t byte_span =
+      config.max_packet_bytes - config.min_packet_bytes + 1;
+  for (std::uint64_t i = 0; i < config.packet_count; ++i) {
+    const std::size_t rank = zipf.sample(rng);
+    Packet p;
+    p.key = keys[rank - 1];
+    p.bytes = config.min_packet_bytes +
+              static_cast<std::uint32_t>(rng.next_below(byte_span));
+    p.timestamp_ns = i * 750;  // ~20M packets over 15s, as in the paper
+    trace.append(p);
+  }
+  return trace;
+}
+
+}  // namespace
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(SyntheticTraceConfig config)
+    : config_(config) {
+  if (config_.packet_count == 0 || config_.flow_count == 0) {
+    throw std::invalid_argument("SyntheticTraceGenerator: empty workload");
+  }
+  if (config_.min_packet_bytes > config_.max_packet_bytes) {
+    throw std::invalid_argument("SyntheticTraceGenerator: bad byte range");
+  }
+}
+
+Trace SyntheticTraceGenerator::generate() const {
+  return generate_with_keys(config_, make_keys(config_.flow_count, config_.seed));
+}
+
+Trace SyntheticTraceGenerator::caida_like(double scale, std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("caida_like: scale must be in (0, 1]");
+  }
+  SyntheticTraceConfig config;
+  config.packet_count = static_cast<std::uint64_t>(20'000'000 * scale);
+  config.flow_count = static_cast<std::uint64_t>(500'000 * scale);
+  config.zipf_alpha = 1.1;
+  config.seed = seed;
+  return SyntheticTraceGenerator(config).generate();
+}
+
+Trace SyntheticTraceGenerator::zipf(double alpha, double scale, std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("zipf: scale must be in (0, 1]");
+  }
+  SyntheticTraceConfig config;
+  config.packet_count = static_cast<std::uint64_t>(20'000'000 * scale);
+  config.flow_count = config.packet_count / 50;  // ~50 packets/flow (§7.4)
+  config.zipf_alpha = alpha;
+  config.seed = seed;
+  return SyntheticTraceGenerator(config).generate();
+}
+
+WindowPair make_window_pair(const SyntheticTraceConfig& config,
+                            double churn_fraction) {
+  if (churn_fraction < 0.0 || churn_fraction > 1.0) {
+    throw std::invalid_argument("make_window_pair: churn must be in [0, 1]");
+  }
+  auto keys_a = make_keys(config.flow_count, config.seed);
+  auto fresh = make_keys(config.flow_count, config.seed ^ 0x5eed5eedull);
+
+  // Window B: replace a deterministic churn_fraction of ranks with fresh keys.
+  Xoshiro256 rng(config.seed ^ 0xc0ffee);
+  auto keys_b = keys_a;
+  for (std::size_t i = 0; i < keys_b.size(); ++i) {
+    if (rng.next_double() < churn_fraction) keys_b[i] = fresh[i];
+  }
+
+  WindowPair pair;
+  pair.window_a = generate_with_keys(config, keys_a);
+  SyntheticTraceConfig config_b = config;
+  config_b.seed = config.seed + 1;  // fresh packet draws in window B
+  pair.window_b = generate_with_keys(config_b, keys_b);
+  return pair;
+}
+
+}  // namespace fcm::flow

@@ -1,0 +1,60 @@
+// Synthetic trace generation.
+//
+// The paper evaluates on CAIDA Equinix-NYC traces (~20M packets, ~0.5M
+// source-IP flows per 15s window) and on synthetic Zipf(alpha) traces
+// (§7.4). CAIDA data is not redistributable, so this module generates
+// CAIDA-like traces: heavy-tailed Zipf flow-size distributions calibrated to
+// the same mean flow size, with i.i.d.-interleaved packet arrivals. Accuracy
+// results for sketches depend on the flow-size distribution and arrival mix,
+// both of which are preserved (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/trace.h"
+
+namespace fcm::flow {
+
+struct SyntheticTraceConfig {
+  std::uint64_t packet_count = 1'000'000;
+  std::uint64_t flow_count = 50'000;
+  double zipf_alpha = 1.1;     // skewness of the flow-popularity distribution
+  std::uint64_t seed = 1;
+  std::uint16_t min_packet_bytes = 64;
+  std::uint16_t max_packet_bytes = 1500;
+};
+
+class SyntheticTraceGenerator {
+ public:
+  explicit SyntheticTraceGenerator(SyntheticTraceConfig config);
+
+  // Generates a trace: each packet's flow is drawn i.i.d. from
+  // Zipf(zipf_alpha) over `flow_count` distinct keys. Note the realized
+  // number of distinct flows can be slightly below flow_count (tail ranks
+  // may receive zero packets).
+  Trace generate() const;
+
+  // The paper's §7.2 workload, scaled: Zipf(1.1), ~40 packets/flow mean.
+  // `scale` in (0, 1] shrinks both packets and flows proportionally.
+  static Trace caida_like(double scale, std::uint64_t seed);
+
+  // The §7.4 workload: 20M packets (scaled), ~50 packets/flow, Zipf(alpha).
+  static Trace zipf(double alpha, double scale, std::uint64_t seed);
+
+  const SyntheticTraceConfig& config() const noexcept { return config_; }
+
+ private:
+  SyntheticTraceConfig config_;
+};
+
+// Two adjacent measurement windows with flow churn, for heavy-change
+// experiments: `churn_fraction` of window-A flows disappear in window B and
+// are replaced by fresh flows; surviving flows keep their popularity rank.
+struct WindowPair {
+  Trace window_a;
+  Trace window_b;
+};
+WindowPair make_window_pair(const SyntheticTraceConfig& config, double churn_fraction);
+
+}  // namespace fcm::flow

@@ -1,0 +1,65 @@
+#include "flow/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace fcm::flow {
+
+GroundTruth::GroundTruth(const Trace& trace) {
+  sizes_.reserve(trace.size() / 16 + 16);
+  for (const Packet& p : trace.packets()) {
+    const std::uint64_t s = ++sizes_[p.key];
+    max_size_ = std::max(max_size_, s);
+  }
+  total_packets_ = trace.size();
+}
+
+std::uint64_t GroundTruth::size_of(FlowKey key) const noexcept {
+  const auto it = sizes_.find(key);
+  return it == sizes_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint64_t> GroundTruth::flow_size_distribution() const {
+  std::vector<std::uint64_t> fsd(max_size_ + 1, 0);
+  for (const auto& [key, size] : sizes_) fsd[size]++;
+  return fsd;
+}
+
+double GroundTruth::entropy() const {
+  if (total_packets_ == 0) return 0.0;
+  const double m = static_cast<double>(total_packets_);
+  double h = 0.0;
+  for (const auto& [key, size] : sizes_) {
+    const double p = static_cast<double>(size) / m;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::vector<FlowKey> GroundTruth::heavy_hitters(std::uint64_t threshold) const {
+  std::vector<FlowKey> result;
+  for (const auto& [key, size] : sizes_) {
+    if (size >= threshold) result.push_back(key);
+  }
+  return result;
+}
+
+std::vector<FlowKey> true_heavy_changes(const GroundTruth& window_a,
+                                        const GroundTruth& window_b,
+                                        std::uint64_t threshold) {
+  std::vector<FlowKey> result;
+  std::unordered_set<FlowKey> seen;
+  const auto consider = [&](FlowKey key) {
+    if (!seen.insert(key).second) return;
+    const std::uint64_t a = window_a.size_of(key);
+    const std::uint64_t b = window_b.size_of(key);
+    const std::uint64_t delta = a > b ? a - b : b - a;
+    if (delta > threshold) result.push_back(key);
+  };
+  for (const auto& [key, size] : window_a.flow_sizes()) consider(key);
+  for (const auto& [key, size] : window_b.flow_sizes()) consider(key);
+  return result;
+}
+
+}  // namespace fcm::flow

@@ -1,0 +1,72 @@
+// Packet traces and exact (ground-truth) statistics computed from them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/packet.h"
+
+namespace fcm::flow {
+
+// An in-memory packet trace. Packets are stored in arrival order.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Packet> packets) : packets_(std::move(packets)) {}
+
+  std::span<const Packet> packets() const noexcept { return packets_; }
+  std::size_t size() const noexcept { return packets_.size(); }
+  bool empty() const noexcept { return packets_.empty(); }
+
+  void append(Packet p) { packets_.push_back(p); }
+  void reserve(std::size_t n) { packets_.reserve(n); }
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+// Exact per-flow statistics of a trace; the reference every metric is
+// computed against.
+class GroundTruth {
+ public:
+  explicit GroundTruth(const Trace& trace);
+
+  const std::unordered_map<FlowKey, std::uint64_t>& flow_sizes() const noexcept {
+    return sizes_;
+  }
+  std::uint64_t total_packets() const noexcept { return total_packets_; }
+  std::size_t flow_count() const noexcept { return sizes_.size(); }
+
+  // Exact size of one flow (0 if absent).
+  std::uint64_t size_of(FlowKey key) const noexcept;
+
+  // Flow size distribution: fsd[s] = number of flows with exactly s packets.
+  // Index 0 is unused (no zero-size flows).
+  std::vector<std::uint64_t> flow_size_distribution() const;
+
+  // Empirical flow-size entropy H = -sum_i (x_i/m) ln(x_i/m), natural log,
+  // where m = total packets (the quantity the paper's §4.4 estimates).
+  double entropy() const;
+
+  // Flows with size >= threshold.
+  std::vector<FlowKey> heavy_hitters(std::uint64_t threshold) const;
+
+  // Largest flow size (0 for an empty trace).
+  std::uint64_t max_flow_size() const noexcept { return max_size_; }
+
+ private:
+  std::unordered_map<FlowKey, std::uint64_t> sizes_;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t max_size_ = 0;
+};
+
+// Flows whose size changed by more than `threshold` between two windows
+// (paper §4.4, heavy change detection). Returned keys are those with
+// |size_a - size_b| > threshold.
+std::vector<FlowKey> true_heavy_changes(const GroundTruth& window_a,
+                                        const GroundTruth& window_b,
+                                        std::uint64_t threshold);
+
+}  // namespace fcm::flow

@@ -1,0 +1,81 @@
+#include "flow/trace_io.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fcm::flow {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'C', 'M', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Record {
+  std::uint32_t key;
+  std::uint32_t bytes;
+  std::uint64_t timestamp_ns;
+};
+static_assert(sizeof(Record) == 16);
+
+template <typename T>
+void write_value(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+void read_value(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("trace file truncated");
+}
+
+}  // namespace
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_value(out, kVersion);
+  write_value(out, std::uint32_t{0});  // reserved
+  write_value(out, static_cast<std::uint64_t>(trace.size()));
+  for (const Packet& p : trace.packets()) {
+    const Record record{p.key.value, p.bytes, p.timestamp_ns};
+    write_value(out, record);
+  }
+  if (!out) throw std::runtime_error("short write to trace file: " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not an FCM trace file: " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  read_value(in, version);
+  read_value(in, reserved);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported trace file version: " + path);
+  }
+  std::uint64_t count = 0;
+  read_value(in, count);
+  std::vector<Packet> packets;
+  packets.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Record record{};
+    read_value(in, record);
+    packets.push_back(Packet{FlowKey{record.key}, record.bytes, record.timestamp_ns});
+  }
+  return Trace(std::move(packets));
+}
+
+std::optional<Trace> load_trace_from_env() {
+  const char* path = std::getenv("FCM_TRACE");
+  if (path == nullptr || *path == '\0') return std::nullopt;
+  return load_trace(path);
+}
+
+}  // namespace fcm::flow

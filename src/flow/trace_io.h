@@ -1,0 +1,29 @@
+// Trace (de)serialization.
+//
+// Users with real captures (e.g. the CAIDA traces the paper evaluates on)
+// convert them once to this compact binary format and feed them to the
+// benches via FCM_TRACE; the synthetic generator remains the default.
+//
+// Format: 16-byte header ("FCMTRACE", u32 version, u32 reserved), u64 packet
+// count, then packed little-endian records of (u32 key, u32 bytes, u64
+// timestamp_ns).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "flow/trace.h"
+
+namespace fcm::flow {
+
+// Throws std::runtime_error on I/O failure.
+void save_trace(const Trace& trace, const std::string& path);
+
+// Throws std::runtime_error on I/O failure or malformed input.
+Trace load_trace(const std::string& path);
+
+// Loads the trace named by the FCM_TRACE environment variable, or returns
+// std::nullopt when it is unset.
+std::optional<Trace> load_trace_from_env();
+
+}  // namespace fcm::flow

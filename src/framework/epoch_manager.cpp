@@ -1,0 +1,49 @@
+#include "framework/epoch_manager.h"
+
+#include <stdexcept>
+
+namespace fcm::framework {
+
+EpochManager::EpochManager(Options options)
+    : options_(std::move(options)), current_(options_.framework) {
+  if (options_.retained_epochs == 0) {
+    throw std::invalid_argument("EpochManager: must retain at least one epoch");
+  }
+  if (options_.heavy_change_threshold == 0) {
+    options_.heavy_change_threshold = options_.framework.heavy_hitter_threshold;
+  }
+}
+
+void EpochManager::process(const flow::Packet& packet) {
+  current_.process(packet);
+  ++packets_in_epoch_;
+}
+
+void EpochManager::process(std::span<const flow::Packet> packets) {
+  current_.process(packets);
+  packets_in_epoch_ += packets.size();
+}
+
+EpochManager::EpochSummary EpochManager::rotate() {
+  EpochSummary summary;
+  summary.index = next_index_++;
+  summary.packets = packets_in_epoch_;
+  summary.cardinality = current_.cardinality();
+  summary.heavy_hitters = current_.heavy_hitters();
+  if (!history_.empty() && options_.heavy_change_threshold > 0) {
+    summary.heavy_changes = FcmFramework::heavy_changes(
+        history_.back(), current_, options_.heavy_change_threshold);
+  }
+  if (options_.analyze_on_rotate) {
+    summary.report = current_.analyze();
+  }
+
+  history_.push_back(current_);  // snapshot (frameworks are copyable)
+  while (history_.size() > options_.retained_epochs) history_.pop_front();
+
+  current_.reset();
+  packets_in_epoch_ = 0;
+  return summary;
+}
+
+}  // namespace fcm::framework

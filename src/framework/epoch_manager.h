@@ -1,0 +1,62 @@
+// Epoch (measurement-window) management — the "Collect" loop of Figure 1.
+//
+// The data plane accumulates one epoch; `rotate()` closes it: the sketch is
+// snapshotted for later heavy-change comparison, the control-plane analysis
+// runs (§4), heavy changes against the previous epoch are computed (§4.4),
+// and the data plane is reset for the next window. A bounded history of
+// snapshots is retained so applications can query past windows.
+#pragma once
+
+#include <deque>
+
+#include "framework/fcm_framework.h"
+
+namespace fcm::framework {
+
+class EpochManager {
+ public:
+  struct Options {
+    FcmFramework::Options framework;
+    // Snapshots kept for cross-epoch queries (>= 1).
+    std::size_t retained_epochs = 4;
+    // 0: reuse framework.heavy_hitter_threshold for heavy-change detection.
+    std::uint64_t heavy_change_threshold = 0;
+    // Run the (expensive) EM analysis at each rotation.
+    bool analyze_on_rotate = true;
+  };
+
+  struct EpochSummary {
+    std::size_t index = 0;
+    std::uint64_t packets = 0;
+    double cardinality = 0.0;
+    std::vector<flow::FlowKey> heavy_hitters;
+    // Against the previous epoch; empty for the first epoch.
+    std::vector<flow::FlowKey> heavy_changes;
+    // Populated when analyze_on_rotate is set.
+    FcmFramework::Report report;
+  };
+
+  explicit EpochManager(Options options);
+
+  // --- current epoch's data plane ---
+  void process(const flow::Packet& packet);
+  void process(std::span<const flow::Packet> packets);
+  std::uint64_t flow_size(flow::FlowKey key) const { return current_.flow_size(key); }
+
+  // Closes the current epoch and starts the next one.
+  EpochSummary rotate();
+
+  std::size_t epochs_completed() const noexcept { return next_index_; }
+
+  // Snapshots of the most recent closed epochs, oldest first.
+  const std::deque<FcmFramework>& history() const noexcept { return history_; }
+
+ private:
+  Options options_;
+  FcmFramework current_;
+  std::deque<FcmFramework> history_;
+  std::uint64_t packets_in_epoch_ = 0;
+  std::size_t next_index_ = 0;
+};
+
+}  // namespace fcm::framework

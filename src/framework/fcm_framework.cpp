@@ -1,0 +1,110 @@
+#include "framework/fcm_framework.h"
+
+#include <stdexcept>
+
+namespace fcm::framework {
+
+FcmFramework::FcmFramework(Options options) : options_(std::move(options)) {
+  if (options_.count_mode == CountMode::kBytes && options_.topk_entries > 0) {
+    throw std::invalid_argument(
+        "FcmFramework: byte counting requires the plain-FCM data plane");
+  }
+  if (options_.topk_entries > 0) {
+    core::FcmTopK::Config config;
+    config.fcm = options_.fcm;
+    config.topk_entries = options_.topk_entries;
+    with_topk_.emplace(config);
+    if (options_.heavy_hitter_threshold > 0) {
+      with_topk_->set_heavy_hitter_threshold(options_.heavy_hitter_threshold);
+    }
+  } else {
+    plain_.emplace(options_.fcm);
+    if (options_.heavy_hitter_threshold > 0) {
+      plain_->set_heavy_hitter_threshold(options_.heavy_hitter_threshold);
+    }
+  }
+}
+
+const core::FcmSketch& FcmFramework::active_sketch() const {
+  return with_topk_ ? with_topk_->sketch() : *plain_;
+}
+
+void FcmFramework::process(flow::FlowKey key) {
+  if (with_topk_) {
+    with_topk_->update(key);
+  } else {
+    plain_->update(key);
+  }
+}
+
+void FcmFramework::process(const flow::Packet& packet) {
+  if (options_.count_mode == CountMode::kBytes) {
+    plain_->add(packet.key, packet.bytes);
+  } else {
+    process(packet.key);
+  }
+}
+
+void FcmFramework::process(std::span<const flow::Packet> packets) {
+  for (const flow::Packet& packet : packets) process(packet);
+}
+
+std::uint64_t FcmFramework::flow_size(flow::FlowKey key) const {
+  return with_topk_ ? with_topk_->query(key) : plain_->query(key);
+}
+
+double FcmFramework::cardinality() const {
+  return with_topk_ ? with_topk_->estimate_cardinality()
+                    : plain_->estimate_cardinality();
+}
+
+std::vector<flow::FlowKey> FcmFramework::heavy_hitters() const {
+  if (with_topk_) {
+    return with_topk_->heavy_hitters(options_.heavy_hitter_threshold);
+  }
+  const auto& set = plain_->heavy_hitters();
+  return {set.begin(), set.end()};
+}
+
+FcmFramework::Report FcmFramework::analyze() const {
+  Report report;
+  control::EmFsdEstimator em(control::convert_sketch(active_sketch()),
+                             options_.em);
+  report.fsd = em.run();
+  if (with_topk_) {
+    // Fold the filter's exact heavy flows into the recovered distribution.
+    for (const auto& [key, count] : with_topk_->topk_flows()) {
+      report.fsd.add_flows(static_cast<std::size_t>(with_topk_->query(key)), 1.0);
+    }
+  }
+  report.entropy = report.fsd.entropy();
+  report.estimated_flows = report.fsd.total_flows();
+  report.cardinality = cardinality();
+  return report;
+}
+
+std::vector<flow::FlowKey> FcmFramework::heavy_changes(
+    const FcmFramework& window_a, const FcmFramework& window_b,
+    std::uint64_t threshold) {
+  std::vector<flow::FlowKey> candidates = window_a.heavy_hitters();
+  const std::vector<flow::FlowKey> candidates_b = window_b.heavy_hitters();
+  candidates.insert(candidates.end(), candidates_b.begin(), candidates_b.end());
+  return control::detect_heavy_changes(
+      [&](flow::FlowKey key) { return window_a.flow_size(key); },
+      [&](flow::FlowKey key) { return window_b.flow_size(key); }, candidates,
+      threshold);
+}
+
+void FcmFramework::reset() {
+  if (with_topk_) {
+    with_topk_->clear();
+  } else {
+    plain_->clear();
+  }
+}
+
+std::size_t FcmFramework::memory_bytes() const {
+  return with_topk_ ? with_topk_->memory_bytes() : plain_->memory_bytes();
+}
+
+}  // namespace fcm::framework

@@ -1,0 +1,86 @@
+// The FCM framework (paper Figure 1): FCM-Sketch in the data plane with an
+// optional Top-K filter, plus the control-plane pipeline (virtual counter
+// conversion, EM, entropy, heavy change) behind one facade. This is the
+// public API an application embeds; the examples/ directory shows it in use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "controlplane/em.h"
+#include "controlplane/heavy_change.h"
+#include "fcm/fcm_topk.h"
+#include "flow/packet.h"
+
+namespace fcm::framework {
+
+class FcmFramework {
+ public:
+  // What one packet adds to its flow's counter (§3.3: "the count can be
+  // interpreted in different ways, e.g., bytes, packets").
+  enum class CountMode { kPackets, kBytes };
+
+  struct Options {
+    core::FcmConfig fcm = core::FcmConfig::paper_default();
+    // 0 disables the Top-K filter (plain FCM); the paper's FCM+TopK uses
+    // 4096 entries with 16-ary trees.
+    std::size_t topk_entries = 0;
+    // 0 disables on-path heavy-hitter tracking.
+    std::uint64_t heavy_hitter_threshold = 0;
+    // Byte counting requires the plain-FCM data plane (the TopK filter's
+    // vote counters are per-packet); the constructor rejects the combination.
+    CountMode count_mode = CountMode::kPackets;
+    control::EmConfig em;
+  };
+
+  explicit FcmFramework(Options options);
+
+  // --- data plane -------------------------------------------------------
+  void process(flow::FlowKey key);
+  // In kBytes mode the packet's byte size is added; otherwise counts one.
+  void process(const flow::Packet& packet);
+  void process(std::span<const flow::Packet> packets);
+
+  // Data-plane queries (§3.3): available at line rate.
+  std::uint64_t flow_size(flow::FlowKey key) const;
+  double cardinality() const;
+  std::vector<flow::FlowKey> heavy_hitters() const;
+
+  // --- control plane ------------------------------------------------------
+  struct Report {
+    control::FlowSizeDistribution fsd;
+    double entropy = 0.0;
+    double estimated_flows = 0.0;
+    double cardinality = 0.0;
+  };
+  // Collects the sketch, converts to virtual counters, runs EM and derives
+  // the generic statistics (§4). Expensive; run per measurement epoch.
+  Report analyze() const;
+
+  // Heavy-change detection across two collected epochs (§4.4): candidates
+  // default to the union of both frameworks' heavy-hitter reports.
+  static std::vector<flow::FlowKey> heavy_changes(const FcmFramework& window_a,
+                                                  const FcmFramework& window_b,
+                                                  std::uint64_t threshold);
+
+  // Resets the data plane for the next measurement window.
+  void reset();
+
+  const Options& options() const noexcept { return options_; }
+  std::size_t memory_bytes() const;
+
+  // Frameworks are copyable: keep a snapshot per epoch for heavy change.
+  FcmFramework(const FcmFramework&) = default;
+  FcmFramework& operator=(const FcmFramework&) = default;
+
+ private:
+  const core::FcmSketch& active_sketch() const;
+
+  Options options_;
+  std::optional<core::FcmSketch> plain_;
+  std::optional<core::FcmTopK> with_topk_;
+};
+
+}  // namespace fcm::framework

@@ -1,0 +1,47 @@
+#include "metrics/evaluator.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace fcm::metrics {
+
+void feed(sketch::FrequencyEstimator& estimator, const flow::Trace& trace) {
+  for (const flow::Packet& packet : trace.packets()) {
+    estimator.update(packet.key);
+  }
+}
+
+SizeErrors evaluate_sizes(const sketch::FrequencyEstimator& estimator,
+                          const flow::GroundTruth& truth) {
+  return size_errors(truth.flow_sizes(),
+                     [&](flow::FlowKey key) { return estimator.query(key); });
+}
+
+std::vector<flow::FlowKey> heavy_hitters_by_query(
+    const sketch::FrequencyEstimator& estimator, const flow::GroundTruth& truth,
+    std::uint64_t threshold) {
+  std::vector<flow::FlowKey> reported;
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    if (estimator.query(key) >= threshold) reported.push_back(key);
+  }
+  return reported;
+}
+
+double bench_scale(double default_scale) {
+  const char* env = std::getenv("FCM_SCALE");
+  if (env == nullptr || *env == '\0') return default_scale;
+  const std::string value(env);
+  if (value == "full") return 1.0;
+  try {
+    const double scale = std::stod(value);
+    if (scale > 0.0 && scale <= 1.0) return scale;
+  } catch (...) {
+  }
+  return default_scale;
+}
+
+std::uint64_t heavy_hitter_threshold(const flow::GroundTruth& truth) {
+  return std::max<std::uint64_t>(1, truth.total_packets() / 2000);  // 0.05%
+}
+
+}  // namespace fcm::metrics

@@ -1,0 +1,35 @@
+// Shared experiment plumbing for the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "flow/synthetic.h"
+#include "flow/trace.h"
+#include "metrics/metrics.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::metrics {
+
+// Feeds every packet of `trace` into `estimator`.
+void feed(sketch::FrequencyEstimator& estimator, const flow::Trace& trace);
+
+// ARE/AAE of `estimator` against the exact flow sizes.
+SizeErrors evaluate_sizes(const sketch::FrequencyEstimator& estimator,
+                          const flow::GroundTruth& truth);
+
+// Heavy hitters by query: every true flow whose *estimate* crosses the
+// threshold is reported (how sketches without key storage are evaluated).
+std::vector<flow::FlowKey> heavy_hitters_by_query(
+    const sketch::FrequencyEstimator& estimator, const flow::GroundTruth& truth,
+    std::uint64_t threshold);
+
+// Trace scale for benches: 1.0 reproduces the paper's 20M-packet windows.
+// Controlled by the FCM_SCALE environment variable ("full", or a number in
+// (0, 1]); the default keeps bench runtimes reasonable on one core.
+double bench_scale(double default_scale = 0.15);
+
+// The paper's heavy-hitter threshold: 0.05% of the packets in the trace.
+std::uint64_t heavy_hitter_threshold(const flow::GroundTruth& truth);
+
+}  // namespace fcm::metrics

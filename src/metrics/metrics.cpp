@@ -1,0 +1,59 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fcm::metrics {
+
+ClassificationScores classification_scores(std::span<const flow::FlowKey> reported,
+                                           std::span<const flow::FlowKey> actual) {
+  ClassificationScores scores;
+  const std::unordered_set<flow::FlowKey> actual_set(actual.begin(), actual.end());
+  const std::unordered_set<flow::FlowKey> reported_set(reported.begin(), reported.end());
+  scores.reported = reported_set.size();
+  scores.actual = actual_set.size();
+  for (const flow::FlowKey key : reported_set) {
+    if (actual_set.contains(key)) ++scores.true_positives;
+  }
+  if (scores.reported > 0) {
+    scores.precision = static_cast<double>(scores.true_positives) /
+                       static_cast<double>(scores.reported);
+  }
+  if (scores.actual > 0) {
+    scores.recall = static_cast<double>(scores.true_positives) /
+                    static_cast<double>(scores.actual);
+  }
+  if (scores.precision + scores.recall > 0.0) {
+    scores.f1 = 2.0 * scores.precision * scores.recall /
+                (scores.precision + scores.recall);
+  }
+  return scores;
+}
+
+double relative_error(double estimate, double truth) {
+  if (truth == 0.0) throw std::invalid_argument("relative_error: zero truth");
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  double total = 0.0;
+  for (const double v : samples) total += v;
+  summary.mean = total / static_cast<double>(samples.size());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  summary.p10 = at(0.10);
+  summary.p90 = at(0.90);
+  return summary;
+}
+
+}  // namespace fcm::metrics

@@ -1,0 +1,62 @@
+// Evaluation metrics (paper §7.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow_key.h"
+
+namespace fcm::metrics {
+
+// ARE: (1/N) * sum |x̂ - x| / x, over true flows.
+// AAE: (1/N) * sum |x̂ - x|.
+struct SizeErrors {
+  double are = 0.0;
+  double aae = 0.0;
+};
+
+// `estimate` is called once per true flow.
+template <typename QueryFn>
+SizeErrors size_errors(const std::unordered_map<flow::FlowKey, std::uint64_t>& truth,
+                       const QueryFn& estimate) {
+  SizeErrors errors;
+  if (truth.empty()) return errors;
+  for (const auto& [key, true_size] : truth) {
+    const double diff = std::abs(static_cast<double>(estimate(key)) -
+                                 static_cast<double>(true_size));
+    errors.aae += diff;
+    errors.are += diff / static_cast<double>(true_size);
+  }
+  const double n = static_cast<double>(truth.size());
+  errors.are /= n;
+  errors.aae /= n;
+  return errors;
+}
+
+// Precision / recall / F1 of a reported set against the true set.
+struct ClassificationScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t true_positives = 0;
+  std::size_t reported = 0;
+  std::size_t actual = 0;
+};
+
+ClassificationScores classification_scores(std::span<const flow::FlowKey> reported,
+                                           std::span<const flow::FlowKey> actual);
+
+// Relative error |x̂ - x| / x (x must be non-zero).
+double relative_error(double estimate, double truth);
+
+// Mean and percentile helpers for error-bar reporting across seeds.
+struct Summary {
+  double mean = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+};
+Summary summarize(std::vector<double> samples);
+
+}  // namespace fcm::metrics

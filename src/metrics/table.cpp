@@ -1,0 +1,61 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fcm::metrics {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out, bool with_csv) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  out << "== " << title_ << " ==\n";
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    out << '\n';
+  };
+  line(columns_);
+  for (const auto& row : rows_) line(row);
+  if (with_csv) {
+    out << "# csv," << title_ << '\n';
+    const auto csv_line = [&](const std::vector<std::string>& cells) {
+      out << "# ";
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) out << ',';
+        out << cells[c];
+      }
+      out << '\n';
+    };
+    csv_line(columns_);
+    for (const auto& row : rows_) csv_line(row);
+  }
+  out << '\n';
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream stream;
+  stream << std::fixed << std::setprecision(precision) << value;
+  return stream.str();
+}
+
+std::string Table::sci(double value, int precision) {
+  std::ostringstream stream;
+  stream << std::scientific << std::setprecision(precision) << value;
+  return stream.str();
+}
+
+}  // namespace fcm::metrics

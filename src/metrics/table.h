@@ -1,0 +1,28 @@
+// Aligned-text table printing for the benchmark harnesses: every bench
+// prints the paper's rows/series through this, so output stays uniform and
+// machine-scrapable (a CSV block follows each table).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fcm::metrics {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out, bool with_csv = true) const;
+
+  static std::string fmt(double value, int precision = 3);
+  static std::string sci(double value, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fcm::metrics

@@ -1,0 +1,140 @@
+#include "pisa/fcm_p4.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fcm::pisa {
+
+FcmP4Program::FcmP4Program(core::FcmConfig config)
+    : config_(std::move(config)), cardinality_table_(config_.leaf_count, 0.002) {
+  config_.validate();
+  if (config_.tree_count > 4) {
+    throw std::invalid_argument("FcmP4Program: at most 4 trees fit the PHV layout");
+  }
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    tree_hashes_.push_back(
+        common::make_hash(config_.seed, static_cast<std::uint32_t>(t)));
+  }
+
+  // Register arrays: one per (tree, level). Trees are parallel, so a level's
+  // arrays share a stage (within the 4-sALU budget).
+  array_ids_.resize(config_.tree_count);
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    for (std::size_t l = 1; l <= config_.stage_count(); ++l) {
+      array_ids_[t].push_back(pipeline_.add_register_array(
+          "tree" + std::to_string(t) + "_level" + std::to_string(l),
+          config_.stage_bits[l - 1], config_.width(l)));
+    }
+  }
+
+  // Stage 0: hashing and PHV initialization.
+  const std::size_t hash_stage = pipeline_.add_stage();
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    const int ti = static_cast<int>(t);
+    pipeline_.add_action(hash_stage,
+                         HashAction{kIdxBase + ti, tree_hashes_[t].seed(),
+                                    config_.leaf_count});
+    pipeline_.add_action(hash_stage,
+                         FieldAction{FieldAction::Op::kSetImm, kCarryBase + ti,
+                                     -1, -1, 1, -1});
+    pipeline_.add_action(hash_stage,
+                         FieldAction{FieldAction::Op::kSetImm, kEstBase + ti,
+                                     -1, -1, 0, -1});
+  }
+
+  // One stage per level: gated sALU increment plus the carry/estimate logic.
+  for (std::size_t l = 1; l <= config_.stage_count(); ++l) {
+    const std::size_t stage = pipeline_.add_stage();
+    const auto marker = static_cast<std::uint64_t>(config_.counting_max(l)) + 1;
+    const std::uint64_t cap = config_.counting_max(l);
+    for (std::size_t t = 0; t < config_.tree_count; ++t) {
+      const int idx = kIdxBase + static_cast<int>(t);
+      const int carry = kCarryBase + static_cast<int>(t);
+      const int est = kEstBase + static_cast<int>(t);
+
+      pipeline_.add_action(
+          stage, SaluAction{SaluAction::Kind::kFcmIncrement, array_ids_[t][l - 1],
+                            idx, kVal, -1, carry});
+      // overflow = (value == marker)
+      pipeline_.add_action(stage, FieldAction{FieldAction::Op::kCmpEqImm, kOvf,
+                                              kVal, -1, marker, carry});
+      // contribution = overflow ? counting_max : value
+      pipeline_.add_action(stage, FieldAction{FieldAction::Op::kCopy, kContrib,
+                                              kVal, -1, 0, carry});
+      pipeline_.add_action(stage, FieldAction{FieldAction::Op::kAnd, kGateTmp,
+                                              carry, kOvf, 0, -1});
+      pipeline_.add_action(stage, FieldAction{FieldAction::Op::kSetImm, kContrib,
+                                              -1, -1, cap, kGateTmp});
+      pipeline_.add_action(stage, FieldAction{FieldAction::Op::kAddField, est,
+                                              kContrib, -1, 0, carry});
+      // carry &&= overflow; index moves to the parent node.
+      pipeline_.add_action(stage, FieldAction{FieldAction::Op::kAnd, carry,
+                                              carry, kOvf, 0, -1});
+      pipeline_.add_action(stage, FieldAction{FieldAction::Op::kDivImm, idx, -1,
+                                              -1, config_.k, -1});
+    }
+  }
+
+  // Final stage: count-query assembly (min over trees), the "one extra
+  // stage" of §8.3.
+  const std::size_t final_stage = pipeline_.add_stage();
+  pipeline_.add_action(final_stage, FieldAction{FieldAction::Op::kCopy, kFinal,
+                                                kEstBase, -1, 0, -1});
+  for (std::size_t t = 1; t < config_.tree_count; ++t) {
+    pipeline_.add_action(final_stage,
+                         FieldAction{FieldAction::Op::kMinField, kFinal,
+                                     kEstBase + static_cast<int>(t), -1, 0, -1});
+  }
+
+  pipeline_.validate();
+}
+
+std::uint64_t FcmP4Program::update(flow::FlowKey key) {
+  Phv phv;
+  phv.key = key;
+  pipeline_.process(phv);
+  return phv.fields[kFinal];
+}
+
+std::uint64_t FcmP4Program::query(flow::FlowKey key) const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    std::size_t index = tree_hashes_[t].index(key, config_.leaf_count);
+    std::uint64_t estimate = 0;
+    for (std::size_t l = 1; l <= config_.stage_count(); ++l) {
+      const RegisterArray& array =
+          pipeline_.register_array(array_ids_[t][l - 1]);
+      const std::uint64_t value = array.cells[index];
+      if (value != array.marker()) {
+        estimate += value;
+        break;
+      }
+      estimate += value - 1;  // marker - 1 == counting max
+      index /= config_.k;
+    }
+    best = std::min(best, estimate);
+  }
+  return best;
+}
+
+double FcmP4Program::estimate_cardinality_tcam() const {
+  // The stateful ALUs track the number of empty leaves (§8.3); here it is
+  // read from the registers, averaged over trees, and resolved via TCAM.
+  double empty_sum = 0.0;
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    const auto& cells = pipeline_.register_array(array_ids_[t][0]).cells;
+    empty_sum += static_cast<double>(
+        std::count(cells.begin(), cells.end(), 0u));
+  }
+  const auto average_empty = static_cast<std::size_t>(
+      empty_sum / static_cast<double>(config_.tree_count));
+  return cardinality_table_.lookup(average_empty);
+}
+
+const RegisterArray& FcmP4Program::level_registers(std::size_t tree,
+                                                   std::size_t level_1based) const {
+  return pipeline_.register_array(array_ids_.at(tree).at(level_1based - 1));
+}
+
+}  // namespace fcm::pisa

@@ -1,0 +1,65 @@
+// FCM-Sketch compiled onto the PISA pipeline model (paper §8.1).
+//
+// The program reproduces the P4 implementation's structure: one hashing
+// stage, one stateful-ALU register access per tree level, predicated
+// (gated) execution replacing control flow, and a final stage assembling
+// the count-query as the minimum over trees. Updates on this program are
+// bit-identical to core::FcmSketch (asserted in tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fcm/fcm_sketch.h"
+#include "pisa/pipeline.h"
+#include "pisa/tcam_cardinality.h"
+
+namespace fcm::pisa {
+
+class FcmP4Program {
+ public:
+  explicit FcmP4Program(core::FcmConfig config);
+
+  // Processes one packet (update + simultaneous count-query, §3.2) and
+  // returns the post-update estimate.
+  std::uint64_t update(flow::FlowKey key);
+
+  // Control-plane register read of the current estimate (no mutation).
+  std::uint64_t query(flow::FlowKey key) const;
+
+  // Data-plane cardinality (§3.3, Appendix C): linear counting resolved
+  // through the sensitivity-spaced TCAM lookup table rather than the exact
+  // logarithm (which the switch cannot evaluate).
+  double estimate_cardinality_tcam() const;
+  const TcamCardinalityTable& cardinality_table() const noexcept {
+    return cardinality_table_;
+  }
+
+  // Raw register access for equivalence checks and control-plane collection.
+  const RegisterArray& level_registers(std::size_t tree, std::size_t level_1based) const;
+
+  const core::FcmConfig& config() const noexcept { return config_; }
+  Pipeline& pipeline() noexcept { return pipeline_; }
+  const Pipeline& pipeline() const noexcept { return pipeline_; }
+
+  void clear() { pipeline_.clear_registers(); }
+
+ private:
+  core::FcmConfig config_;
+  Pipeline pipeline_;
+  std::vector<common::SeededHash> tree_hashes_;
+  std::vector<std::vector<std::size_t>> array_ids_;  // [tree][level]
+  TcamCardinalityTable cardinality_table_;
+
+  // PHV field allocation.
+  static constexpr int kIdxBase = 0;        // idx per tree
+  static constexpr int kCarryBase = 4;      // carry flag per tree
+  static constexpr int kEstBase = 8;        // estimate per tree
+  static constexpr int kVal = 16;           // scratch: salu output
+  static constexpr int kOvf = 17;           // scratch: overflow flag
+  static constexpr int kContrib = 18;       // scratch: level contribution
+  static constexpr int kGateTmp = 19;       // scratch: carry && overflow
+  static constexpr int kFinal = 20;         // min over trees
+};
+
+}  // namespace fcm::pisa

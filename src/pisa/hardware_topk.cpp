@@ -1,0 +1,97 @@
+#include "pisa/hardware_topk.h"
+
+#include <stdexcept>
+
+namespace fcm::pisa {
+
+HardwareTopKFilter::HardwareTopKFilter(std::size_t entry_count,
+                                       std::uint32_t eviction_votes,
+                                       std::uint64_t seed)
+    : hash_(common::make_hash(seed, 0)), eviction_votes_(eviction_votes) {
+  if (entry_count == 0 || eviction_votes == 0) {
+    throw std::invalid_argument("HardwareTopKFilter: bad parameters");
+  }
+  table_.resize(entry_count);
+}
+
+sketch::TopKFilter::Offer HardwareTopKFilter::offer(flow::FlowKey key) {
+  Entry& entry = table_[hash_.index(key, table_.size())];
+  sketch::TopKFilter::Offer result;
+  if (entry.key.value == 0) {
+    entry = Entry{key, 1, 0, false};
+    result.outcome = sketch::TopKFilter::Offer::Outcome::kKept;
+    return result;
+  }
+  if (entry.key == key) {
+    ++entry.count;
+    result.outcome = sketch::TopKFilter::Offer::Outcome::kKept;
+    return result;
+  }
+  ++entry.negative;
+  if (entry.negative >= eviction_votes_) {
+    result.outcome = sketch::TopKFilter::Offer::Outcome::kEvicted;
+    result.evicted_key = entry.key;
+    result.evicted_count = entry.count;
+    entry = Entry{key, 1, 0, true};
+    return result;
+  }
+  result.outcome = sketch::TopKFilter::Offer::Outcome::kPassThrough;
+  return result;
+}
+
+std::optional<sketch::TopKFilter::QueryResult> HardwareTopKFilter::query(
+    flow::FlowKey key) const {
+  const Entry& entry = table_[hash_.index(key, table_.size())];
+  if (entry.key.value == 0 || entry.key != key) return std::nullopt;
+  return sketch::TopKFilter::QueryResult{entry.count, entry.has_light_part};
+}
+
+std::vector<sketch::TopKFilter::EntryView> HardwareTopKFilter::entries() const {
+  std::vector<sketch::TopKFilter::EntryView> result;
+  for (const Entry& entry : table_) {
+    if (entry.key.value != 0) {
+      result.push_back({entry.key, entry.count, entry.has_light_part});
+    }
+  }
+  return result;
+}
+
+void HardwareTopKFilter::clear() {
+  std::fill(table_.begin(), table_.end(), Entry{});
+}
+
+HardwareFcmTopK::HardwareFcmTopK(core::FcmConfig config, std::size_t topk_entries,
+                                 std::uint32_t eviction_votes)
+    : sketch_(std::move(config)),
+      filter_(topk_entries, eviction_votes,
+              common::mix64(sketch_.config().seed ^ 0x70b5)) {}
+
+void HardwareFcmTopK::update(flow::FlowKey key) {
+  const auto offer = filter_.offer(key);
+  switch (offer.outcome) {
+    case sketch::TopKFilter::Offer::Outcome::kKept:
+      break;
+    case sketch::TopKFilter::Offer::Outcome::kPassThrough:
+      sketch_.update(key);
+      break;
+    case sketch::TopKFilter::Offer::Outcome::kEvicted:
+      // The evicted count rides the packet's PHV into the sketch region
+      // (a bulk add is one saturating sALU pass per level).
+      sketch_.add(offer.evicted_key, offer.evicted_count);
+      break;
+  }
+}
+
+std::uint64_t HardwareFcmTopK::query(flow::FlowKey key) const {
+  if (const auto hit = filter_.query(key)) {
+    return hit->has_light_part ? hit->count + sketch_.query(key) : hit->count;
+  }
+  return sketch_.query(key);
+}
+
+void HardwareFcmTopK::clear() {
+  sketch_.clear();
+  filter_.clear();
+}
+
+}  // namespace fcm::pisa

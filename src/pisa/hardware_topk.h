@@ -1,0 +1,68 @@
+// Hardware-constrained Top-K filter and the FCM+TopK variant deployed on
+// the pipeline model (paper §8.1–8.2).
+//
+// On PISA, the heavy-part bucket's key, count and votes live in separate
+// register arrays touched in different stages, so the eviction decision
+// cannot evaluate ElasticSketch's vote *ratio* (a division against a value
+// read in a later stage). The implementable approximation — the source of
+// the small accuracy gap in Figure 13 — replaces the ratio test with an
+// absolute negative-vote threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "fcm/fcm_sketch.h"
+#include "sketch/topk_filter.h"
+
+namespace fcm::pisa {
+
+class HardwareTopKFilter {
+ public:
+  // Evicts when a bucket accumulates `eviction_votes` mismatches since its
+  // last ownership change.
+  explicit HardwareTopKFilter(std::size_t entry_count,
+                              std::uint32_t eviction_votes = 32,
+                              std::uint64_t seed = 0x70b5);
+
+  sketch::TopKFilter::Offer offer(flow::FlowKey key);
+  std::optional<sketch::TopKFilter::QueryResult> query(flow::FlowKey key) const;
+  std::vector<sketch::TopKFilter::EntryView> entries() const;
+
+  std::size_t memory_bytes() const { return table_.size() * 8; }
+  void clear();
+
+ private:
+  struct Entry {
+    flow::FlowKey key{};
+    std::uint32_t count = 0;
+    std::uint32_t negative = 0;
+    bool has_light_part = false;
+  };
+  common::SeededHash hash_;
+  std::uint32_t eviction_votes_;
+  std::vector<Entry> table_;
+};
+
+// FCM+TopK as deployable on the hardware model: hardware TopK filter in
+// front of the (bit-exact) FCM-Sketch.
+class HardwareFcmTopK {
+ public:
+  HardwareFcmTopK(core::FcmConfig config, std::size_t topk_entries,
+                  std::uint32_t eviction_votes = 32);
+
+  void update(flow::FlowKey key);
+  std::uint64_t query(flow::FlowKey key) const;
+
+  const core::FcmSketch& sketch() const noexcept { return sketch_; }
+  const HardwareTopKFilter& filter() const noexcept { return filter_; }
+  std::size_t memory_bytes() const {
+    return sketch_.memory_bytes() + filter_.memory_bytes();
+  }
+  void clear();
+
+ private:
+  core::FcmSketch sketch_;
+  HardwareTopKFilter filter_;
+};
+
+}  // namespace fcm::pisa

@@ -1,0 +1,147 @@
+#include "pisa/pipeline.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace fcm::pisa {
+
+std::size_t Pipeline::add_register_array(std::string name, unsigned bits,
+                                         std::size_t size) {
+  if (bits < 2 || bits > 32 || size == 0) {
+    throw std::invalid_argument("Pipeline: bad register array geometry");
+  }
+  arrays_.push_back(RegisterArray{std::move(name), bits,
+                                  std::vector<std::uint32_t>(size, 0u)});
+  return arrays_.size() - 1;
+}
+
+std::size_t Pipeline::add_stage() {
+  stages_.emplace_back();
+  return stages_.size() - 1;
+}
+
+void Pipeline::add_action(std::size_t stage, Action action) {
+  stages_.at(stage).push_back(std::move(action));
+}
+
+void Pipeline::validate() const {
+  if (stages_.size() > limits_.max_stages) {
+    throw std::runtime_error("Pipeline: stage budget exceeded");
+  }
+  std::set<std::size_t> arrays_touched;
+  for (const auto& stage : stages_) {
+    std::size_t salus = 0;
+    std::size_t stage_register_bytes = 0;
+    std::set<std::size_t> arrays_in_stage;
+    for (const Action& action : stage) {
+      if (const auto* salu = std::get_if<SaluAction>(&action)) {
+        ++salus;
+        if (salu->array >= arrays_.size()) {
+          throw std::runtime_error("Pipeline: sALU references unknown array");
+        }
+        if (!arrays_in_stage.insert(salu->array).second) {
+          throw std::runtime_error(
+              "Pipeline: register array accessed twice in one stage");
+        }
+        if (!arrays_touched.insert(salu->array).second) {
+          throw std::runtime_error(
+              "Pipeline: register array accessed from two stages (one access "
+              "per packet pass)");
+        }
+        const RegisterArray& array = arrays_[salu->array];
+        stage_register_bytes += array.cells.size() * ((array.bits + 7) / 8);
+      }
+    }
+    if (salus > limits_.max_salus_per_stage) {
+      throw std::runtime_error("Pipeline: too many sALUs in one stage");
+    }
+    if (stage_register_bytes > limits_.max_register_bytes_per_stage) {
+      throw std::runtime_error("Pipeline: stage SRAM budget exceeded");
+    }
+  }
+}
+
+namespace {
+
+bool gated_off(const Phv& phv, int gate_field) {
+  return gate_field >= 0 && phv.fields[static_cast<std::size_t>(gate_field)] == 0;
+}
+
+void run_salu(RegisterArray& array, const SaluAction& salu, Phv& phv) {
+  if (gated_off(phv, salu.gate_field)) return;
+  auto& cell =
+      array.cells[phv.fields[static_cast<std::size_t>(salu.index_field)] %
+                  array.cells.size()];
+  const std::uint64_t marker = array.marker();
+  std::uint64_t output = cell;
+  switch (salu.kind) {
+    case SaluAction::Kind::kFcmIncrement:
+      if (cell != marker) ++cell;
+      output = cell;
+      break;
+    case SaluAction::Kind::kAddFieldSaturating: {
+      const std::uint64_t next =
+          cell + phv.fields[static_cast<std::size_t>(salu.input_field)];
+      cell = static_cast<std::uint32_t>(std::min(next, marker));
+      output = cell;
+      break;
+    }
+    case SaluAction::Kind::kRead:
+      output = cell;
+      break;
+    case SaluAction::Kind::kSwap:
+      output = cell;
+      cell = static_cast<std::uint32_t>(
+          phv.fields[static_cast<std::size_t>(salu.input_field)] & marker);
+      break;
+  }
+  if (salu.output_field >= 0) {
+    phv.fields[static_cast<std::size_t>(salu.output_field)] = output;
+  }
+}
+
+void run_field(const FieldAction& op, Phv& phv) {
+  if (gated_off(phv, op.gate_field)) return;
+  auto field = [&phv](int i) -> std::uint64_t {
+    return phv.fields[static_cast<std::size_t>(i)];
+  };
+  auto& dst = phv.fields[static_cast<std::size_t>(op.dst)];
+  switch (op.op) {
+    case FieldAction::Op::kSetImm: dst = op.imm; break;
+    case FieldAction::Op::kCopy: dst = field(op.a); break;
+    case FieldAction::Op::kAddField: dst += field(op.a); break;
+    case FieldAction::Op::kDivImm: dst /= op.imm; break;
+    case FieldAction::Op::kCmpEqImm: dst = field(op.a) == op.imm ? 1 : 0; break;
+    case FieldAction::Op::kAnd: dst = (field(op.a) && field(op.b)) ? 1 : 0; break;
+    case FieldAction::Op::kSelect: dst = field(op.a) ? field(op.b) : op.imm; break;
+    case FieldAction::Op::kMinField: dst = std::min(dst, field(op.a)); break;
+  }
+}
+
+}  // namespace
+
+void Pipeline::process(Phv& phv) {
+  for (const auto& stage : stages_) {
+    for (const Action& action : stage) {
+      if (const auto* hash = std::get_if<HashAction>(&action)) {
+        if (!gated_off(phv, -1)) {
+          phv.fields[static_cast<std::size_t>(hash->dst)] =
+              common::SeededHash{hash->seed}.index(phv.key, hash->modulo);
+        }
+      } else if (const auto* salu = std::get_if<SaluAction>(&action)) {
+        run_salu(arrays_[salu->array], *salu, phv);
+      } else {
+        run_field(std::get<FieldAction>(action), phv);
+      }
+    }
+  }
+}
+
+void Pipeline::clear_registers() {
+  for (auto& array : arrays_) {
+    std::fill(array.cells.begin(), array.cells.end(), 0u);
+  }
+}
+
+}  // namespace fcm::pisa

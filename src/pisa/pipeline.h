@@ -1,0 +1,134 @@
+// An executable model of a PISA match-action pipeline.
+//
+// The model enforces the architectural constraints the paper leans on
+// (§3.1, §8.1): a fixed number of stages, at most a few stateful ALUs per
+// stage, one access per register array per packet, and single-stage
+// read-modify-write register semantics. Programs are straight-line per
+// stage; control flow is expressed through predicated (gated) actions, as
+// on real hardware.
+//
+// This is what lets the repository validate the paper's claim that
+// FCM-Sketch runs *unmodified* on PISA: the P4-style FCM program built in
+// fcm_p4.h executes on this pipeline bit-identically to the software sketch
+// (asserted in tests and exercised by bench_fig13_hw_sw).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+#include "flow/flow_key.h"
+
+namespace fcm::pisa {
+
+// Packet header vector: a small bank of metadata fields programs operate on.
+struct Phv {
+  static constexpr std::size_t kFields = 32;
+  flow::FlowKey key{};
+  std::array<std::uint64_t, kFields> fields{};
+};
+
+// --- actions -------------------------------------------------------------
+
+// dst = hash(packet key, seed) mod modulo. Consumes hash-unit bits.
+struct HashAction {
+  int dst;
+  std::uint32_t seed;
+  std::uint64_t modulo;
+};
+
+// Stateful ALU: one read-modify-write on one register array per packet.
+struct SaluAction {
+  enum class Kind {
+    // FCM node update (Algorithm 1): if reg != marker then reg += 1;
+    // marker = 2^bits - 1 with saturation semantics handled by the program.
+    // Writes the post-update register value to `output_field`.
+    kFcmIncrement,
+    // reg += phv[input_field], saturating at 2^bits - 1; outputs new value.
+    kAddFieldSaturating,
+    // Outputs the register value without modifying it.
+    kRead,
+    // reg = phv[input_field]; outputs the OLD value (swap primitive).
+    kSwap,
+  };
+  Kind kind;
+  std::size_t array;        // register array id
+  int index_field;          // PHV field holding the index
+  int output_field = -1;    // -1: no output
+  int input_field = -1;     // for kAddFieldSaturating / kSwap
+  int gate_field = -1;      // execute only when phv[gate] != 0 (-1: always)
+};
+
+// Stateless PHV arithmetic (VLIW action slice).
+struct FieldAction {
+  enum class Op {
+    kSetImm,    // dst = imm
+    kCopy,      // dst = phv[a]
+    kAddField,  // dst += phv[a]
+    kDivImm,    // dst /= imm
+    kCmpEqImm,  // dst = (phv[a] == imm)
+    kAnd,       // dst = phv[a] && phv[b]
+    kSelect,    // dst = phv[a] ? phv[b] : imm
+    kMinField,  // dst = min(dst, phv[a])
+  };
+  Op op;
+  int dst;
+  int a = -1;
+  int b = -1;
+  std::uint64_t imm = 0;
+  int gate_field = -1;  // execute only when phv[gate] != 0
+};
+
+using Action = std::variant<HashAction, SaluAction, FieldAction>;
+
+// --- pipeline ------------------------------------------------------------
+
+struct RegisterArray {
+  std::string name;
+  unsigned bits;  // cell width
+  std::vector<std::uint32_t> cells;
+
+  std::uint64_t marker() const noexcept { return (1ull << bits) - 1; }
+};
+
+struct PipelineLimits {
+  std::size_t max_stages = 12;
+  std::size_t max_salus_per_stage = 4;
+  std::size_t max_register_bytes_per_stage = 80 * 16 * 1024;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineLimits limits = {}) : limits_(limits) {}
+
+  std::size_t add_register_array(std::string name, unsigned bits, std::size_t size);
+  RegisterArray& register_array(std::size_t id) { return arrays_[id]; }
+  const RegisterArray& register_array(std::size_t id) const { return arrays_[id]; }
+
+  // Appends a stage; returns its index.
+  std::size_t add_stage();
+  void add_action(std::size_t stage, Action action);
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+
+  // Throws std::runtime_error when the program violates the hardware
+  // constraints (stage budget, sALUs per stage, one array access per pass,
+  // array placement within one stage's SRAM).
+  void validate() const;
+
+  // Runs one packet through every stage, mutating `phv` and the register
+  // arrays.
+  void process(Phv& phv);
+
+  void clear_registers();
+
+ private:
+  PipelineLimits limits_;
+  std::vector<RegisterArray> arrays_;
+  std::vector<std::vector<Action>> stages_;
+};
+
+}  // namespace fcm::pisa

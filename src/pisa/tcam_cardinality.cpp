@@ -1,0 +1,56 @@
+#include "pisa/tcam_cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fcm::pisa {
+
+double TcamCardinalityTable::exact(std::size_t leaf_count,
+                                   std::size_t empty_leaves) {
+  const double w1 = static_cast<double>(leaf_count);
+  const double w0 = std::max<double>(0.5, static_cast<double>(empty_leaves));
+  return -w1 * std::log(std::min(1.0, w0 / w1));
+}
+
+TcamCardinalityTable::TcamCardinalityTable(std::size_t leaf_count,
+                                           double max_relative_error)
+    : leaf_count_(leaf_count) {
+  if (leaf_count == 0 || max_relative_error <= 0.0) {
+    throw std::invalid_argument("TcamCardinalityTable: bad parameters");
+  }
+  // Walk w0 downward from w1; emit an entry whenever the exact estimate has
+  // drifted past the error budget from the last emitted entry. One flow of
+  // absolute slack keeps the near-zero region from emitting every w0.
+  std::size_t w0 = leaf_count;
+  entries_.push_back(Entry{w0, exact(leaf_count, w0)});
+  while (w0 > 1) {
+    const double last = entries_.back().estimate;
+    const double budget = last * max_relative_error + 1.0;
+    std::size_t next = w0 - 1;
+    // Largest step such that the estimate moves by at most `budget`:
+    // n̂(w0') - n̂(w0) = w1 * ln(w0/w0')  =>  w0' >= w0 * exp(-budget/w1).
+    const double w0_min =
+        static_cast<double>(w0) *
+        std::exp(-budget / static_cast<double>(leaf_count));
+    next = std::min<std::size_t>(
+        next, static_cast<std::size_t>(std::floor(w0_min)));
+    if (next < 1) next = 1;
+    entries_.push_back(Entry{next, exact(leaf_count, next)});
+    if (next == 1) break;
+    w0 = next;
+  }
+}
+
+double TcamCardinalityTable::lookup(std::size_t empty_leaves) const {
+  const std::size_t w0 =
+      std::clamp<std::size_t>(empty_leaves, 1, leaf_count_);
+  // Entries are stored with descending empty_leaves; pick the first entry
+  // whose w0 <= observed (the one-sided nearest match of Appendix C).
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), w0,
+      [](const Entry& entry, std::size_t value) { return entry.empty_leaves > value; });
+  return it == entries_.end() ? entries_.back().estimate : it->estimate;
+}
+
+}  // namespace fcm::pisa

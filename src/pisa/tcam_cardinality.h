@@ -1,0 +1,41 @@
+// TCAM-backed cardinality lookup (paper §3.3 and Appendix C).
+//
+// The data plane cannot evaluate n̂ = -w1 ln(w0/w1); instead a TCAM table
+// maps the observed number of empty leaves w0 to a pre-computed estimate.
+// A full table needs one entry per possible w0; Appendix C spaces entries
+// using the estimator's sensitivity ∂n̂/∂w0 = -w1/w0 so the additional error
+// stays below a bound (0.2% in the paper), shrinking the table by about two
+// orders of magnitude. Lookup takes the nearest entry on one side, as
+// longest-prefix matching would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fcm::pisa {
+
+class TcamCardinalityTable {
+ public:
+  // `leaf_count` is w1; `max_relative_error` the additional error budget.
+  explicit TcamCardinalityTable(std::size_t leaf_count,
+                                double max_relative_error = 0.002);
+
+  // Estimate for an observed number of empty leaves (clamped to [1, w1]).
+  double lookup(std::size_t empty_leaves) const;
+
+  // Exact linear-counting estimate (control-plane reference).
+  static double exact(std::size_t leaf_count, std::size_t empty_leaves);
+
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  std::size_t full_table_size() const noexcept { return leaf_count_; }
+
+ private:
+  struct Entry {
+    std::size_t empty_leaves;  // w0 of this entry
+    double estimate;
+  };
+  std::size_t leaf_count_;
+  std::vector<Entry> entries_;  // descending w0 (ascending estimate)
+};
+
+}  // namespace fcm::pisa

@@ -1,0 +1,56 @@
+// Cardinality estimators: Linear Counting [Whang et al. 1990] and
+// HyperLogLog [Flajolet et al. 2007]. HLL is the paper's cardinality
+// baseline (8-bit register array, §7.1); Linear Counting is what FCM uses on
+// its own leaf stage (§3.3) and is provided standalone for tests and
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "flow/flow_key.h"
+
+namespace fcm::sketch {
+
+class LinearCounting {
+ public:
+  explicit LinearCounting(std::size_t bits, std::uint64_t seed = 0x11c0);
+
+  void update(flow::FlowKey key);
+  double estimate() const;
+
+  std::size_t memory_bytes() const { return bitmap_.size() / 8; }
+  std::size_t bit_count() const { return bitmap_.size(); }
+  std::size_t zero_bits() const;
+  void clear();
+
+ private:
+  common::SeededHash hash_;
+  std::vector<bool> bitmap_;
+};
+
+class HyperLogLog {
+ public:
+  // `register_count` must be a power of two >= 16. The paper's setup uses
+  // 8-bit registers.
+  explicit HyperLogLog(std::size_t register_count, std::uint64_t seed = 0x4211);
+
+  static HyperLogLog for_memory(std::size_t memory_bytes, std::uint64_t seed = 0x4211);
+
+  void update(flow::FlowKey key);
+
+  // Standard HLL estimate with small-range (linear counting) and large-range
+  // corrections.
+  double estimate() const;
+
+  std::size_t memory_bytes() const { return registers_.size(); }
+  void clear();
+
+ private:
+  common::SeededHash hash_;
+  unsigned index_bits_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace fcm::sketch

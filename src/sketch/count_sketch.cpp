@@ -1,0 +1,73 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+CountSketch::CountSketch(std::size_t depth, std::size_t width, std::uint64_t seed)
+    : width_(width) {
+  if (depth == 0 || width == 0) {
+    throw std::invalid_argument("CountSketch: depth and width must be positive");
+  }
+  for (std::size_t d = 0; d < depth; ++d) {
+    index_hashes_.push_back(common::make_hash(seed, static_cast<std::uint32_t>(2 * d)));
+    sign_hashes_.push_back(common::make_hash(seed, static_cast<std::uint32_t>(2 * d + 1)));
+    rows_.emplace_back(width, 0);
+  }
+}
+
+int CountSketch::sign(std::size_t row, flow::FlowKey key) const noexcept {
+  return (sign_hashes_[row](key) & 1u) ? 1 : -1;
+}
+
+void CountSketch::add(flow::FlowKey key, std::int64_t count) {
+  for (std::size_t d = 0; d < rows_.size(); ++d) {
+    auto& cell = rows_[d][index_hashes_[d].index(key, width_)];
+    cell = static_cast<std::int32_t>(cell + sign(d, key) * count);
+  }
+}
+
+std::int64_t CountSketch::signed_query(flow::FlowKey key) const {
+  std::vector<std::int64_t> estimates;
+  estimates.reserve(rows_.size());
+  for (std::size_t d = 0; d < rows_.size(); ++d) {
+    estimates.push_back(
+        static_cast<std::int64_t>(sign(d, key)) *
+        rows_[d][index_hashes_[d].index(key, width_)]);
+  }
+  auto mid = estimates.begin() + estimates.size() / 2;
+  std::nth_element(estimates.begin(), mid, estimates.end());
+  if (estimates.size() % 2 == 1) return *mid;
+  const std::int64_t hi = *mid;
+  const std::int64_t lo = *std::max_element(estimates.begin(), mid);
+  return (hi + lo) / 2;
+}
+
+std::uint64_t CountSketch::query(flow::FlowKey key) const {
+  const std::int64_t est = signed_query(key);
+  return est > 0 ? static_cast<std::uint64_t>(est) : 0;
+}
+
+double CountSketch::l2_squared() const {
+  std::vector<double> sums;
+  sums.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    double s = 0.0;
+    for (const std::int32_t v : row) s += static_cast<double>(v) * v;
+    sums.push_back(s);
+  }
+  auto mid = sums.begin() + sums.size() / 2;
+  std::nth_element(sums.begin(), mid, sums.end());
+  return *mid;
+}
+
+std::size_t CountSketch::memory_bytes() const {
+  return rows_.size() * width_ * sizeof(std::int32_t);
+}
+
+void CountSketch::clear() {
+  for (auto& row : rows_) std::fill(row.begin(), row.end(), 0);
+}
+
+}  // namespace fcm::sketch

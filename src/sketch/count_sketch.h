@@ -1,0 +1,43 @@
+// Count-Sketch [Charikar, Chen, Farach-Colton 2002]: signed counters with a
+// median estimator. Needed as the per-level sketch inside UnivMon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::sketch {
+
+class CountSketch : public FrequencyEstimator {
+ public:
+  CountSketch(std::size_t depth, std::size_t width, std::uint64_t seed = 0xc5c5);
+
+  void update(flow::FlowKey key) override { add(key, 1); }
+  void add(flow::FlowKey key, std::int64_t count);
+
+  // Median-of-rows estimate; clamped below at 0 (flow sizes are
+  // non-negative).
+  std::uint64_t query(flow::FlowKey key) const override;
+  std::int64_t signed_query(flow::FlowKey key) const;
+
+  // Estimate of the L2 norm squared of the frequency vector (median of
+  // per-row sums of squares) — used by UnivMon's G-sum computations.
+  double l2_squared() const;
+
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "CountSketch"; }
+  void clear() override;
+
+ private:
+  // Sign in {-1, +1} derived from an independent hash bit.
+  int sign(std::size_t row, flow::FlowKey key) const noexcept;
+
+  std::size_t width_;
+  std::vector<common::SeededHash> index_hashes_;
+  std::vector<common::SeededHash> sign_hashes_;
+  std::vector<std::vector<std::int32_t>> rows_;
+};
+
+}  // namespace fcm::sketch

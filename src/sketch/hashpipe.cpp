@@ -1,0 +1,84 @@
+#include "sketch/hashpipe.h"
+
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+HashPipe::HashPipe(std::size_t stage_count, std::size_t entries_per_stage,
+                   std::uint64_t seed)
+    : entries_per_stage_(entries_per_stage) {
+  if (stage_count == 0 || entries_per_stage == 0) {
+    throw std::invalid_argument("HashPipe: bad geometry");
+  }
+  for (std::size_t s = 0; s < stage_count; ++s) {
+    hashes_.push_back(common::make_hash(seed, static_cast<std::uint32_t>(s)));
+    stages_.emplace_back(entries_per_stage);
+  }
+}
+
+HashPipe HashPipe::for_memory(std::size_t memory_bytes, std::size_t stages,
+                              std::uint64_t seed) {
+  return HashPipe(stages, memory_bytes / (stages * 8), seed);
+}
+
+void HashPipe::update(flow::FlowKey key) {
+  // Stage 1: always insert; evicted entry rolls through later stages.
+  Entry carried{key, 1};
+  {
+    Entry& slot = stages_[0][hashes_[0].index(key, entries_per_stage_)];
+    if (slot.key == key) {
+      ++slot.count;
+      return;
+    }
+    if (slot.key.value == 0) {
+      slot = carried;
+      return;
+    }
+    std::swap(slot, carried);
+  }
+  // Later stages: keep the larger count, carry the smaller onward.
+  for (std::size_t s = 1; s < stages_.size(); ++s) {
+    Entry& slot = stages_[s][hashes_[s].index(carried.key, entries_per_stage_)];
+    if (slot.key == carried.key) {
+      slot.count += carried.count;
+      return;
+    }
+    if (slot.key.value == 0) {
+      slot = carried;
+      return;
+    }
+    if (slot.count < carried.count) std::swap(slot, carried);
+  }
+  // Smallest survivor falls off the pipe (HashPipe's by-design loss).
+}
+
+std::uint64_t HashPipe::query(flow::FlowKey key) const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Entry& slot = stages_[s][hashes_[s].index(key, entries_per_stage_)];
+    if (slot.key == key) total += slot.count;
+  }
+  return total;
+}
+
+std::unordered_map<flow::FlowKey, std::uint64_t> HashPipe::tracked_flows() const {
+  std::unordered_map<flow::FlowKey, std::uint64_t> flows;
+  for (const auto& stage : stages_) {
+    for (const Entry& e : stage) {
+      if (e.key.value != 0) flows[e.key] += e.count;
+    }
+  }
+  return flows;
+}
+
+std::size_t HashPipe::memory_bytes() const {
+  return stages_.size() * entries_per_stage_ * 8;
+}
+
+void HashPipe::clear() {
+  for (auto& stage : stages_) {
+    std::fill(stage.begin(), stage.end(), Entry{});
+  }
+}
+
+}  // namespace fcm::sketch

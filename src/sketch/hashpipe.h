@@ -1,0 +1,48 @@
+// HashPipe [Sivaraman et al., SOSR 2017]: heavy-hitter detection entirely in
+// the data plane via a pipeline of key-value tables with rolling minimum
+// eviction. The paper's heavy-hitter baseline (§7.2: 6 hash tables).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::sketch {
+
+class HashPipe : public FrequencyEstimator {
+ public:
+  HashPipe(std::size_t stage_count, std::size_t entries_per_stage,
+           std::uint64_t seed = 0x4a5b);
+
+  // The paper's 6-stage configuration sized for a memory budget
+  // (8 bytes per entry: 4B key + 4B count).
+  static HashPipe for_memory(std::size_t memory_bytes, std::size_t stages = 6,
+                             std::uint64_t seed = 0x4a5b);
+
+  void update(flow::FlowKey key) override;
+
+  // Sum of matching entries across stages (a flow can be split over stages).
+  std::uint64_t query(flow::FlowKey key) const override;
+
+  // All tracked flows with aggregated counts (for heavy-hitter reporting).
+  std::unordered_map<flow::FlowKey, std::uint64_t> tracked_flows() const;
+
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "HashPipe"; }
+  void clear() override;
+
+ private:
+  struct Entry {
+    flow::FlowKey key{};        // key.value == 0 means empty
+    std::uint32_t count = 0;
+  };
+
+  std::size_t entries_per_stage_;
+  std::vector<common::SeededHash> hashes_;
+  std::vector<std::vector<Entry>> stages_;
+};
+
+}  // namespace fcm::sketch

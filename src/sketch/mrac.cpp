@@ -1,0 +1,33 @@
+#include "sketch/mrac.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+Mrac::Mrac(std::size_t width, std::uint64_t seed)
+    : hash_(common::make_hash(seed, 0)), counters_(width, 0u) {
+  if (width == 0) throw std::invalid_argument("Mrac: width must be positive");
+}
+
+Mrac Mrac::for_memory(std::size_t memory_bytes, std::uint64_t seed) {
+  return Mrac(memory_bytes / sizeof(std::uint32_t), seed);
+}
+
+void Mrac::update(flow::FlowKey key) {
+  auto& counter = counters_[hash_.index(key, counters_.size())];
+  if (counter < std::numeric_limits<std::uint32_t>::max()) ++counter;
+}
+
+std::uint64_t Mrac::query(flow::FlowKey key) const {
+  return counters_[hash_.index(key, counters_.size())];
+}
+
+std::size_t Mrac::memory_bytes() const {
+  return counters_.size() * sizeof(std::uint32_t);
+}
+
+void Mrac::clear() { std::fill(counters_.begin(), counters_.end(), 0u); }
+
+}  // namespace fcm::sketch

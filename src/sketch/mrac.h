@@ -1,0 +1,40 @@
+// MRAC [Kumar, Sung, Xu, Wang, SIGMETRICS 2004]: a single hash-indexed
+// counter array whose histogram of counter values is post-processed with an
+// EM algorithm to recover the flow size distribution. The paper uses MRAC as
+// the flow-size-distribution / entropy baseline (§7.2: "MRAC uses a single
+// counter array for the best accuracy").
+//
+// The EM itself lives in src/controlplane/em.h; each MRAC counter is exactly
+// a degree-1 virtual counter, so MRAC reuses the same engine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::sketch {
+
+class Mrac : public FrequencyEstimator {
+ public:
+  explicit Mrac(std::size_t width, std::uint64_t seed = 0x312ac);
+
+  static Mrac for_memory(std::size_t memory_bytes, std::uint64_t seed = 0x312ac);
+
+  void update(flow::FlowKey key) override;
+  std::uint64_t query(flow::FlowKey key) const override;
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "MRAC"; }
+  void clear() override;
+
+  std::span<const std::uint32_t> counters() const noexcept { return counters_; }
+  std::size_t width() const noexcept { return counters_.size(); }
+
+ private:
+  common::SeededHash hash_;
+  std::vector<std::uint32_t> counters_;
+};
+
+}  // namespace fcm::sketch

@@ -1,0 +1,127 @@
+#include "sketch/pyramid_sketch.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+PyramidCmSketch::PyramidCmSketch(std::size_t depth, std::size_t leaf_width,
+                                 std::uint64_t seed)
+    : word_hash_(common::make_hash(seed, 0)) {
+  if (depth == 0 || depth > kCountersPerWord || leaf_width < kCountersPerWord) {
+    throw std::invalid_argument("PyramidCmSketch: bad geometry");
+  }
+  for (std::size_t d = 0; d < depth; ++d) {
+    hashes_.push_back(common::make_hash(seed, 1 + static_cast<std::uint32_t>(d)));
+  }
+  std::size_t words = leaf_width / kCountersPerWord;
+  while (words >= 1) {
+    layers_.emplace_back(words * kCountersPerWord, std::uint8_t{0});
+    if (words == 1) break;
+    words = (words + 1) / 2;
+  }
+}
+
+PyramidCmSketch PyramidCmSketch::for_memory(std::size_t memory_bytes,
+                                            std::size_t depth,
+                                            std::uint64_t seed) {
+  // Total bits ~= 4 * leaf_width * (1 + 1/2 + 1/4 + ...) = 8 * leaf_width.
+  return PyramidCmSketch(depth, memory_bytes, seed);
+}
+
+void PyramidCmSketch::leaf_indices(flow::FlowKey key,
+                                   std::vector<std::size_t>& out) const {
+  // One memory word per flow (the paper's 64-bit-word configuration): the
+  // word is hashed once, the d counters are sub-hashed within it.
+  const std::size_t words = layers_[0].size() / kCountersPerWord;
+  const std::size_t base = word_hash_.index(key, words) * kCountersPerWord;
+  out.clear();
+  for (const auto& hash : hashes_) {
+    // Distinct counters within the word: linear-probe past sub-collisions.
+    std::size_t slot = hash.index(key, kCountersPerWord);
+    while (std::find(out.begin(), out.end(), base + slot) != out.end()) {
+      slot = (slot + 1) % kCountersPerWord;
+    }
+    out.push_back(base + slot);
+  }
+}
+
+void PyramidCmSketch::carry_up(std::size_t child_index) {
+  // Carries flow word-to-word: the parent of (word w, slot s) is
+  // (word w/2, slot s), so the d counters of one flow never merge paths;
+  // collisions come from the sibling word's same slot.
+  std::size_t index = child_index;
+  for (std::size_t layer = 1; layer < layers_.size(); ++layer) {
+    const std::size_t word = index / kCountersPerWord;
+    const std::size_t slot = index % kCountersPerWord;
+    const bool right_child = (word & 1) != 0;
+    index = (word / 2) * kCountersPerWord + slot;
+    auto& cell = layers_[layer][index];
+    cell |= right_child ? kRightFlag : kLeftFlag;
+    const std::uint8_t count = cell & kCountMask;
+    if (count < kCountMask) {
+      cell = static_cast<std::uint8_t>((cell & ~kCountMask) | (count + 1));
+      return;
+    }
+    // Counting part wraps: zero it and propagate the carry.
+    cell = static_cast<std::uint8_t>(cell & ~kCountMask);
+  }
+  // Carry off the top of the pyramid: saturate silently (documented
+  // limitation shared with the original implementation's finite height).
+}
+
+void PyramidCmSketch::update(flow::FlowKey key) {
+  std::vector<std::size_t> indices;
+  leaf_indices(key, indices);
+  for (const std::size_t index : indices) {
+    auto& leaf = layers_[0][index];
+    if (leaf < kLeafMax) {
+      ++leaf;
+    } else {
+      leaf = 0;
+      carry_up(index);
+    }
+  }
+}
+
+std::uint64_t PyramidCmSketch::reconstruct(std::size_t leaf_index) const {
+  std::uint64_t value = layers_[0][leaf_index];
+  std::uint64_t base = kLeafMax + 1;  // 16
+  std::size_t index = leaf_index;
+  for (std::size_t layer = 1; layer < layers_.size(); ++layer) {
+    const std::size_t word = index / kCountersPerWord;
+    const std::size_t slot = index % kCountersPerWord;
+    const bool right_child = (word & 1) != 0;
+    index = (word / 2) * kCountersPerWord + slot;
+    const std::uint8_t cell = layers_[layer][index];
+    const std::uint8_t flag = right_child ? kRightFlag : kLeftFlag;
+    if ((cell & flag) == 0) break;
+    value += base * (cell & kCountMask);
+    base *= kCountMask + 1;  // 4 per higher layer
+    // Climbing continues: a wrapped counting part set a flag further up.
+  }
+  return value;
+}
+
+std::uint64_t PyramidCmSketch::query(flow::FlowKey key) const {
+  std::vector<std::size_t> indices;
+  leaf_indices(key, indices);
+  std::uint64_t result = std::numeric_limits<std::uint64_t>::max();
+  for (const std::size_t index : indices) {
+    result = std::min(result, reconstruct(index));
+  }
+  return result;
+}
+
+std::size_t PyramidCmSketch::memory_bytes() const {
+  std::size_t cells = 0;
+  for (const auto& layer : layers_) cells += layer.size();
+  return cells / 2;  // 4 bits per cell
+}
+
+void PyramidCmSketch::clear() {
+  for (auto& layer : layers_) std::fill(layer.begin(), layer.end(), std::uint8_t{0});
+}
+
+}  // namespace fcm::sketch

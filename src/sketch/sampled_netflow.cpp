@@ -1,0 +1,41 @@
+#include "sketch/sampled_netflow.h"
+
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+SampledNetFlow::SampledNetFlow(std::uint32_t sampling_rate,
+                               std::size_t max_entries, std::uint64_t seed)
+    : sampling_rate_(sampling_rate), max_entries_(max_entries), rng_(seed) {
+  if (sampling_rate == 0 || max_entries == 0) {
+    throw std::invalid_argument("SampledNetFlow: bad parameters");
+  }
+  table_.reserve(max_entries);
+}
+
+SampledNetFlow SampledNetFlow::for_memory(std::size_t memory_bytes,
+                                          std::uint32_t sampling_rate,
+                                          std::uint64_t seed) {
+  return SampledNetFlow(sampling_rate, memory_bytes / 16, seed);
+}
+
+void SampledNetFlow::update(flow::FlowKey key) {
+  if (sampling_rate_ > 1 && rng_.next_below(sampling_rate_) != 0) return;
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++it->second;
+  } else if (table_.size() < max_entries_) {
+    table_.emplace(key, 1);
+  }
+  // Full cache: the sampled packet of an untracked flow is dropped.
+}
+
+std::uint64_t SampledNetFlow::query(flow::FlowKey key) const {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return 0;
+  return static_cast<std::uint64_t>(it->second) * sampling_rate_;
+}
+
+void SampledNetFlow::clear() { table_.clear(); }
+
+}  // namespace fcm::sketch

@@ -1,0 +1,49 @@
+// NetFlow-style sampled flow accounting — the §2 motivation baseline.
+//
+// Classic routers sample 1-in-N packets and keep exact records for sampled
+// flows; estimates are scaled back up by N. This preserves heavy flows but
+// misses small ones entirely and inflates variance — the accuracy gap that
+// motivates sketches (paper §1–2). Kept memory-bounded like a line card's
+// flow cache: when the table is full, new flows are not admitted (the
+// deployed failure mode).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::sketch {
+
+class SampledNetFlow : public FrequencyEstimator {
+ public:
+  // Samples each packet independently with probability 1/sampling_rate.
+  SampledNetFlow(std::uint32_t sampling_rate, std::size_t max_entries,
+                 std::uint64_t seed = 0x5a3b1e);
+
+  // 16 bytes per flow record (key + count + flags/timestamps), as in a
+  // v5-style cache entry.
+  static SampledNetFlow for_memory(std::size_t memory_bytes,
+                                   std::uint32_t sampling_rate,
+                                   std::uint64_t seed = 0x5a3b1e);
+
+  void update(flow::FlowKey key) override;
+  std::uint64_t query(flow::FlowKey key) const override;
+  std::size_t memory_bytes() const override { return max_entries_ * 16; }
+  std::string name() const override {
+    return "NetFlow(1/" + std::to_string(sampling_rate_) + ")";
+  }
+  void clear() override;
+
+  std::size_t tracked_flows() const noexcept { return table_.size(); }
+  std::uint32_t sampling_rate() const noexcept { return sampling_rate_; }
+
+ private:
+  std::uint32_t sampling_rate_;
+  std::size_t max_entries_;
+  common::Xoshiro256 rng_;
+  std::unordered_map<flow::FlowKey, std::uint32_t> table_;
+};
+
+}  // namespace fcm::sketch

@@ -1,0 +1,149 @@
+#include "sketch/spread_sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+MultiresolutionBitmap::MultiresolutionBitmap(std::size_t levels,
+                                             std::size_t bits_per_level)
+    : bits_(bits_per_level) {
+  if (levels == 0 || bits_per_level == 0) {
+    throw std::invalid_argument("MultiresolutionBitmap: bad geometry");
+  }
+  levels_.assign(levels, std::vector<bool>(bits_per_level, false));
+}
+
+std::size_t MultiresolutionBitmap::add(std::uint64_t element_hash) {
+  const auto level = std::min<std::size_t>(
+      static_cast<std::size_t>(std::countr_zero(element_hash | (1ull << 63))),
+      levels_.size() - 1);
+  // The top bits are independent of the trailing-zero count used for the
+  // level; use them for the bit position.
+  const std::size_t bit = (element_hash >> 32) % bits_;
+  levels_[level][bit] = true;
+  return level;
+}
+
+std::size_t MultiresolutionBitmap::set_bits(std::size_t level) const {
+  return static_cast<std::size_t>(
+      std::count(levels_[level].begin(), levels_[level].end(), true));
+}
+
+double MultiresolutionBitmap::estimate() const {
+  // Base selection: skip saturated low levels where linear counting has no
+  // resolution left, then rescale by the probability of sampling at or
+  // above the base. P(level >= z) = 2^-z; the last level absorbs the tail.
+  const double b = static_cast<double>(bits_);
+  std::size_t base = 0;
+  while (base + 1 < levels_.size() &&
+         static_cast<double>(set_bits(base)) > 0.93 * b) {
+    ++base;
+  }
+  double sum = 0.0;
+  for (std::size_t level = base; level < levels_.size(); ++level) {
+    double zeros = b - static_cast<double>(set_bits(level));
+    if (zeros < 0.5) zeros = 0.5;
+    sum += -b * std::log(zeros / b);
+  }
+  return sum * std::exp2(static_cast<double>(base));
+}
+
+void MultiresolutionBitmap::merge(const MultiresolutionBitmap& other) {
+  if (other.levels_.size() != levels_.size() || other.bits_ != bits_) {
+    throw std::invalid_argument("MultiresolutionBitmap::merge: geometry mismatch");
+  }
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    for (std::size_t i = 0; i < bits_; ++i) {
+      if (other.levels_[l][i]) levels_[l][i] = true;
+    }
+  }
+}
+
+void MultiresolutionBitmap::clear() {
+  for (auto& level : levels_) std::fill(level.begin(), level.end(), false);
+}
+
+SpreadSketch::SpreadSketch(Config config)
+    : config_(config), element_hash_(common::make_hash(config.seed, 0xe1)) {
+  if (config_.rows == 0 || config_.buckets_per_row == 0) {
+    throw std::invalid_argument("SpreadSketch: bad geometry");
+  }
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    row_hashes_.push_back(common::make_hash(config_.seed, static_cast<std::uint32_t>(r)));
+    rows_.emplace_back(
+        config_.buckets_per_row,
+        Bucket{MultiresolutionBitmap(config_.mrb_levels, config_.mrb_bits), {}, 0});
+  }
+}
+
+void SpreadSketch::update(flow::FlowKey source, flow::FlowKey destination) {
+  // One well-mixed hash of the (source, destination) pair: identical pairs
+  // must map to the same bit so re-contacts do not inflate the spread.
+  const std::uint64_t pair_hash = common::mix64(
+      (static_cast<std::uint64_t>(element_hash_(source)) << 32) ^
+      element_hash_(destination));
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    Bucket& bucket =
+        rows_[r][row_hashes_[r].index(source, config_.buckets_per_row)];
+    const std::size_t level = bucket.bitmap.add(pair_hash);
+    // Ownership rule: the source observed with the highest sampled level
+    // keeps the candidate slot (ties go to the newcomer, as in hardware).
+    if (level >= bucket.candidate_level || bucket.candidate.value == 0) {
+      bucket.candidate = source;
+      bucket.candidate_level = static_cast<std::uint32_t>(level);
+    }
+  }
+}
+
+double SpreadSketch::estimate_spread(flow::FlowKey source) const {
+  double estimate = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    const Bucket& bucket =
+        rows_[r][row_hashes_[r].index(source, config_.buckets_per_row)];
+    estimate = std::min(estimate, bucket.bitmap.estimate());
+  }
+  return estimate;
+}
+
+std::vector<SpreadSketch::Candidate> SpreadSketch::superspreaders(
+    double threshold) const {
+  std::unordered_map<flow::FlowKey, double> candidates;
+  for (const auto& row : rows_) {
+    for (const Bucket& bucket : row) {
+      if (bucket.candidate.value == 0) continue;
+      if (!candidates.contains(bucket.candidate)) {
+        candidates.emplace(bucket.candidate, estimate_spread(bucket.candidate));
+      }
+    }
+  }
+  std::vector<Candidate> result;
+  for (const auto& [source, spread] : candidates) {
+    if (spread >= threshold) result.push_back(Candidate{source, spread});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Candidate& a, const Candidate& b) { return a.spread > b.spread; });
+  return result;
+}
+
+std::size_t SpreadSketch::memory_bytes() const {
+  // Per bucket: the bitmap plus a 4-byte candidate key and a 1-byte level.
+  const std::size_t per_bucket =
+      (config_.mrb_levels * config_.mrb_bits) / 8 + 5;
+  return config_.rows * config_.buckets_per_row * per_bucket;
+}
+
+void SpreadSketch::clear() {
+  for (auto& row : rows_) {
+    for (Bucket& bucket : row) {
+      bucket.bitmap.clear();
+      bucket.candidate = {};
+      bucket.candidate_level = 0;
+    }
+  }
+}
+
+}  // namespace fcm::sketch

@@ -1,0 +1,93 @@
+// SpreadSketch [Tang, Huang, Lee — INFOCOM 2020]: invertible superspreader
+// detection in the data plane. Listed in the paper's Table 5 as the
+// task-specific comparison point (6 stages, 12.5% sALUs on Tofino).
+//
+// Structure: d rows of w buckets. Each bucket holds a multiresolution
+// bitmap (a data-plane-friendly distinct counter) plus a candidate source
+// key tagged with the highest sampled level observed — sources with many
+// distinct destinations win bucket ownership with high probability, making
+// the sketch invertible (candidates are read directly from the buckets).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "flow/flow_key.h"
+
+namespace fcm::sketch {
+
+// Estan-Varghese-style multiresolution bitmap: an element is sampled into
+// level l with probability 2^-(l+1) (the last level absorbs the tail) and
+// sets one bit of that level's bitmap. Estimation linear-counts each level
+// from the first non-saturated one upward and rescales by the sampling rate.
+class MultiresolutionBitmap {
+ public:
+  // `levels` bitmaps of `bits_per_level` bits each.
+  explicit MultiresolutionBitmap(std::size_t levels = 8,
+                                 std::size_t bits_per_level = 64);
+
+  // Inserts an element by its (well-mixed) 64-bit hash. Returns the sampled
+  // level, which SpreadSketch reuses for candidate ownership.
+  std::size_t add(std::uint64_t element_hash);
+
+  double estimate() const;
+
+  // Merges another bitmap of identical geometry (bitwise OR) — distinct
+  // counting is union-compatible.
+  void merge(const MultiresolutionBitmap& other);
+
+  std::size_t memory_bits() const { return levels_.size() * bits_; }
+  void clear();
+
+ private:
+  std::size_t set_bits(std::size_t level) const;
+
+  std::size_t bits_;
+  std::vector<std::vector<bool>> levels_;
+};
+
+class SpreadSketch {
+ public:
+  struct Config {
+    std::size_t rows = 4;
+    std::size_t buckets_per_row = 1024;
+    std::size_t mrb_levels = 8;
+    std::size_t mrb_bits = 64;
+    std::uint64_t seed = 0x5bead;
+  };
+
+  explicit SpreadSketch(Config config);
+
+  // Records that `source` contacted `destination`.
+  void update(flow::FlowKey source, flow::FlowKey destination);
+
+  // Estimated number of distinct destinations of `source` (min over rows).
+  double estimate_spread(flow::FlowKey source) const;
+
+  // Invertible query: candidate superspreaders recorded in the buckets,
+  // with spread >= threshold, sorted by estimated spread (descending).
+  struct Candidate {
+    flow::FlowKey source;
+    double spread;
+  };
+  std::vector<Candidate> superspreaders(double threshold) const;
+
+  std::size_t memory_bytes() const;
+  void clear();
+
+ private:
+  struct Bucket {
+    MultiresolutionBitmap bitmap;
+    flow::FlowKey candidate{};
+    std::uint32_t candidate_level = 0;
+  };
+
+  Config config_;
+  std::vector<common::SeededHash> row_hashes_;
+  common::SeededHash element_hash_;
+  std::vector<std::vector<Bucket>> rows_;
+};
+
+}  // namespace fcm::sketch

@@ -1,0 +1,65 @@
+#include "sketch/topk_filter.h"
+
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+TopKFilter::TopKFilter(std::size_t entry_count, std::uint32_t eviction_lambda,
+                       std::uint64_t seed)
+    : hash_(common::make_hash(seed, 0)), lambda_(eviction_lambda) {
+  if (entry_count == 0 || eviction_lambda == 0) {
+    throw std::invalid_argument("TopKFilter: bad parameters");
+  }
+  table_.resize(entry_count);
+}
+
+TopKFilter::Offer TopKFilter::offer(flow::FlowKey key) {
+  Entry& entry = table_[hash_.index(key, table_.size())];
+  Offer result;
+
+  if (entry.key.value == 0) {
+    entry = Entry{key, 1, 0, false};
+    result.outcome = Offer::Outcome::kKept;
+    return result;
+  }
+  if (entry.key == key) {
+    ++entry.count;
+    result.outcome = Offer::Outcome::kKept;
+    return result;
+  }
+  ++entry.negative;
+  if (entry.negative >= lambda_ * entry.count) {
+    // Evict the incumbent: its accumulated count is flushed to the backing
+    // sketch; the challenger takes the bucket. The challenger's earlier
+    // packets were counted in the sketch, so its entry is flagged.
+    result.outcome = Offer::Outcome::kEvicted;
+    result.evicted_key = entry.key;
+    result.evicted_count = entry.count;
+    entry = Entry{key, 1, 0, true};
+    return result;
+  }
+  result.outcome = Offer::Outcome::kPassThrough;
+  return result;
+}
+
+std::optional<TopKFilter::QueryResult> TopKFilter::query(flow::FlowKey key) const {
+  const Entry& entry = table_[hash_.index(key, table_.size())];
+  if (entry.key.value == 0 || entry.key != key) return std::nullopt;
+  return QueryResult{entry.count, entry.has_light_part};
+}
+
+std::vector<TopKFilter::EntryView> TopKFilter::entries() const {
+  std::vector<EntryView> result;
+  for (const Entry& entry : table_) {
+    if (entry.key.value != 0) {
+      result.push_back({entry.key, entry.count, entry.has_light_part});
+    }
+  }
+  return result;
+}
+
+void TopKFilter::clear() {
+  std::fill(table_.begin(), table_.end(), Entry{});
+}
+
+}  // namespace fcm::sketch

@@ -1,0 +1,143 @@
+#include "sketch/univmon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fcm::sketch {
+
+UnivMon::UnivMon(Config config) : config_(config) {
+  if (config_.levels == 0 || config_.heap_capacity == 0) {
+    throw std::invalid_argument("UnivMon: bad configuration");
+  }
+  for (std::size_t i = 0; i < config_.levels; ++i) {
+    sample_hashes_.push_back(common::make_hash(config_.seed, 0x1000 + static_cast<std::uint32_t>(i)));
+    sketches_.emplace_back(config_.cs_depth, config_.cs_width,
+                           common::mix64(config_.seed + i));
+  }
+  heaps_.resize(config_.levels);
+}
+
+UnivMon UnivMon::for_memory(std::size_t memory_bytes, std::uint64_t seed) {
+  Config config;
+  config.seed = seed;
+  // 12 bytes per heap entry (key + estimate), the rest split across the
+  // per-level Count-Sketches.
+  const std::size_t heap_bytes = config.levels * config.heap_capacity * 12;
+  if (memory_bytes <= heap_bytes) {
+    throw std::invalid_argument("UnivMon::for_memory: budget below heap memory");
+  }
+  const std::size_t per_level = (memory_bytes - heap_bytes) / config.levels;
+  config.cs_width = std::max<std::size_t>(
+      64, per_level / (config.cs_depth * sizeof(std::int32_t)));
+  return UnivMon(config);
+}
+
+bool UnivMon::sampled(std::size_t level, flow::FlowKey key) const noexcept {
+  return (sample_hashes_[level](key) & 1u) != 0;
+}
+
+void UnivMon::heap_compact(Heap& heap) {
+  // Drop stale queue entries (estimate no longer current).
+  while (!heap.queue.empty()) {
+    const auto& [est, key] = heap.queue.top();
+    const auto it = heap.flows.find(key);
+    if (it != heap.flows.end() && it->second == est) break;
+    heap.queue.pop();
+  }
+}
+
+void UnivMon::heap_update(std::size_t level, flow::FlowKey key,
+                          std::uint64_t estimate) {
+  Heap& heap = heaps_[level];
+  if (const auto it = heap.flows.find(key); it != heap.flows.end()) {
+    it->second = estimate;
+    heap.queue.emplace(estimate, key);
+  } else if (heap.flows.size() < config_.heap_capacity) {
+    heap.flows.emplace(key, estimate);
+    heap.queue.emplace(estimate, key);
+  } else {
+    heap_compact(heap);
+    if (!heap.queue.empty() && estimate > heap.queue.top().first) {
+      heap.flows.erase(heap.queue.top().second);
+      heap.queue.pop();
+      heap.flows.emplace(key, estimate);
+      heap.queue.emplace(estimate, key);
+    }
+  }
+  // Bound the lazy queue's growth.
+  if (heap.queue.size() > 4 * config_.heap_capacity) {
+    std::vector<Heap::QueueEntry> fresh;
+    fresh.reserve(heap.flows.size());
+    for (const auto& [k, v] : heap.flows) fresh.emplace_back(v, k);
+    heap.queue = decltype(heap.queue)(std::greater<>{}, std::move(fresh));
+  }
+}
+
+void UnivMon::update(flow::FlowKey key) {
+  ++total_packets_;
+  for (std::size_t level = 0; level < config_.levels; ++level) {
+    if (level > 0 && !sampled(level, key)) break;
+    sketches_[level].add(key, 1);
+    heap_update(level, key, sketches_[level].query(key));
+  }
+}
+
+std::uint64_t UnivMon::query(flow::FlowKey key) const {
+  return sketches_[0].query(key);
+}
+
+double UnivMon::g_sum(const std::function<double(std::uint64_t)>& g) const {
+  // Universal streaming recursion:
+  //   Y_L = sum_{f in heap_L} g(w_f)
+  //   Y_i = 2*Y_{i+1} + sum_{f in heap_i} (1 - 2*h_{i+1}(f)) * g(w_f)
+  const std::size_t last = config_.levels - 1;
+  double y = 0.0;
+  for (const auto& [key, est] : heaps_[last].flows) {
+    if (est > 0) y += g(est);
+  }
+  for (std::size_t i = last; i-- > 0;) {
+    double correction = 0.0;
+    for (const auto& [key, est] : heaps_[i].flows) {
+      if (est == 0) continue;
+      const double indicator = sampled(i + 1, key) ? 1.0 : 0.0;
+      correction += (1.0 - 2.0 * indicator) * g(est);
+    }
+    y = 2.0 * y + correction;
+  }
+  return std::max(y, 0.0);
+}
+
+double UnivMon::estimate_entropy() const {
+  if (total_packets_ == 0) return 0.0;
+  const double m = static_cast<double>(total_packets_);
+  const double s = g_sum([](std::uint64_t x) {
+    return static_cast<double>(x) * std::log(static_cast<double>(x));
+  });
+  return std::max(0.0, std::log(m) - s / m);
+}
+
+std::vector<flow::FlowKey> UnivMon::heavy_hitters(std::uint64_t threshold) const {
+  std::vector<flow::FlowKey> result;
+  for (const auto& [key, est] : heaps_[0].flows) {
+    if (est >= threshold) result.push_back(key);
+  }
+  return result;
+}
+
+std::size_t UnivMon::memory_bytes() const {
+  std::size_t total = config_.levels * config_.heap_capacity * 12;
+  for (const auto& sketch : sketches_) total += sketch.memory_bytes();
+  return total;
+}
+
+void UnivMon::clear() {
+  for (auto& sketch : sketches_) sketch.clear();
+  for (auto& heap : heaps_) {
+    heap.flows.clear();
+    heap.queue = {};
+  }
+  total_packets_ = 0;
+}
+
+}  // namespace fcm::sketch

@@ -1,0 +1,75 @@
+// UnivMon [Liu et al., SIGCOMM 2016]: universal sketching via recursive
+// sub-sampling. Level 0 sees all flows; level i sees flows whose first i
+// sampling-hash bits are all 1. Each level keeps a Count-Sketch plus a top-K
+// heap; any G-sum statistic (cardinality, entropy, ...) is recovered with
+// the universal-streaming recursion over the per-level heavy hitters.
+//
+// Paper configuration (§7.2): 16 levels, 2K-entry heaps, remaining memory in
+// the per-level sketches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/count_sketch.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::sketch {
+
+class UnivMon : public FrequencyEstimator {
+ public:
+  struct Config {
+    std::size_t levels = 16;
+    std::size_t cs_depth = 5;
+    std::size_t cs_width = 4096;
+    std::size_t heap_capacity = 2048;  // §7.2: 2K heavy hitters per level
+    std::uint64_t seed = 0x4e13;
+  };
+
+  explicit UnivMon(Config config);
+
+  static UnivMon for_memory(std::size_t memory_bytes, std::uint64_t seed = 0x4e13);
+
+  void update(flow::FlowKey key) override;
+  std::uint64_t query(flow::FlowKey key) const override;
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "UnivMon"; }
+  void clear() override;
+
+  // G-sum over the frequency vector: sum_f g(x_f), via the universal
+  // streaming recursion on per-level heaps.
+  double g_sum(const std::function<double(std::uint64_t)>& g) const;
+
+  // Distinct flows: G-sum with g = 1.
+  double estimate_cardinality() const { return g_sum([](std::uint64_t) { return 1.0; }); }
+
+  // Empirical entropy via H = ln(m) - (1/m) * sum_f x_f ln x_f.
+  double estimate_entropy() const;
+
+  // Flows in the level-0 heap with estimate >= threshold.
+  std::vector<flow::FlowKey> heavy_hitters(std::uint64_t threshold) const;
+
+ private:
+  struct Heap {
+    // Tracked flow -> current estimate, with a lazy min-heap for eviction.
+    std::unordered_map<flow::FlowKey, std::uint64_t> flows;
+    using QueueEntry = std::pair<std::uint64_t, flow::FlowKey>;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  };
+
+  bool sampled(std::size_t level, flow::FlowKey key) const noexcept;
+  void heap_update(std::size_t level, flow::FlowKey key, std::uint64_t estimate);
+  void heap_compact(Heap& heap);
+
+  Config config_;
+  std::vector<common::SeededHash> sample_hashes_;
+  std::vector<CountSketch> sketches_;
+  std::vector<Heap> heaps_;
+  std::uint64_t total_packets_ = 0;
+};
+
+}  // namespace fcm::sketch

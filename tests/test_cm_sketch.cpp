@@ -1,0 +1,114 @@
+#include "sketch/cm_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/synthetic.h"
+#include "metrics/evaluator.h"
+
+namespace fcm::sketch {
+namespace {
+
+TEST(CmSketch, RejectsBadGeometry) {
+  EXPECT_THROW(CmSketch(0, 10), std::invalid_argument);
+  EXPECT_THROW(CmSketch(3, 0), std::invalid_argument);
+}
+
+TEST(CmSketch, SingleFlowExact) {
+  CmSketch cm(3, 1024);
+  for (int i = 0; i < 500; ++i) cm.update(flow::FlowKey{7});
+  EXPECT_EQ(cm.query(flow::FlowKey{7}), 500u);
+}
+
+TEST(CmSketch, BulkAddEqualsUpdates) {
+  CmSketch a(3, 256, 9);
+  CmSketch b(3, 256, 9);
+  a.add(flow::FlowKey{3}, 123);
+  for (int i = 0; i < 123; ++i) b.update(flow::FlowKey{3});
+  EXPECT_EQ(a.query(flow::FlowKey{3}), b.query(flow::FlowKey{3}));
+}
+
+TEST(CmSketch, ForMemorySizesWidth) {
+  const CmSketch cm = CmSketch::for_memory(1'200'000, 3);
+  EXPECT_EQ(cm.width(), 100'000u);
+  EXPECT_EQ(cm.memory_bytes(), 1'200'000u);
+}
+
+TEST(CmSketch, SaturatesInsteadOfWrapping) {
+  CmSketch cm(1, 4, 5);
+  cm.add(flow::FlowKey{1}, (1ull << 33));
+  EXPECT_EQ(cm.query(flow::FlowKey{1}), 0xffffffffull);
+}
+
+TEST(CmSketch, ClearResets) {
+  CmSketch cm(3, 64);
+  cm.add(flow::FlowKey{5}, 9);
+  cm.clear();
+  EXPECT_EQ(cm.query(flow::FlowKey{5}), 0u);
+}
+
+class CmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CmPropertyTest, NeverUnderestimates) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 100000;
+  config.flow_count = 20000;
+  config.seed = GetParam();
+  const flow::Trace trace = flow::SyntheticTraceGenerator(config).generate();
+  const flow::GroundTruth truth(trace);
+  CmSketch cm(3, 4096, GetParam());
+  for (const flow::Packet& p : trace.packets()) cm.update(p.key);
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    ASSERT_GE(cm.query(key), size);
+  }
+}
+
+TEST_P(CmPropertyTest, ConservativeUpdateNeverUnderestimates) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 100000;
+  config.flow_count = 20000;
+  config.seed = GetParam();
+  const flow::Trace trace = flow::SyntheticTraceGenerator(config).generate();
+  const flow::GroundTruth truth(trace);
+  CuSketch cu(3, 4096, GetParam());
+  for (const flow::Packet& p : trace.packets()) cu.update(p.key);
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    ASSERT_GE(cu.query(key), size);
+  }
+}
+
+TEST_P(CmPropertyTest, CuDominatesCm) {
+  // Conservative update is pointwise no worse than plain CM on the same
+  // layout and traffic.
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 80000;
+  config.flow_count = 15000;
+  config.seed = GetParam() + 100;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(config).generate();
+  const flow::GroundTruth truth(trace);
+  CmSketch cm(3, 2048, 77);
+  CuSketch cu(3, 2048, 77);
+  for (const flow::Packet& p : trace.packets()) {
+    cm.update(p.key);
+    cu.update(p.key);
+  }
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    ASSERT_LE(cu.query(key), cm.query(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmPropertyTest, ::testing::Values(1, 2, 3));
+
+TEST(CmSketch, CuHasLowerAreOnSkewedTraffic) {
+  const flow::Trace trace = flow::SyntheticTraceGenerator::zipf(1.1, 0.005, 5);
+  const flow::GroundTruth truth(trace);
+  CmSketch cm = CmSketch::for_memory(100'000);
+  CuSketch cu = CuSketch::for_memory(100'000);
+  metrics::feed(cm, trace);
+  metrics::feed(cu, trace);
+  const auto cm_err = metrics::evaluate_sizes(cm, truth);
+  const auto cu_err = metrics::evaluate_sizes(cu, truth);
+  EXPECT_LT(cu_err.are, cm_err.are);
+}
+
+}  // namespace
+}  // namespace fcm::sketch

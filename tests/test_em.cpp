@@ -1,0 +1,229 @@
+#include "controlplane/em.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/synthetic.h"
+#include "sketch/mrac.h"
+
+namespace fcm::control {
+namespace {
+
+VirtualCounterArray single_vc(std::uint64_t value, std::uint32_t degree,
+                              std::size_t leaf_count, std::uint64_t theta1) {
+  VirtualCounterArray array;
+  array.leaf_count = leaf_count;
+  array.leaf_counting_max = theta1;
+  array.counters.push_back(VirtualCounter{value, degree});
+  return array;
+}
+
+TEST(EmFsdEstimator, RejectsEmptyInput) {
+  EXPECT_THROW(EmFsdEstimator({}, {}), std::invalid_argument);
+}
+
+TEST(EmFsdEstimator, CollisionFreeCountersRecoverExactly) {
+  // 100 degree-1 counters of value 3 in a large array: the dominant
+  // explanation is 100 flows of size 3.
+  VirtualCounterArray array;
+  array.leaf_count = 100000;
+  array.leaf_counting_max = 254;
+  for (int i = 0; i < 100; ++i) array.counters.push_back(VirtualCounter{3, 1});
+  EmConfig config;
+  config.max_iterations = 8;
+  const FlowSizeDistribution fsd = EmFsdEstimator({array}, config).run();
+  EXPECT_NEAR(fsd.counts()[3], 100.0, 2.0);
+  EXPECT_NEAR(fsd.total_flows(), 100.0, 3.0);
+}
+
+TEST(EmFsdEstimator, SplitsObviousCollisions) {
+  // 1000 counters of value 1 and 10 of value 2 in a tiny (w=100) array:
+  // with n ~ 1000 flows in 100 slots, collisions are the norm, and EM must
+  // explain the 2-counters mostly as two size-1 flows rather than inventing
+  // size-2 flows. (lambda_1 ~ 10 per slot.)
+  VirtualCounterArray array;
+  array.leaf_count = 100;
+  array.leaf_counting_max = 1u << 20;
+  for (int i = 0; i < 90; ++i) array.counters.push_back(VirtualCounter{11, 1});
+  for (int i = 0; i < 10; ++i) array.counters.push_back(VirtualCounter{12, 1});
+  EmConfig config;
+  config.max_iterations = 10;
+  config.max_extra_flows = 2;
+  const FlowSizeDistribution fsd = EmFsdEstimator({array}, config).run();
+  // Exact recovery is not expected; the estimate must keep total mass.
+  EXPECT_NEAR(fsd.total_packets(), 90.0 * 11 + 10.0 * 12, 1.0);
+}
+
+TEST(EmFsdEstimator, MassConservedEachIteration) {
+  // The EM redistributes counter mass over flow sizes; total packet mass is
+  // invariant across iterations (up to the fallback paths, which are exact).
+  VirtualCounterArray array;
+  array.leaf_count = 1000;
+  array.leaf_counting_max = 254;
+  for (int v = 1; v <= 50; ++v) {
+    for (int i = 0; i < 5; ++i) {
+      array.counters.push_back(VirtualCounter{static_cast<std::uint64_t>(v), 1});
+    }
+  }
+  const double expected_mass = 5.0 * (50.0 * 51.0 / 2.0);
+  EmConfig config;
+  config.max_iterations = 1;
+  EmFsdEstimator estimator({array}, config);
+  EXPECT_NEAR(estimator.current().total_packets(), expected_mass, 1e-6);
+  for (int i = 0; i < 5; ++i) {
+    estimator.iterate();
+    EXPECT_NEAR(estimator.current().total_packets(), expected_mass, expected_mass * 1e-9);
+  }
+}
+
+TEST(EmFsdEstimator, PaperOmegaConstraintForMergedCounters) {
+  // The §4.3 example: a degree-2 virtual counter of value 9 on a tree with
+  // theta_1 = 2 can only be explained by flows of size >= 3 (each merged
+  // path overflowed); the two-flow combos are {3,6} and {4,5}.
+  const VirtualCounterArray array = single_vc(9, 2, 1024, 2);
+  EmConfig config;
+  config.max_iterations = 3;
+  config.max_extra_flows = 0;  // exactly-two-flow combos only
+  const FlowSizeDistribution fsd = EmFsdEstimator({array}, config).run();
+  EXPECT_NEAR(fsd.counts()[1], 0.0, 1e-9);
+  EXPECT_NEAR(fsd.counts()[2], 0.0, 1e-9);
+  EXPECT_NEAR(fsd.counts()[7], 0.0, 1e-9);  // {2,7} is invalid: 2 <= theta
+  EXPECT_NEAR(fsd.counts()[8], 0.0, 1e-9);  // {1,8} is invalid
+  EXPECT_NEAR(fsd.counts()[9], 0.0, 1e-9);  // one flow cannot merge 2 paths
+  const double mass_in_valid_range =
+      fsd.counts()[3] + fsd.counts()[4] + fsd.counts()[5] + fsd.counts()[6];
+  EXPECT_NEAR(mass_in_valid_range, 2.0, 1e-6);
+}
+
+TEST(EmFsdEstimator, LargeCountersUseFallbackSplit) {
+  // Values above the enumeration cap must still be accounted for.
+  const VirtualCounterArray array = single_vc(100000, 1, 1024, 254);
+  EmConfig config;
+  config.max_iterations = 2;
+  config.value_enumeration_cap = 300;
+  const FlowSizeDistribution fsd = EmFsdEstimator({array}, config).run();
+  EXPECT_NEAR(fsd.counts()[100000], 1.0, 1e-9);
+}
+
+TEST(EmFsdEstimator, HighDegreeFallback) {
+  // Degree above max_enumeration_degree: minimal-flow split.
+  const VirtualCounterArray array = single_vc(2000, 6, 4096, 254);
+  EmConfig config;
+  config.max_iterations = 1;
+  config.max_enumeration_degree = 3;
+  const FlowSizeDistribution fsd = EmFsdEstimator({array}, config).run();
+  // 5 flows of 255 and one of 2000 - 5*255 = 725.
+  EXPECT_NEAR(fsd.counts()[255], 5.0, 1e-9);
+  EXPECT_NEAR(fsd.counts()[725], 1.0, 1e-9);
+}
+
+TEST(EmFsdEstimator, MultiTreeAveragesTrees) {
+  // Two identical trees must give the same answer as one (Eqn. 5).
+  const VirtualCounterArray array = single_vc(5, 1, 1000, 254);
+  EmConfig config;
+  config.max_iterations = 3;
+  const auto single = EmFsdEstimator({array}, config).run();
+  const auto doubled = EmFsdEstimator({array, array}, config).run();
+  ASSERT_EQ(single.counts().size(), doubled.counts().size());
+  for (std::size_t j = 0; j < single.counts().size(); ++j) {
+    EXPECT_NEAR(single.counts()[j], doubled.counts()[j], 1e-9);
+  }
+}
+
+TEST(EmFsdEstimator, MultithreadMatchesSinglethread) {
+  flow::SyntheticTraceConfig trace_config;
+  trace_config.packet_count = 50000;
+  trace_config.flow_count = 5000;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(trace_config).generate();
+  core::FcmConfig fcm_config = core::FcmConfig::for_memory(100'000, 2, 8, {8, 16, 32});
+  core::FcmSketch sketch(fcm_config);
+  for (const flow::Packet& p : trace.packets()) sketch.update(p.key);
+
+  EmConfig single_config;
+  single_config.max_iterations = 3;
+  single_config.thread_count = 1;
+  EmConfig multi_config = single_config;
+  multi_config.thread_count = 4;
+
+  const auto single = EmFsdEstimator(convert_sketch(sketch), single_config).run();
+  const auto multi = EmFsdEstimator(convert_sketch(sketch), multi_config).run();
+  ASSERT_EQ(single.counts().size(), multi.counts().size());
+  for (std::size_t j = 0; j < single.counts().size(); ++j) {
+    ASSERT_NEAR(single.counts()[j], multi.counts()[j], 1e-6);
+  }
+}
+
+TEST(EmFsdEstimator, DeterministicAcrossRuns) {
+  flow::SyntheticTraceConfig trace_config;
+  trace_config.packet_count = 40000;
+  trace_config.flow_count = 4000;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(trace_config).generate();
+  core::FcmSketch sketch(core::FcmConfig::for_memory(80'000, 2, 8, {8, 16, 32}));
+  for (const flow::Packet& p : trace.packets()) sketch.update(p.key);
+
+  EmConfig config;
+  config.max_iterations = 4;
+  const auto first = EmFsdEstimator(convert_sketch(sketch), config).run();
+  const auto second = EmFsdEstimator(convert_sketch(sketch), config).run();
+  ASSERT_EQ(first.counts().size(), second.counts().size());
+  for (std::size_t j = 0; j < first.counts().size(); ++j) {
+    ASSERT_EQ(first.counts()[j], second.counts()[j]) << "size " << j;
+  }
+}
+
+TEST(EmFsdEstimator, IterationCallbackInvoked) {
+  const VirtualCounterArray array = single_vc(5, 1, 1000, 254);
+  EmConfig config;
+  config.max_iterations = 4;
+  std::size_t calls = 0;
+  EmFsdEstimator({array}, config).run([&](std::size_t i, double seconds, const auto&) {
+    EXPECT_EQ(i, calls);
+    EXPECT_GE(seconds, 0.0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(EmFsdEstimator, ImprovesWmreOverInitialGuessOnRealTraffic) {
+  flow::SyntheticTraceConfig trace_config;
+  trace_config.packet_count = 200000;
+  trace_config.flow_count = 20000;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(trace_config).generate();
+  const flow::GroundTruth truth(trace);
+  const auto true_fsd = truth.flow_size_distribution();
+
+  core::FcmConfig fcm_config = core::FcmConfig::for_memory(300'000, 2, 8, {8, 16, 32});
+  core::FcmSketch sketch(fcm_config);
+  for (const flow::Packet& p : trace.packets()) sketch.update(p.key);
+
+  EmConfig config;
+  config.max_iterations = 6;
+  EmFsdEstimator estimator(convert_sketch(sketch), config);
+  const double initial_wmre = estimator.current().wmre(true_fsd);
+  const auto final_fsd = estimator.run();
+  EXPECT_LT(final_fsd.wmre(true_fsd), initial_wmre);
+  EXPECT_LT(final_fsd.wmre(true_fsd), 0.3);
+}
+
+TEST(EmFsdEstimator, MracCountersWork) {
+  flow::SyntheticTraceConfig trace_config;
+  trace_config.packet_count = 100000;
+  trace_config.flow_count = 10000;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(trace_config).generate();
+  const flow::GroundTruth truth(trace);
+
+  sketch::Mrac mrac = sketch::Mrac::for_memory(200'000);
+  for (const flow::Packet& p : trace.packets()) mrac.update(p.key);
+
+  EmConfig config;
+  config.max_iterations = 5;
+  const auto fsd =
+      EmFsdEstimator({from_plain_counters(mrac.counters())}, config).run();
+  EXPECT_LT(fsd.wmre(truth.flow_size_distribution()), 0.3);
+  EXPECT_NEAR(fsd.total_flows(), static_cast<double>(truth.flow_count()),
+              truth.flow_count() * 0.15);
+}
+
+}  // namespace
+}  // namespace fcm::control

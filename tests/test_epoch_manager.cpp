@@ -1,0 +1,109 @@
+#include "framework/epoch_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flow/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace fcm::framework {
+namespace {
+
+EpochManager::Options small_options() {
+  EpochManager::Options options;
+  options.framework.fcm = core::FcmConfig::for_memory(120'000, 2, 8, {8, 16, 32});
+  options.framework.heavy_hitter_threshold = 200;
+  options.framework.em.max_iterations = 3;
+  options.retained_epochs = 3;
+  return options;
+}
+
+TEST(EpochManager, RejectsZeroRetention) {
+  auto options = small_options();
+  options.retained_epochs = 0;
+  EXPECT_THROW(EpochManager{options}, std::invalid_argument);
+}
+
+TEST(EpochManager, RotationResetsDataPlane) {
+  EpochManager manager(small_options());
+  for (int i = 0; i < 500; ++i) manager.process(flow::Packet{flow::FlowKey{1}, 64, 0});
+  EXPECT_EQ(manager.flow_size(flow::FlowKey{1}), 500u);
+  const auto summary = manager.rotate();
+  EXPECT_EQ(summary.index, 0u);
+  EXPECT_EQ(summary.packets, 500u);
+  EXPECT_EQ(manager.flow_size(flow::FlowKey{1}), 0u);
+  EXPECT_EQ(manager.epochs_completed(), 1u);
+}
+
+TEST(EpochManager, SummaryCarriesHeavyHittersAndReport) {
+  EpochManager manager(small_options());
+  for (int i = 0; i < 1000; ++i) manager.process(flow::Packet{flow::FlowKey{7}, 64, 0});
+  for (int i = 0; i < 50; ++i) manager.process(flow::Packet{flow::FlowKey{8}, 64, 0});
+  const auto summary = manager.rotate();
+  ASSERT_EQ(summary.heavy_hitters.size(), 1u);
+  EXPECT_EQ(summary.heavy_hitters[0], flow::FlowKey{7});
+  EXPECT_NEAR(summary.cardinality, 2.0, 1.0);
+  EXPECT_GT(summary.report.estimated_flows, 0.0);
+}
+
+TEST(EpochManager, HistoryBounded) {
+  EpochManager manager(small_options());
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    manager.process(flow::Packet{flow::FlowKey{static_cast<std::uint32_t>(epoch + 1)}, 64, 0});
+    manager.rotate();
+  }
+  EXPECT_EQ(manager.history().size(), 3u);
+  // Oldest retained snapshot is epoch 3 (flows 4..6 in history).
+  EXPECT_EQ(manager.history().front().flow_size(flow::FlowKey{4}), 1u);
+  EXPECT_EQ(manager.history().back().flow_size(flow::FlowKey{6}), 1u);
+}
+
+TEST(EpochManager, DetectsHeavyChangeBetweenEpochs) {
+  auto options = small_options();
+  options.analyze_on_rotate = false;
+  EpochManager manager(options);
+
+  // Epoch 0: flow 5 heavy.
+  for (int i = 0; i < 2000; ++i) manager.process(flow::Packet{flow::FlowKey{5}, 64, 0});
+  const auto first = manager.rotate();
+  EXPECT_TRUE(first.heavy_changes.empty()) << "no previous epoch to compare";
+
+  // Epoch 1: flow 5 disappears, flow 6 appears heavy.
+  for (int i = 0; i < 2000; ++i) manager.process(flow::Packet{flow::FlowKey{6}, 64, 0});
+  const auto second = manager.rotate();
+  const auto has = [&](std::uint32_t k) {
+    return std::find(second.heavy_changes.begin(), second.heavy_changes.end(),
+                     flow::FlowKey{k}) != second.heavy_changes.end();
+  };
+  EXPECT_TRUE(has(5));
+  EXPECT_TRUE(has(6));
+}
+
+TEST(EpochManager, RealisticWindowsEndToEnd) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 80'000;
+  config.flow_count = 8'000;
+  const flow::WindowPair pair = flow::make_window_pair(config, 0.5);
+
+  auto options = small_options();
+  options.framework.heavy_hitter_threshold =
+      config.packet_count / 2000;
+  options.analyze_on_rotate = false;
+  EpochManager manager(options);
+
+  manager.process(pair.window_a.packets());
+  manager.rotate();
+  manager.process(pair.window_b.packets());
+  const auto summary = manager.rotate();
+
+  const auto actual = flow::true_heavy_changes(flow::GroundTruth(pair.window_a),
+                                               flow::GroundTruth(pair.window_b),
+                                               options.framework.heavy_hitter_threshold);
+  if (actual.empty()) GTEST_SKIP();
+  const auto scores = metrics::classification_scores(summary.heavy_changes, actual);
+  EXPECT_GT(scores.f1, 0.8);
+}
+
+}  // namespace
+}  // namespace fcm::framework

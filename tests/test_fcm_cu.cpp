@@ -1,0 +1,104 @@
+// Conservative-update FCM (the paper's footnote-3 extension).
+#include <gtest/gtest.h>
+
+#include "fcm/fcm_sketch.h"
+#include "flow/synthetic.h"
+#include "metrics/metrics.h"
+#include "pisa/fcm_p4.h"
+
+namespace fcm::core {
+namespace {
+
+FcmConfig small_config(std::uint64_t seed = 0xfc) {
+  FcmConfig config;
+  config.tree_count = 2;
+  config.k = 8;
+  config.stage_bits = {8, 16, 32};
+  config.leaf_count = 8 * 8 * 32;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FcmConservativeUpdate, SingleFlowExact) {
+  FcmSketch sketch(small_config());
+  for (std::uint64_t i = 1; i <= 2000; ++i) {
+    EXPECT_EQ(sketch.update_conservative(flow::FlowKey{5}), i);
+  }
+  EXPECT_EQ(sketch.query(flow::FlowKey{5}), 2000u);
+}
+
+class FcmCuPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FcmCuPropertyTest, NeverUnderestimates) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 120000;
+  config.flow_count = 15000;
+  config.seed = GetParam();
+  const flow::Trace trace = flow::SyntheticTraceGenerator(config).generate();
+  const flow::GroundTruth truth(trace);
+  FcmSketch sketch(small_config(GetParam()));
+  for (const flow::Packet& p : trace.packets()) sketch.update_conservative(p.key);
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    ASSERT_GE(sketch.query(key), size);
+  }
+}
+
+TEST_P(FcmCuPropertyTest, DominatesPlainUpdate) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 120000;
+  config.flow_count = 15000;
+  config.seed = GetParam() + 50;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(config).generate();
+  const flow::GroundTruth truth(trace);
+  FcmSketch plain(small_config(7));
+  FcmSketch conservative(small_config(7));
+  for (const flow::Packet& p : trace.packets()) {
+    plain.update(p.key);
+    conservative.update_conservative(p.key);
+  }
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    ASSERT_LE(conservative.query(key), plain.query(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FcmCuPropertyTest, ::testing::Values(1, 2, 3));
+
+TEST(FcmConservativeUpdate, ImprovesAreOnSkewedTraffic) {
+  const flow::Trace trace = flow::SyntheticTraceGenerator::zipf(1.1, 0.005, 9);
+  const flow::GroundTruth truth(trace);
+  FcmSketch plain(small_config(3));
+  FcmSketch conservative(small_config(3));
+  for (const flow::Packet& p : trace.packets()) {
+    plain.update(p.key);
+    conservative.update_conservative(p.key);
+  }
+  const auto plain_err = metrics::size_errors(
+      truth.flow_sizes(), [&](flow::FlowKey k) { return plain.query(k); });
+  const auto cu_err = metrics::size_errors(
+      truth.flow_sizes(), [&](flow::FlowKey k) { return conservative.query(k); });
+  EXPECT_LT(cu_err.are, plain_err.are);
+}
+
+TEST(FcmConservativeUpdate, TracksHeavyHitters) {
+  FcmSketch sketch(small_config());
+  sketch.set_heavy_hitter_threshold(50);
+  for (int i = 0; i < 100; ++i) sketch.update_conservative(flow::FlowKey{1});
+  EXPECT_TRUE(sketch.heavy_hitters().contains(flow::FlowKey{1}));
+}
+
+// --- TCAM cardinality on the P4 program -------------------------------------
+
+TEST(FcmP4Cardinality, TcamMatchesExactWithinBudget) {
+  pisa::FcmP4Program program(small_config(11));
+  for (std::uint32_t i = 1; i <= 500; ++i) {
+    program.update(flow::FlowKey{i * 2654435761u});
+  }
+  const double tcam = program.estimate_cardinality_tcam();
+  EXPECT_NEAR(tcam, 500.0, 500.0 * 0.08 + 5.0);
+  // Table is orders smaller than a per-w0 table.
+  EXPECT_LT(program.cardinality_table().entry_count(),
+            program.config().leaf_count);
+}
+
+}  // namespace
+}  // namespace fcm::core

@@ -1,0 +1,123 @@
+#include "flow/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/flow_key.h"
+#include "flow/packet.h"
+
+namespace fcm::flow {
+namespace {
+
+Trace make_trace(std::initializer_list<std::uint32_t> keys) {
+  Trace trace;
+  for (const std::uint32_t k : keys) trace.append(Packet{FlowKey{k}, 100, 0});
+  return trace;
+}
+
+TEST(FlowKey, OrderingAndEquality) {
+  EXPECT_EQ(FlowKey{1}, FlowKey{1});
+  EXPECT_NE(FlowKey{1}, FlowKey{2});
+  EXPECT_LT(FlowKey{1}, FlowKey{2});
+}
+
+TEST(FlowKey, HashDistinguishesKeys) {
+  EXPECT_NE(std::hash<FlowKey>{}(FlowKey{1}), std::hash<FlowKey>{}(FlowKey{2}));
+}
+
+TEST(FlowKey, ToStringDottedQuad) {
+  EXPECT_EQ(to_string(FlowKey{0x0a000001}), "10.0.0.1");
+  EXPECT_EQ(to_string(FlowKey{0xffffffff}), "255.255.255.255");
+}
+
+TEST(FiveTuple, SourceKeyExtractsSourceIp) {
+  FiveTuple t;
+  t.src_ip = 0xc0a80101;
+  t.dst_ip = 0x08080808;
+  EXPECT_EQ(t.source_key(), FlowKey{0xc0a80101});
+}
+
+TEST(FiveTuple, HashAndCompare) {
+  FiveTuple a;
+  a.src_ip = 1;
+  FiveTuple b = a;
+  EXPECT_EQ(a, b);
+  b.dst_port = 80;
+  EXPECT_NE(a, b);
+  EXPECT_NE(std::hash<FiveTuple>{}(a), std::hash<FiveTuple>{}(b));
+}
+
+TEST(GroundTruth, CountsFlowSizes) {
+  const Trace trace = make_trace({1, 1, 2, 1, 3, 3});
+  const GroundTruth truth(trace);
+  EXPECT_EQ(truth.total_packets(), 6u);
+  EXPECT_EQ(truth.flow_count(), 3u);
+  EXPECT_EQ(truth.size_of(FlowKey{1}), 3u);
+  EXPECT_EQ(truth.size_of(FlowKey{2}), 1u);
+  EXPECT_EQ(truth.size_of(FlowKey{3}), 2u);
+  EXPECT_EQ(truth.size_of(FlowKey{9}), 0u);
+  EXPECT_EQ(truth.max_flow_size(), 3u);
+}
+
+TEST(GroundTruth, FlowSizeDistribution) {
+  const Trace trace = make_trace({1, 1, 2, 1, 3, 3});
+  const auto fsd = GroundTruth(trace).flow_size_distribution();
+  ASSERT_EQ(fsd.size(), 4u);
+  EXPECT_EQ(fsd[1], 1u);  // flow 2
+  EXPECT_EQ(fsd[2], 1u);  // flow 3
+  EXPECT_EQ(fsd[3], 1u);  // flow 1
+}
+
+TEST(GroundTruth, EntropyUniformFlows) {
+  // 4 flows of 1 packet each: H = -sum(1/4 ln 1/4) = ln 4.
+  const Trace trace = make_trace({1, 2, 3, 4});
+  EXPECT_NEAR(GroundTruth(trace).entropy(), std::log(4.0), 1e-12);
+}
+
+TEST(GroundTruth, EntropySingleFlowIsZero) {
+  const Trace trace = make_trace({5, 5, 5, 5});
+  EXPECT_NEAR(GroundTruth(trace).entropy(), 0.0, 1e-12);
+}
+
+TEST(GroundTruth, EmptyTrace) {
+  const GroundTruth truth{Trace{}};
+  EXPECT_EQ(truth.total_packets(), 0u);
+  EXPECT_EQ(truth.flow_count(), 0u);
+  EXPECT_EQ(truth.entropy(), 0.0);
+  EXPECT_TRUE(truth.flow_size_distribution().size() == 1);
+}
+
+TEST(GroundTruth, HeavyHitters) {
+  const Trace trace = make_trace({1, 1, 1, 2, 2, 3});
+  const auto heavy = GroundTruth(trace).heavy_hitters(2);
+  EXPECT_EQ(heavy.size(), 2u);
+  EXPECT_TRUE(std::find(heavy.begin(), heavy.end(), FlowKey{1}) != heavy.end());
+  EXPECT_TRUE(std::find(heavy.begin(), heavy.end(), FlowKey{2}) != heavy.end());
+}
+
+TEST(TrueHeavyChanges, DetectsGrowthShrinkAndChurn) {
+  const GroundTruth a(make_trace({1, 1, 1, 1, 2, 3}));
+  const GroundTruth b(make_trace({1, 2, 2, 2, 2, 4, 4, 4}));
+  // deltas: flow1: 4->1 (3), flow2: 1->4 (3), flow3: 1->0 (1), flow4: 0->3 (3)
+  const auto changes = true_heavy_changes(a, b, 2);
+  EXPECT_EQ(changes.size(), 3u);
+  const auto has = [&](std::uint32_t k) {
+    return std::find(changes.begin(), changes.end(), FlowKey{k}) != changes.end();
+  };
+  EXPECT_TRUE(has(1));
+  EXPECT_TRUE(has(2));
+  EXPECT_TRUE(has(4));
+  EXPECT_FALSE(has(3));
+}
+
+TEST(TrueHeavyChanges, NoDuplicateReports) {
+  const GroundTruth a(make_trace({1, 1, 1, 1}));
+  const GroundTruth b(make_trace({1}));
+  const auto changes = true_heavy_changes(a, b, 1);
+  EXPECT_EQ(changes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fcm::flow

@@ -1,0 +1,180 @@
+// End-to-end tests of the FcmFramework facade (Figure 1) and cross-module
+// integration sanity checks against the paper's headline claims.
+#include "framework/fcm_framework.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/synthetic.h"
+#include "metrics/evaluator.h"
+#include "sketch/cm_sketch.h"
+
+namespace fcm::framework {
+namespace {
+
+FcmFramework::Options small_options(std::size_t topk_entries = 0) {
+  FcmFramework::Options options;
+  options.fcm = core::FcmConfig::for_memory(150'000, 2, 8, {8, 16, 32});
+  options.topk_entries = topk_entries;
+  options.heavy_hitter_threshold = 100;
+  options.em.max_iterations = 5;
+  return options;
+}
+
+flow::Trace small_trace(std::uint64_t seed = 1) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 200000;
+  config.flow_count = 20000;
+  config.seed = seed;
+  return flow::SyntheticTraceGenerator(config).generate();
+}
+
+class FrameworkModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrameworkModeTest, EndToEndQueries) {
+  const flow::Trace trace = small_trace();
+  const flow::GroundTruth truth(trace);
+  FcmFramework framework(small_options(GetParam()));
+  framework.process(trace.packets());
+
+  // Flow size: never underestimates.
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    ASSERT_GE(framework.flow_size(key), size);
+  }
+
+  // Cardinality within 5%.
+  EXPECT_NEAR(framework.cardinality(), static_cast<double>(truth.flow_count()),
+              truth.flow_count() * 0.05);
+
+  // Heavy hitters at the configured threshold.
+  const auto reported = framework.heavy_hitters();
+  const auto scores =
+      metrics::classification_scores(reported, truth.heavy_hitters(100));
+  EXPECT_GT(scores.f1, 0.95);
+
+  // Control-plane report.
+  const auto report = framework.analyze();
+  EXPECT_LT(report.fsd.wmre(truth.flow_size_distribution()), 0.35);
+  EXPECT_NEAR(report.entropy, truth.entropy(), truth.entropy() * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, FrameworkModeTest,
+                         ::testing::Values(0, 1024));  // plain FCM, FCM+TopK
+
+TEST(FcmFramework, ResetClearsState) {
+  FcmFramework framework(small_options());
+  for (int i = 0; i < 1000; ++i) framework.process(flow::FlowKey{1});
+  framework.reset();
+  EXPECT_EQ(framework.flow_size(flow::FlowKey{1}), 0u);
+  EXPECT_TRUE(framework.heavy_hitters().empty());
+}
+
+TEST(FcmFramework, HeavyChangesAcrossWindows) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 150000;
+  config.flow_count = 10000;
+  config.zipf_alpha = 1.3;
+  const flow::WindowPair pair = flow::make_window_pair(config, 0.4);
+  const flow::GroundTruth truth_a(pair.window_a);
+  const flow::GroundTruth truth_b(pair.window_b);
+
+  FcmFramework::Options options = small_options();
+  const std::uint64_t threshold = metrics::heavy_hitter_threshold(truth_a);
+  options.heavy_hitter_threshold = threshold;
+
+  FcmFramework window_a(options);
+  FcmFramework window_b(options);
+  window_a.process(pair.window_a.packets());
+  window_b.process(pair.window_b.packets());
+
+  const auto reported = FcmFramework::heavy_changes(window_a, window_b, threshold);
+  const auto actual = flow::true_heavy_changes(truth_a, truth_b, threshold);
+  ASSERT_FALSE(actual.empty());
+  const auto scores = metrics::classification_scores(reported, actual);
+  EXPECT_GT(scores.f1, 0.9);
+}
+
+TEST(FcmFramework, MemoryBytesReflectsParts) {
+  const FcmFramework plain(small_options(0));
+  const FcmFramework with_topk(small_options(1024));
+  EXPECT_GT(with_topk.memory_bytes(), 0u);
+  EXPECT_EQ(with_topk.memory_bytes(),
+            with_topk.options().fcm.memory_bytes() + 1024 * 8);
+  EXPECT_EQ(plain.memory_bytes(), plain.options().fcm.memory_bytes());
+}
+
+TEST(FcmFramework, ByteCountingMode) {
+  FcmFramework::Options options = small_options();
+  options.topk_entries = 0;
+  options.heavy_hitter_threshold = 0;
+  options.count_mode = FcmFramework::CountMode::kBytes;
+  FcmFramework framework(options);
+  framework.process(flow::Packet{flow::FlowKey{1}, 1500, 0});
+  framework.process(flow::Packet{flow::FlowKey{1}, 500, 0});
+  framework.process(flow::Packet{flow::FlowKey{2}, 64, 0});
+  EXPECT_EQ(framework.flow_size(flow::FlowKey{1}), 2000u);
+  EXPECT_EQ(framework.flow_size(flow::FlowKey{2}), 64u);
+}
+
+TEST(FcmFramework, ByteModeRejectsTopK) {
+  FcmFramework::Options options = small_options(1024);
+  options.count_mode = FcmFramework::CountMode::kBytes;
+  EXPECT_THROW(FcmFramework{options}, std::invalid_argument);
+}
+
+TEST(FcmFramework, CopyActsAsSnapshot) {
+  FcmFramework framework(small_options());
+  for (int i = 0; i < 500; ++i) framework.process(flow::FlowKey{9});
+  const FcmFramework snapshot = framework;
+  for (int i = 0; i < 500; ++i) framework.process(flow::FlowKey{9});
+  EXPECT_EQ(snapshot.flow_size(flow::FlowKey{9}), 500u);
+  EXPECT_EQ(framework.flow_size(flow::FlowKey{9}), 1000u);
+}
+
+// --- integration sanity: the paper's headline orderings --------------------
+
+TEST(Integration, FcmBeatsCmOnEqualMemory) {
+  const flow::Trace trace = small_trace(42);
+  const flow::GroundTruth truth(trace);
+  constexpr std::size_t kMemory = 150'000;
+
+  core::FcmSketch fcm(core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32}));
+  sketch::CmSketch cm = sketch::CmSketch::for_memory(kMemory, 3);
+  for (const flow::Packet& p : trace.packets()) {
+    fcm.update(p.key);
+    cm.update(p.key);
+  }
+  const auto fcm_errors = metrics::size_errors(
+      truth.flow_sizes(), [&](flow::FlowKey k) { return fcm.query(k); });
+  const auto cm_errors = metrics::size_errors(
+      truth.flow_sizes(), [&](flow::FlowKey k) { return cm.query(k); });
+  EXPECT_LT(fcm_errors.are, cm_errors.are * 0.5)
+      << "FCM should cut CM's flow-size error by well over half (§7.3)";
+}
+
+TEST(Integration, TopKImprovesOrMatchesFcm) {
+  const flow::Trace trace = small_trace(43);
+  const flow::GroundTruth truth(trace);
+  constexpr std::size_t kMemory = 150'000;
+
+  FcmFramework::Options plain_options;
+  plain_options.fcm = core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32});
+  FcmFramework plain(plain_options);
+
+  FcmFramework::Options topk_options;
+  topk_options.fcm =
+      core::FcmConfig::for_memory(kMemory - 1024 * 8, 2, 16, {8, 16, 32});
+  topk_options.topk_entries = 1024;
+  FcmFramework with_topk(topk_options);
+
+  plain.process(trace.packets());
+  with_topk.process(trace.packets());
+
+  const auto plain_errors = metrics::size_errors(
+      truth.flow_sizes(), [&](flow::FlowKey k) { return plain.flow_size(k); });
+  const auto topk_errors = metrics::size_errors(
+      truth.flow_sizes(), [&](flow::FlowKey k) { return with_topk.flow_size(k); });
+  EXPECT_LE(topk_errors.are, plain_errors.are * 1.1);
+}
+
+}  // namespace
+}  // namespace fcm::framework

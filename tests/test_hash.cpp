@@ -1,0 +1,103 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace fcm::common {
+namespace {
+
+TEST(BobHash, DeterministicForSameInput) {
+  const std::uint32_t value = 0xdeadbeef;
+  EXPECT_EQ(bob_hash_value(value, 1), bob_hash_value(value, 1));
+}
+
+TEST(BobHash, SeedChangesOutput) {
+  const std::uint32_t value = 12345;
+  EXPECT_NE(bob_hash_value(value, 1), bob_hash_value(value, 2));
+}
+
+TEST(BobHash, InputChangesOutput) {
+  EXPECT_NE(bob_hash_value(std::uint32_t{1}, 7), bob_hash_value(std::uint32_t{2}, 7));
+}
+
+TEST(BobHash, EmptyInputIsValid) {
+  EXPECT_EQ(bob_hash({}, 3), bob_hash({}, 3));
+  EXPECT_NE(bob_hash({}, 3), bob_hash({}, 4));
+}
+
+TEST(BobHash, HandlesAllTailLengths) {
+  // Exercise every remainder branch (1..13 bytes spans two blocks).
+  std::array<std::byte, 16> data{};
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte{static_cast<unsigned char>(i)};
+  std::set<std::uint32_t> outputs;
+  for (std::size_t length = 1; length <= data.size(); ++length) {
+    outputs.insert(bob_hash(std::span(data).first(length), 0));
+  }
+  EXPECT_EQ(outputs.size(), data.size()) << "lengths must hash distinctly";
+}
+
+TEST(BobHash, UniformBucketSpread) {
+  // 64K sequential keys into 256 buckets: each bucket should be near 256.
+  constexpr std::size_t kBuckets = 256;
+  std::vector<std::size_t> histogram(kBuckets, 0);
+  for (std::uint32_t i = 0; i < 65536; ++i) {
+    ++histogram[bob_hash_value(i, 42) % kBuckets];
+  }
+  for (const std::size_t count : histogram) {
+    EXPECT_GT(count, 150u);
+    EXPECT_LT(count, 400u);
+  }
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalancheFlipsManyBits) {
+  int total_flips = 0;
+  for (std::uint64_t i = 1; i < 64; ++i) {
+    total_flips += std::popcount(mix64(0x1234) ^ mix64(0x1234 ^ (1ull << i)));
+  }
+  EXPECT_GT(total_flips / 63, 20) << "average flipped bits should be near 32";
+}
+
+TEST(SeededHash, IndexStaysInRange) {
+  const SeededHash hash(99);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_LT(hash.index(i, 77), 77u);
+  }
+}
+
+TEST(MakeHash, DistinctFunctionsFromOneMaster) {
+  std::set<std::uint32_t> seeds;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    seeds.insert(make_hash(0xabc, i).seed());
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+TEST(MakeHash, PairwiseIndependenceSmoke) {
+  // Two functions from one family should disagree on collisions: keys that
+  // collide under h0 in a small table should spread under h1.
+  const SeededHash h0 = make_hash(0x5eed, 0);
+  const SeededHash h1 = make_hash(0x5eed, 1);
+  std::vector<std::uint32_t> colliders;
+  for (std::uint32_t i = 0; i < 400000 && colliders.size() < 200; ++i) {
+    if (h0.index(i, 1024) == 0) colliders.push_back(i);
+  }
+  ASSERT_GE(colliders.size(), 100u);
+  std::set<std::size_t> spread;
+  for (const std::uint32_t key : colliders) spread.insert(h1.index(key, 1024));
+  EXPECT_GT(spread.size(), colliders.size() / 2);
+}
+
+}  // namespace
+}  // namespace fcm::common

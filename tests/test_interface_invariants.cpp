@@ -1,0 +1,179 @@
+// Cross-cutting invariants: every estimator behind the common interface,
+// conservation laws, and estimator-level sanity that individual module
+// tests don't cover.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "fcm/fcm_estimator.h"
+#include "flow/synthetic.h"
+#include "metrics/evaluator.h"
+#include "pisa/tcam_cardinality.h"
+#include "sketch/cm_sketch.h"
+#include "sketch/elastic_sketch.h"
+#include "sketch/hashpipe.h"
+#include "sketch/mrac.h"
+#include "sketch/pyramid_sketch.h"
+#include "sketch/univmon.h"
+
+namespace fcm {
+namespace {
+
+std::vector<std::unique_ptr<sketch::FrequencyEstimator>> all_estimators() {
+  constexpr std::size_t kMemory = 200'000;
+  std::vector<std::unique_ptr<sketch::FrequencyEstimator>> estimators;
+  estimators.push_back(std::make_unique<core::FcmEstimator>(
+      core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32})));
+  estimators.push_back(std::make_unique<core::FcmTopKEstimator>(
+      core::FcmTopK::for_memory(kMemory, 2, 16, 1024)));
+  estimators.push_back(
+      std::make_unique<sketch::CmSketch>(sketch::CmSketch::for_memory(kMemory)));
+  estimators.push_back(
+      std::make_unique<sketch::CuSketch>(sketch::CuSketch::for_memory(kMemory)));
+  estimators.push_back(
+      std::make_unique<sketch::Mrac>(sketch::Mrac::for_memory(kMemory)));
+  estimators.push_back(std::make_unique<sketch::PyramidCmSketch>(
+      sketch::PyramidCmSketch::for_memory(kMemory)));
+  estimators.push_back(
+      std::make_unique<sketch::HashPipe>(sketch::HashPipe::for_memory(kMemory)));
+  estimators.push_back(std::make_unique<sketch::ElasticSketch>(
+      sketch::ElasticSketch::for_memory(kMemory + 300'000)));
+  estimators.push_back(
+      std::make_unique<sketch::UnivMon>(sketch::UnivMon::for_memory(kMemory + 300'000)));
+  return estimators;
+}
+
+flow::Trace interface_trace() {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 100'000;
+  config.flow_count = 10'000;
+  config.seed = 99;
+  return flow::SyntheticTraceGenerator(config).generate();
+}
+
+TEST(EstimatorInterface, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const auto& estimator : all_estimators()) {
+    EXPECT_FALSE(estimator->name().empty());
+    EXPECT_TRUE(names.insert(estimator->name()).second)
+        << "duplicate name " << estimator->name();
+  }
+}
+
+TEST(EstimatorInterface, MemoryIsPositiveAndHonest) {
+  for (const auto& estimator : all_estimators()) {
+    EXPECT_GT(estimator->memory_bytes(), 10'000u) << estimator->name();
+    EXPECT_LT(estimator->memory_bytes(), 2'000'000u) << estimator->name();
+  }
+}
+
+TEST(EstimatorInterface, ClearRestoresEmptyState) {
+  const flow::Trace trace = interface_trace();
+  for (const auto& estimator : all_estimators()) {
+    metrics::feed(*estimator, trace);
+    estimator->clear();
+    // A fresh key must read (close to) zero after clear. Count-Sketch-based
+    // UnivMon can report small noise; everything else must be exactly 0.
+    const std::uint64_t residual = estimator->query(flow::FlowKey{0x12345678});
+    EXPECT_LE(residual, 2u) << estimator->name();
+  }
+}
+
+TEST(EstimatorInterface, ReasonableAccuracyThroughBaseClass) {
+  const flow::Trace trace = interface_trace();
+  const flow::GroundTruth truth(trace);
+  for (const auto& estimator : all_estimators()) {
+    metrics::feed(*estimator, trace);
+    const auto errors = metrics::evaluate_sizes(*estimator, truth);
+    // Loose envelope: at this load every implementation should estimate the
+    // average flow within a factor-ish of its size.
+    EXPECT_LT(errors.are, 25.0) << estimator->name();
+  }
+}
+
+// --- conservation laws -------------------------------------------------------
+
+TEST(Conservation, MracCountersEqualPackets) {
+  const flow::Trace trace = interface_trace();
+  sketch::Mrac mrac(4096);
+  metrics::feed(mrac, trace);
+  std::uint64_t total = 0;
+  for (const auto v : mrac.counters()) total += v;
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST(Conservation, FcmTreesEachAbsorbEveryPacket) {
+  const flow::Trace trace = interface_trace();
+  core::FcmSketch sketch(core::FcmConfig::for_memory(200'000, 3, 8, {8, 16, 32}));
+  for (const flow::Packet& p : trace.packets()) sketch.update(p.key);
+  for (std::size_t t = 0; t < sketch.tree_count(); ++t) {
+    EXPECT_EQ(sketch.tree(t).total_count(), trace.size());
+  }
+}
+
+TEST(Conservation, UnivMonGsumOfIdentityApproximatesPackets) {
+  const flow::Trace trace = interface_trace();
+  sketch::UnivMon univmon = sketch::UnivMon::for_memory(700'000);
+  metrics::feed(univmon, trace);
+  const double estimated_mass =
+      univmon.g_sum([](std::uint64_t x) { return static_cast<double>(x); });
+  EXPECT_NEAR(estimated_mass, static_cast<double>(trace.size()),
+              0.25 * static_cast<double>(trace.size()));
+}
+
+TEST(Conservation, ElasticHeavyPlusLightCoversEveryPacket) {
+  const flow::Trace trace = interface_trace();
+  sketch::ElasticSketch elastic = sketch::ElasticSketch::for_memory(700'000);
+  metrics::feed(elastic, trace);
+  std::uint64_t heavy_mass = 0;
+  for (const auto& [key, count] : elastic.heavy_flows()) heavy_mass += count;
+  std::uint64_t light_mass = 0;
+  for (const auto cell : elastic.light_counters()) light_mass += cell;
+  // Light cells saturate at 255, so the sum is a lower bound.
+  EXPECT_LE(heavy_mass + light_mass, trace.size());
+  EXPECT_GE(heavy_mass + light_mass, trace.size() * 9 / 10);
+}
+
+// --- misc invariants ----------------------------------------------------------
+
+TEST(TcamLookup, MonotoneInEmptyLeaves) {
+  const pisa::TcamCardinalityTable table(10'000, 0.002);
+  double previous = table.lookup(10'000);
+  for (long w0 = 9'999; w0 >= 1; w0 -= 97) {
+    const double estimate = table.lookup(static_cast<std::size_t>(w0));
+    EXPECT_GE(estimate, previous - 1e-9);
+    previous = estimate;
+  }
+}
+
+TEST(BenchScale, ParsesEnvironment) {
+  ::setenv("FCM_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(metrics::bench_scale(0.1), 0.5);
+  ::setenv("FCM_SCALE", "full", 1);
+  EXPECT_DOUBLE_EQ(metrics::bench_scale(0.1), 1.0);
+  ::setenv("FCM_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(metrics::bench_scale(0.1), 0.1);
+  ::setenv("FCM_SCALE", "7.0", 1);  // out of range
+  EXPECT_DOUBLE_EQ(metrics::bench_scale(0.1), 0.1);
+  ::unsetenv("FCM_SCALE");
+  EXPECT_DOUBLE_EQ(metrics::bench_scale(0.1), 0.1);
+}
+
+TEST(HeavyHittersByQuery, MatchesThresholdSemantics) {
+  const flow::Trace trace = interface_trace();
+  const flow::GroundTruth truth(trace);
+  sketch::CmSketch cm = sketch::CmSketch::for_memory(400'000);
+  metrics::feed(cm, trace);
+  const auto reported = metrics::heavy_hitters_by_query(cm, truth, 100);
+  for (const flow::FlowKey key : reported) {
+    EXPECT_GE(cm.query(key), 100u);
+  }
+  // CM overestimates, so recall against the true set is perfect.
+  const auto scores =
+      metrics::classification_scores(reported, truth.heavy_hitters(100));
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,155 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "controlplane/fsd.h"
+#include "controlplane/heavy_change.h"
+#include "metrics/evaluator.h"
+#include "metrics/table.h"
+
+namespace fcm::metrics {
+namespace {
+
+TEST(SizeErrors, ComputesAreAndAae) {
+  std::unordered_map<flow::FlowKey, std::uint64_t> truth{
+      {flow::FlowKey{1}, 10}, {flow::FlowKey{2}, 100}};
+  const auto errors = size_errors(truth, [](flow::FlowKey key) {
+    return key == flow::FlowKey{1} ? 12u : 100u;  // +2 on the first flow
+  });
+  EXPECT_NEAR(errors.aae, 1.0, 1e-12);       // (2 + 0) / 2
+  EXPECT_NEAR(errors.are, 0.1, 1e-12);       // (0.2 + 0) / 2
+}
+
+TEST(SizeErrors, EmptyTruthIsZero) {
+  const auto errors = size_errors({}, [](flow::FlowKey) { return 1u; });
+  EXPECT_EQ(errors.are, 0.0);
+  EXPECT_EQ(errors.aae, 0.0);
+}
+
+TEST(Classification, PerfectReport) {
+  const std::vector<flow::FlowKey> keys{flow::FlowKey{1}, flow::FlowKey{2}};
+  const auto scores = classification_scores(keys, keys);
+  EXPECT_EQ(scores.f1, 1.0);
+  EXPECT_EQ(scores.precision, 1.0);
+  EXPECT_EQ(scores.recall, 1.0);
+}
+
+TEST(Classification, PartialOverlap) {
+  const std::vector<flow::FlowKey> reported{flow::FlowKey{1}, flow::FlowKey{3}};
+  const std::vector<flow::FlowKey> actual{flow::FlowKey{1}, flow::FlowKey{2}};
+  const auto scores = classification_scores(reported, actual);
+  EXPECT_NEAR(scores.precision, 0.5, 1e-12);
+  EXPECT_NEAR(scores.recall, 0.5, 1e-12);
+  EXPECT_NEAR(scores.f1, 0.5, 1e-12);
+}
+
+TEST(Classification, EmptySetsHandled) {
+  const auto scores = classification_scores({}, {});
+  EXPECT_EQ(scores.f1, 0.0);
+  EXPECT_EQ(scores.true_positives, 0u);
+}
+
+TEST(Classification, DuplicatesDeduplicated) {
+  const std::vector<flow::FlowKey> reported{flow::FlowKey{1}, flow::FlowKey{1}};
+  const std::vector<flow::FlowKey> actual{flow::FlowKey{1}};
+  const auto scores = classification_scores(reported, actual);
+  EXPECT_EQ(scores.reported, 1u);
+  EXPECT_EQ(scores.f1, 1.0);
+}
+
+TEST(RelativeError, BasicAndThrow) {
+  EXPECT_NEAR(relative_error(11.0, 10.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(9.0, 10.0), 0.1, 1e-12);
+  EXPECT_THROW(relative_error(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Summarize, MeanAndPercentiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const auto summary = summarize(samples);
+  EXPECT_NEAR(summary.mean, 50.5, 1e-9);
+  EXPECT_NEAR(summary.p10, 10.9, 0.2);
+  EXPECT_NEAR(summary.p90, 90.1, 0.2);
+}
+
+TEST(Summarize, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).mean, 0.0);
+  const auto one = summarize({7.0});
+  EXPECT_EQ(one.mean, 7.0);
+  EXPECT_EQ(one.p10, 7.0);
+  EXPECT_EQ(one.p90, 7.0);
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  Table table("demo", {"col_a", "b"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("col_a"), std::string::npos);
+  EXPECT_NE(text.find("# 333,4"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::sci(12345.0, 1).substr(0, 4), "1.2e");
+}
+
+TEST(BenchScale, DefaultsWithoutEnv) {
+  // FCM_SCALE is not set in the test environment.
+  EXPECT_GT(bench_scale(0.15), 0.0);
+  EXPECT_LE(bench_scale(0.15), 1.0);
+}
+
+// --- FSD metrics ------------------------------------------------------------
+
+TEST(FlowSizeDistribution, TotalsAndEntropy) {
+  control::FlowSizeDistribution fsd(std::vector<double>{0.0, 4.0, 0.0, 2.0});
+  EXPECT_NEAR(fsd.total_flows(), 6.0, 1e-12);
+  EXPECT_NEAR(fsd.total_packets(), 10.0, 1e-12);
+  // H = -(4 * 0.1 ln 0.1 + 2 * 0.3 ln 0.3)
+  const double expected = -(4 * 0.1 * std::log(0.1) + 2 * 0.3 * std::log(0.3));
+  EXPECT_NEAR(fsd.entropy(), expected, 1e-12);
+}
+
+TEST(FlowSizeDistribution, WmreAgainstTruth) {
+  control::FlowSizeDistribution fsd(std::vector<double>{0.0, 3.0, 1.0});
+  const std::vector<std::uint64_t> truth{0, 4, 1};
+  // |3-4| + |1-1| over (3+4)/2 + (1+1)/2 = 1 / 4.5
+  EXPECT_NEAR(fsd.wmre(truth), 1.0 / 4.5, 1e-12);
+}
+
+TEST(FlowSizeDistribution, WmreHandlesSizeMismatch) {
+  control::FlowSizeDistribution fsd(std::vector<double>{0.0, 1.0});
+  const std::vector<std::uint64_t> truth{0, 1, 0, 0, 5};
+  EXPECT_GT(fsd.wmre(truth), 0.0);
+}
+
+TEST(FlowSizeDistribution, AddFlowsExtends) {
+  control::FlowSizeDistribution fsd;
+  fsd.add_flows(10, 2.0);
+  EXPECT_NEAR(fsd.counts()[10], 2.0, 1e-12);
+  fsd.add_flows(0, 5.0);  // size-0 flows are ignored
+  EXPECT_NEAR(fsd.total_flows(), 2.0, 1e-12);
+}
+
+// --- heavy change helper -------------------------------------------------------
+
+TEST(HeavyChange, DetectsAndDeduplicates) {
+  const std::vector<flow::FlowKey> candidates{flow::FlowKey{1}, flow::FlowKey{1},
+                                              flow::FlowKey{2}};
+  const auto changes = control::detect_heavy_changes(
+      [](flow::FlowKey key) { return key == flow::FlowKey{1} ? 100u : 10u; },
+      [](flow::FlowKey) { return 10u; }, candidates, 50);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0], flow::FlowKey{1});
+}
+
+}  // namespace
+}  // namespace fcm::metrics

@@ -1,0 +1,156 @@
+#include "pisa/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace fcm::pisa {
+namespace {
+
+TEST(Pipeline, RegisterArrayValidation) {
+  Pipeline pipeline;
+  EXPECT_THROW(pipeline.add_register_array("bad", 1, 10), std::invalid_argument);
+  EXPECT_THROW(pipeline.add_register_array("bad", 33, 10), std::invalid_argument);
+  EXPECT_THROW(pipeline.add_register_array("bad", 8, 0), std::invalid_argument);
+}
+
+TEST(Pipeline, StageBudgetEnforced) {
+  PipelineLimits limits;
+  limits.max_stages = 2;
+  Pipeline pipeline(limits);
+  pipeline.add_stage();
+  pipeline.add_stage();
+  pipeline.add_stage();
+  EXPECT_THROW(pipeline.validate(), std::runtime_error);
+}
+
+TEST(Pipeline, SaluPerStageBudgetEnforced) {
+  PipelineLimits limits;
+  limits.max_salus_per_stage = 2;
+  Pipeline pipeline(limits);
+  const auto stage = pipeline.add_stage();
+  for (int i = 0; i < 3; ++i) {
+    const auto array = pipeline.add_register_array("r" + std::to_string(i), 8, 16);
+    pipeline.add_action(stage, SaluAction{SaluAction::Kind::kRead, array, 0, 1});
+  }
+  EXPECT_THROW(pipeline.validate(), std::runtime_error);
+}
+
+TEST(Pipeline, OneAccessPerArrayPerPacket) {
+  Pipeline pipeline;
+  const auto array = pipeline.add_register_array("r", 8, 16);
+  const auto s1 = pipeline.add_stage();
+  const auto s2 = pipeline.add_stage();
+  pipeline.add_action(s1, SaluAction{SaluAction::Kind::kRead, array, 0, 1});
+  pipeline.add_action(s2, SaluAction{SaluAction::Kind::kRead, array, 0, 2});
+  EXPECT_THROW(pipeline.validate(), std::runtime_error);
+}
+
+TEST(Pipeline, DoubleAccessWithinStageRejected) {
+  Pipeline pipeline;
+  const auto array = pipeline.add_register_array("r", 8, 16);
+  const auto s1 = pipeline.add_stage();
+  pipeline.add_action(s1, SaluAction{SaluAction::Kind::kRead, array, 0, 1});
+  pipeline.add_action(s1, SaluAction{SaluAction::Kind::kRead, array, 0, 2});
+  EXPECT_THROW(pipeline.validate(), std::runtime_error);
+}
+
+TEST(Pipeline, StageSramBudgetEnforced) {
+  PipelineLimits limits;
+  limits.max_register_bytes_per_stage = 1024;
+  Pipeline pipeline(limits);
+  const auto array = pipeline.add_register_array("big", 32, 1024);  // 4 KB
+  const auto stage = pipeline.add_stage();
+  pipeline.add_action(stage, SaluAction{SaluAction::Kind::kRead, array, 0, 1});
+  EXPECT_THROW(pipeline.validate(), std::runtime_error);
+}
+
+TEST(Pipeline, FcmIncrementSaturatesAtMarker) {
+  Pipeline pipeline;
+  const auto array = pipeline.add_register_array("r", 2, 4);
+  const auto stage = pipeline.add_stage();
+  pipeline.add_action(stage,
+                      FieldAction{FieldAction::Op::kSetImm, 0, -1, -1, 2, -1});
+  pipeline.add_action(stage,
+                      SaluAction{SaluAction::Kind::kFcmIncrement, array, 0, 1});
+  Phv phv;
+  for (int i = 1; i <= 5; ++i) {
+    pipeline.process(phv);
+    EXPECT_EQ(phv.fields[1], std::min<std::uint64_t>(i, 3));
+  }
+  EXPECT_EQ(pipeline.register_array(array).cells[2], 3u);  // marker, stuck
+}
+
+TEST(Pipeline, AddFieldSaturating) {
+  Pipeline pipeline;
+  const auto array = pipeline.add_register_array("r", 8, 2);
+  const auto stage = pipeline.add_stage();
+  pipeline.add_action(stage, FieldAction{FieldAction::Op::kSetImm, 0, -1, -1, 0, -1});
+  pipeline.add_action(stage, FieldAction{FieldAction::Op::kSetImm, 1, -1, -1, 200, -1});
+  pipeline.add_action(
+      stage, SaluAction{SaluAction::Kind::kAddFieldSaturating, array, 0, 2, 1});
+  Phv phv;
+  pipeline.process(phv);
+  EXPECT_EQ(phv.fields[2], 200u);
+  pipeline.process(phv);
+  EXPECT_EQ(phv.fields[2], 255u);  // saturated at 2^8-1
+}
+
+TEST(Pipeline, SwapOutputsOldValue) {
+  Pipeline pipeline;
+  const auto array = pipeline.add_register_array("r", 16, 2);
+  const auto stage = pipeline.add_stage();
+  pipeline.add_action(stage, FieldAction{FieldAction::Op::kSetImm, 0, -1, -1, 1, -1});
+  pipeline.add_action(stage, FieldAction{FieldAction::Op::kSetImm, 1, -1, -1, 42, -1});
+  pipeline.add_action(stage, SaluAction{SaluAction::Kind::kSwap, array, 0, 2, 1});
+  Phv phv;
+  pipeline.process(phv);
+  EXPECT_EQ(phv.fields[2], 0u);
+  EXPECT_EQ(pipeline.register_array(array).cells[1], 42u);
+  pipeline.process(phv);
+  EXPECT_EQ(phv.fields[2], 42u);
+}
+
+TEST(Pipeline, GatingSkipsActions) {
+  Pipeline pipeline;
+  const auto array = pipeline.add_register_array("r", 8, 1);
+  const auto stage = pipeline.add_stage();
+  // Gate field 5 is set by the packet metadata below; the sALU and a field
+  // op are both predicated on it.
+  pipeline.add_action(
+      stage, SaluAction{SaluAction::Kind::kFcmIncrement, array, 0, 1, -1, 5});
+  pipeline.add_action(stage, FieldAction{FieldAction::Op::kSetImm, 6, -1, -1, 7, 5});
+
+  Phv gated_off;
+  gated_off.fields[5] = 0;
+  pipeline.process(gated_off);
+  EXPECT_EQ(pipeline.register_array(array).cells[0], 0u);
+  EXPECT_EQ(gated_off.fields[6], 0u);
+
+  Phv gated_on;
+  gated_on.fields[5] = 1;
+  pipeline.process(gated_on);
+  EXPECT_EQ(pipeline.register_array(array).cells[0], 1u);
+  EXPECT_EQ(gated_on.fields[6], 7u);
+}
+
+TEST(Pipeline, FieldOps) {
+  Pipeline pipeline;
+  const auto stage = pipeline.add_stage();
+  using Op = FieldAction::Op;
+  pipeline.add_action(stage, FieldAction{Op::kSetImm, 0, -1, -1, 10, -1});
+  pipeline.add_action(stage, FieldAction{Op::kCopy, 1, 0, -1, 0, -1});
+  pipeline.add_action(stage, FieldAction{Op::kAddField, 1, 0, -1, 0, -1});  // 20
+  pipeline.add_action(stage, FieldAction{Op::kDivImm, 1, -1, -1, 4, -1});   // 5
+  pipeline.add_action(stage, FieldAction{Op::kCmpEqImm, 2, 1, -1, 5, -1});  // 1
+  pipeline.add_action(stage, FieldAction{Op::kAnd, 3, 2, 0, 0, -1});        // 1
+  pipeline.add_action(stage, FieldAction{Op::kSelect, 4, 3, 0, 99, -1});    // 10
+  pipeline.add_action(stage, FieldAction{Op::kMinField, 4, 1, -1, 0, -1});  // 5
+  Phv phv;
+  pipeline.process(phv);
+  EXPECT_EQ(phv.fields[1], 5u);
+  EXPECT_EQ(phv.fields[2], 1u);
+  EXPECT_EQ(phv.fields[3], 1u);
+  EXPECT_EQ(phv.fields[4], 5u);
+}
+
+}  // namespace
+}  // namespace fcm::pisa

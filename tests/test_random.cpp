@@ -1,0 +1,119 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fcm::common {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, NextBelowUnbiasedSmoke) {
+  Xoshiro256 rng(11);
+  std::vector<int> histogram(7, 0);
+  for (int i = 0; i < 70000; ++i) ++histogram[rng.next_below(7)];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, 10000, 600);
+  }
+}
+
+TEST(ZipfSampler, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  const ZipfSampler zipf(1000, 1.2);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= 1000; ++r) total += zipf.probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, ProbabilityMonotoneDecreasing) {
+  const ZipfSampler zipf(500, 1.1);
+  for (std::size_t r = 2; r <= 500; ++r) {
+    EXPECT_LE(zipf.probability(r), zipf.probability(r - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfSampler, ProbabilityRejectsOutOfRange) {
+  const ZipfSampler zipf(10, 1.0);
+  EXPECT_THROW(zipf.probability(0), std::out_of_range);
+  EXPECT_THROW(zipf.probability(11), std::out_of_range);
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  const ZipfSampler zipf(100, 0.0);
+  for (std::size_t r = 1; r <= 100; ++r) {
+    EXPECT_NEAR(zipf.probability(r), 0.01, 1e-12);
+  }
+}
+
+class ZipfSamplingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSamplingTest, EmpiricalMatchesTheoreticalTopRank) {
+  const double alpha = GetParam();
+  const ZipfSampler zipf(2000, alpha);
+  Xoshiro256 rng(42);
+  constexpr int kSamples = 200000;
+  int rank1 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.sample(rng) == 1) ++rank1;
+  }
+  const double expected = zipf.probability(1);
+  EXPECT_NEAR(static_cast<double>(rank1) / kSamples, expected, 0.01);
+}
+
+TEST_P(ZipfSamplingTest, SamplesWithinRange) {
+  const ZipfSampler zipf(64, GetParam());
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t rank = zipf.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 64u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfSamplingTest,
+                         ::testing::Values(0.5, 1.0, 1.1, 1.3, 1.5, 1.7));
+
+}  // namespace
+}  // namespace fcm::common

@@ -1,0 +1,120 @@
+#include "pisa/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "pisa/tcam_cardinality.h"
+
+namespace fcm::pisa {
+namespace {
+
+core::FcmConfig tofino_config() {
+  // The paper's hardware configuration: 1.3 MB, 2 trees, 8-ary, 8/16/32-bit.
+  return core::FcmConfig::for_memory(1'300'000, 2, 8, {8, 16, 32});
+}
+
+TEST(Resources, FcmMatchesPaperTable4) {
+  const PipelineBudget budget;
+  const ResourceUsage usage = fcm_usage(tofino_config(), budget);
+  // Paper Table 4: 4 stages, 12.50% sALUs, 9.38% SRAM, 2.02% hash bits.
+  EXPECT_EQ(usage.stages, 4u);
+  EXPECT_NEAR(usage.salu_percent(budget), 12.50, 0.01);
+  EXPECT_NEAR(usage.sram_percent(budget), 9.38, 1.0);
+  EXPECT_NEAR(usage.hash_percent(budget), 2.02, 0.5);
+  EXPECT_NEAR(usage.crossbar_percent(budget), 2.28, 0.75);
+  EXPECT_NEAR(usage.vliw_percent(budget), 1.30, 0.5);
+}
+
+TEST(Resources, FcmTopKMatchesPaperTable4) {
+  const PipelineBudget budget;
+  const ResourceUsage usage = fcm_topk_usage(tofino_config(), 16384, budget);
+  // Paper Table 4: 8 stages, 20.83% sALUs, 9.48% SRAM. The SRAM figure is
+  // modeled structurally (filter arrays on top of the same FCM geometry), so
+  // a wider tolerance applies than for the exact stage/sALU counts.
+  EXPECT_EQ(usage.stages, 8u);
+  EXPECT_NEAR(usage.salu_percent(budget), 20.83, 0.01);
+  EXPECT_NEAR(usage.sram_percent(budget), 9.48, 1.5);
+}
+
+TEST(Resources, CmTopKVariantsOrderedBySalus) {
+  const PipelineBudget budget;
+  const auto cm2 = cm_topk_usage(2, 650'000, 16384, budget);
+  const auto cm4 = cm_topk_usage(4, 325'000, 16384, budget);
+  const auto cm8 = cm_topk_usage(8, 162'500, 16384, budget);
+  EXPECT_LT(cm2.salus, cm4.salus);
+  EXPECT_LT(cm4.salus, cm8.salus);
+  EXPECT_LT(cm2.stages, cm8.stages);
+}
+
+TEST(Resources, SramGrowsWithMemory) {
+  const PipelineBudget budget;
+  const auto small = fcm_usage(core::FcmConfig::for_memory(500'000, 2, 8, {8, 16, 32}), budget);
+  const auto large = fcm_usage(core::FcmConfig::for_memory(2'500'000, 2, 8, {8, 16, 32}), budget);
+  EXPECT_LT(small.sram_blocks, large.sram_blocks);
+}
+
+TEST(Resources, PublishedConstants) {
+  const auto sw = switch_p4_published();
+  EXPECT_EQ(sw.stages, 12u);
+  EXPECT_NEAR(sw.sram_percent, 30.52, 1e-9);
+  const auto related = related_systems_published();
+  ASSERT_EQ(related.size(), 3u);
+  EXPECT_EQ(related[0].name, "SketchLearn");
+  EXPECT_EQ(related[0].stages, 9u);
+}
+
+TEST(Resources, FcmFitsAlongsideSwitchP4) {
+  // Paper §8.3: FCM leaves room for a full switch.p4 deployment.
+  const PipelineBudget budget;
+  const ResourceUsage usage = fcm_usage(tofino_config(), budget);
+  const auto sw = switch_p4_published();
+  EXPECT_LT(usage.sram_percent(budget) + sw.sram_percent, 100.0);
+  EXPECT_LT(usage.salu_percent(budget) + sw.salu_percent, 100.0);
+}
+
+// --- TCAM cardinality table ----------------------------------------------------
+
+TEST(TcamCardinality, ExactEstimatorAtEntries) {
+  const TcamCardinalityTable table(4096, 0.002);
+  EXPECT_NEAR(table.lookup(4096), 0.0, 1e-9);
+  EXPECT_NEAR(table.lookup(1), TcamCardinalityTable::exact(4096, 1), 40.0);
+}
+
+class TcamErrorBoundTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcamErrorBoundTest, WithinBoundEverywhere) {
+  const std::size_t w1 = 65536;
+  const double bound = 0.002;
+  const TcamCardinalityTable table(w1, bound);
+  const std::size_t w0 = GetParam();
+  const double exact = TcamCardinalityTable::exact(w1, w0);
+  const double looked_up = table.lookup(w0);
+  // One-sided nearest match: the error is the budget plus the one-flow
+  // absolute slack used near zero.
+  EXPECT_LE(std::abs(looked_up - exact), exact * bound + 2.0)
+      << "w0 = " << w0;
+  EXPECT_GE(looked_up + 1e-9, exact) << "one-sided match overestimates";
+}
+
+INSTANTIATE_TEST_SUITE_P(EmptyCounts, TcamErrorBoundTest,
+                         ::testing::Values(1, 2, 10, 100, 1000, 10000, 30000,
+                                           60000, 65000, 65535, 65536));
+
+TEST(TcamCardinality, TwoOrdersSmallerThanFullTable) {
+  const TcamCardinalityTable table(500'000, 0.002);
+  EXPECT_LT(table.entry_count(), table.full_table_size() / 50);
+  EXPECT_GT(table.entry_count(), 100u);
+}
+
+TEST(TcamCardinality, RejectsBadParameters) {
+  EXPECT_THROW(TcamCardinalityTable(0, 0.002), std::invalid_argument);
+  EXPECT_THROW(TcamCardinalityTable(100, 0.0), std::invalid_argument);
+}
+
+TEST(TcamCardinality, LookupClampsOutOfRange) {
+  const TcamCardinalityTable table(1024, 0.01);
+  EXPECT_NEAR(table.lookup(0), table.lookup(1), 1e-9);
+  EXPECT_NEAR(table.lookup(5000), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fcm::pisa

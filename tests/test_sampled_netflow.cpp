@@ -1,0 +1,79 @@
+#include "sketch/sampled_netflow.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/synthetic.h"
+#include "metrics/evaluator.h"
+
+namespace fcm::sketch {
+namespace {
+
+TEST(SampledNetFlow, RejectsBadParameters) {
+  EXPECT_THROW(SampledNetFlow(0, 100), std::invalid_argument);
+  EXPECT_THROW(SampledNetFlow(10, 0), std::invalid_argument);
+}
+
+TEST(SampledNetFlow, RateOneIsExact) {
+  SampledNetFlow netflow(1, 1024);
+  for (int i = 0; i < 500; ++i) netflow.update(flow::FlowKey{3});
+  EXPECT_EQ(netflow.query(flow::FlowKey{3}), 500u);
+  EXPECT_EQ(netflow.query(flow::FlowKey{4}), 0u);
+}
+
+TEST(SampledNetFlow, EstimatesScaleBySamplingRate) {
+  SampledNetFlow netflow(100, 4096, 7);
+  for (int i = 0; i < 200'000; ++i) netflow.update(flow::FlowKey{9});
+  // ~2000 samples scaled by 100.
+  EXPECT_NEAR(static_cast<double>(netflow.query(flow::FlowKey{9})), 200'000.0,
+              20'000.0);
+}
+
+TEST(SampledNetFlow, SmallFlowsUsuallyInvisible) {
+  SampledNetFlow netflow(1000, 65536, 11);
+  for (std::uint32_t f = 1; f <= 1000; ++f) {
+    for (int i = 0; i < 3; ++i) netflow.update(flow::FlowKey{f});
+  }
+  // 3000 packets at 1/1000: only a handful of the 1000 flows get sampled.
+  EXPECT_LT(netflow.tracked_flows(), 20u);
+}
+
+TEST(SampledNetFlow, FullCacheStopsAdmitting) {
+  SampledNetFlow netflow(1, 4);
+  for (std::uint32_t f = 1; f <= 10; ++f) netflow.update(flow::FlowKey{f});
+  EXPECT_EQ(netflow.tracked_flows(), 4u);
+  // Tracked flows keep counting.
+  netflow.update(flow::FlowKey{1});
+  EXPECT_EQ(netflow.query(flow::FlowKey{1}), 2u);
+  // Untracked flows read zero.
+  EXPECT_EQ(netflow.query(flow::FlowKey{10}), 0u);
+}
+
+TEST(SampledNetFlow, MemoryAndName) {
+  const SampledNetFlow netflow = SampledNetFlow::for_memory(16'000, 100);
+  EXPECT_EQ(netflow.memory_bytes(), 16'000u);
+  EXPECT_EQ(netflow.name(), "NetFlow(1/100)");
+}
+
+TEST(SampledNetFlow, ClearResets) {
+  SampledNetFlow netflow(1, 64);
+  netflow.update(flow::FlowKey{5});
+  netflow.clear();
+  EXPECT_EQ(netflow.query(flow::FlowKey{5}), 0u);
+  EXPECT_EQ(netflow.tracked_flows(), 0u);
+}
+
+TEST(SampledNetFlow, MuchWorseThanExactOnSmallFlows) {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 300'000;
+  config.flow_count = 30'000;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(config).generate();
+  const flow::GroundTruth truth(trace);
+  SampledNetFlow netflow = SampledNetFlow::for_memory(100'000, 1000);
+  metrics::feed(netflow, trace);
+  const auto errors = metrics::evaluate_sizes(netflow, truth);
+  // Small flows read as zero: ARE near 1 (100% relative error) or worse.
+  EXPECT_GT(errors.are, 0.8);
+}
+
+}  // namespace
+}  // namespace fcm::sketch

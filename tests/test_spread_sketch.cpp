@@ -1,0 +1,125 @@
+#include "sketch/spread_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "metrics/metrics.h"
+
+namespace fcm::sketch {
+namespace {
+
+TEST(MultiresolutionBitmap, RejectsBadGeometry) {
+  EXPECT_THROW(MultiresolutionBitmap(0, 64), std::invalid_argument);
+  EXPECT_THROW(MultiresolutionBitmap(4, 0), std::invalid_argument);
+}
+
+TEST(MultiresolutionBitmap, EmptyEstimatesNearZero) {
+  const MultiresolutionBitmap mrb(8, 64);
+  EXPECT_LT(mrb.estimate(), 1.0);
+}
+
+TEST(MultiresolutionBitmap, DuplicatesDoNotInflate) {
+  MultiresolutionBitmap mrb(8, 64);
+  for (int i = 0; i < 1000; ++i) mrb.add(common::mix64(42));
+  EXPECT_NEAR(mrb.estimate(), 1.0, 1.1);
+}
+
+class MrbAccuracyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MrbAccuracyTest, EstimateWithinThirtyPercent) {
+  const std::size_t n = GetParam();
+  MultiresolutionBitmap mrb(16, 128);
+  for (std::size_t i = 1; i <= n; ++i) mrb.add(common::mix64(i));
+  EXPECT_NEAR(mrb.estimate(), static_cast<double>(n),
+              std::max(8.0, 0.30 * static_cast<double>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MrbAccuracyTest,
+                         ::testing::Values(5, 50, 500, 5000, 50000));
+
+TEST(MultiresolutionBitmap, MergeIsUnion) {
+  MultiresolutionBitmap a(8, 64);
+  MultiresolutionBitmap b(8, 64);
+  for (std::size_t i = 1; i <= 20; ++i) a.add(common::mix64(i));
+  for (std::size_t i = 15; i <= 40; ++i) b.add(common::mix64(i));
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), 40.0, 14.0);
+  MultiresolutionBitmap wrong(4, 64);
+  EXPECT_THROW(a.merge(wrong), std::invalid_argument);
+}
+
+TEST(SpreadSketch, RejectsBadGeometry) {
+  SpreadSketch::Config config;
+  config.rows = 0;
+  EXPECT_THROW(SpreadSketch{config}, std::invalid_argument);
+}
+
+TEST(SpreadSketch, SingleSourceSpread) {
+  SpreadSketch sketch(SpreadSketch::Config{});
+  const flow::FlowKey source{0x0a000001};
+  for (std::uint32_t d = 1; d <= 300; ++d) {
+    sketch.update(source, flow::FlowKey{d});
+    sketch.update(source, flow::FlowKey{d});  // re-contact: no inflation
+  }
+  EXPECT_NEAR(sketch.estimate_spread(source), 300.0, 90.0);
+}
+
+TEST(SpreadSketch, DetectsSuperspreadersAmongNoise) {
+  SpreadSketch::Config config;
+  config.buckets_per_row = 2048;
+  SpreadSketch sketch(config);
+  common::Xoshiro256 rng(7);
+
+  // 10 scanners hitting 2000 destinations each; 5000 normal sources with
+  // <= 5 destinations.
+  std::vector<flow::FlowKey> scanners;
+  for (std::uint32_t s = 1; s <= 10; ++s) {
+    const flow::FlowKey scanner{0xbad00000u + s};
+    scanners.push_back(scanner);
+    for (std::uint32_t d = 0; d < 2000; ++d) {
+      sketch.update(scanner, flow::FlowKey{static_cast<std::uint32_t>(rng.next())});
+    }
+  }
+  for (std::uint32_t s = 1; s <= 5000; ++s) {
+    const flow::FlowKey source{0x0a000000u + s};
+    const std::uint64_t fanout = 1 + rng.next_below(5);
+    for (std::uint64_t d = 0; d < fanout; ++d) {
+      sketch.update(source, flow::FlowKey{static_cast<std::uint32_t>(rng.next())});
+    }
+  }
+
+  const auto reported = sketch.superspreaders(500.0);
+  std::vector<flow::FlowKey> reported_keys;
+  for (const auto& candidate : reported) reported_keys.push_back(candidate.source);
+  const auto scores = metrics::classification_scores(reported_keys, scanners);
+  EXPECT_GE(scores.recall, 0.9) << "scanners must be invertible from buckets";
+  EXPECT_GE(scores.precision, 0.7);
+  // Reported spreads are in the right ballpark.
+  for (const auto& candidate : reported) {
+    if (candidate.source.value >= 0xbad00000u) {
+      EXPECT_NEAR(candidate.spread, 2000.0, 900.0);
+    }
+  }
+}
+
+TEST(SpreadSketch, ClearResets) {
+  SpreadSketch sketch(SpreadSketch::Config{});
+  for (std::uint32_t d = 1; d <= 100; ++d) {
+    sketch.update(flow::FlowKey{1}, flow::FlowKey{d});
+  }
+  sketch.clear();
+  EXPECT_LT(sketch.estimate_spread(flow::FlowKey{1}), 2.0);
+  EXPECT_TRUE(sketch.superspreaders(1.0).empty());
+}
+
+TEST(SpreadSketch, MemoryAccounting) {
+  SpreadSketch::Config config;
+  config.rows = 4;
+  config.buckets_per_row = 100;
+  config.mrb_levels = 8;
+  config.mrb_bits = 64;
+  EXPECT_EQ(SpreadSketch(config).memory_bytes(), 4u * 100u * (64u + 5u));
+}
+
+}  // namespace
+}  // namespace fcm::sketch

@@ -1,0 +1,146 @@
+#include "flow/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fcm::flow {
+namespace {
+
+TEST(SyntheticTrace, RejectsBadConfig) {
+  SyntheticTraceConfig config;
+  config.packet_count = 0;
+  EXPECT_THROW(SyntheticTraceGenerator{config}, std::invalid_argument);
+  config = {};
+  config.flow_count = 0;
+  EXPECT_THROW(SyntheticTraceGenerator{config}, std::invalid_argument);
+  config = {};
+  config.min_packet_bytes = 2000;
+  config.max_packet_bytes = 100;
+  EXPECT_THROW(SyntheticTraceGenerator{config}, std::invalid_argument);
+}
+
+TEST(SyntheticTrace, DeterministicForSeed) {
+  SyntheticTraceConfig config;
+  config.packet_count = 10000;
+  config.flow_count = 500;
+  const Trace a = SyntheticTraceGenerator(config).generate();
+  const Trace b = SyntheticTraceGenerator(config).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.packets()[i].key, b.packets()[i].key);
+  }
+}
+
+TEST(SyntheticTrace, SeedChangesTrace) {
+  SyntheticTraceConfig config;
+  config.packet_count = 5000;
+  config.flow_count = 200;
+  const Trace a = SyntheticTraceGenerator(config).generate();
+  config.seed = 99;
+  const Trace b = SyntheticTraceGenerator(config).generate();
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.packets()[i].key != b.packets()[i].key) ++differing;
+  }
+  EXPECT_GT(differing, a.size() / 2);
+}
+
+TEST(SyntheticTrace, PacketAndFlowBudgets) {
+  SyntheticTraceConfig config;
+  config.packet_count = 50000;
+  config.flow_count = 1000;
+  const Trace trace = SyntheticTraceGenerator(config).generate();
+  EXPECT_EQ(trace.size(), 50000u);
+  const GroundTruth truth(trace);
+  EXPECT_LE(truth.flow_count(), 1000u);
+  EXPECT_GT(truth.flow_count(), 800u);  // nearly all ranks hit at 50 pkts/flow
+}
+
+TEST(SyntheticTrace, PacketBytesWithinRange) {
+  SyntheticTraceConfig config;
+  config.packet_count = 2000;
+  config.flow_count = 50;
+  config.min_packet_bytes = 100;
+  config.max_packet_bytes = 200;
+  const Trace trace = SyntheticTraceGenerator(config).generate();
+  for (const Packet& p : trace.packets()) {
+    ASSERT_GE(p.bytes, 100u);
+    ASSERT_LE(p.bytes, 200u);
+  }
+}
+
+TEST(SyntheticTrace, TimestampsMonotone) {
+  SyntheticTraceConfig config;
+  config.packet_count = 1000;
+  config.flow_count = 10;
+  const Trace trace = SyntheticTraceGenerator(config).generate();
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    ASSERT_GT(trace.packets()[i].timestamp_ns, trace.packets()[i - 1].timestamp_ns);
+  }
+}
+
+TEST(SyntheticTrace, HigherAlphaIsMoreSkewed) {
+  const Trace mild = SyntheticTraceGenerator::zipf(1.1, 0.005, 3);
+  const Trace steep = SyntheticTraceGenerator::zipf(1.7, 0.005, 3);
+  const GroundTruth truth_mild(mild);
+  const GroundTruth truth_steep(steep);
+  EXPECT_GT(truth_steep.max_flow_size(), truth_mild.max_flow_size());
+  EXPECT_LT(truth_steep.flow_count(), truth_mild.flow_count());
+}
+
+TEST(SyntheticTrace, CaidaLikeShape) {
+  const Trace trace = SyntheticTraceGenerator::caida_like(0.01, 1);
+  EXPECT_EQ(trace.size(), 200000u);
+  const GroundTruth truth(trace);
+  // ~40 packets per flow on average, heavy-tailed.
+  EXPECT_GT(truth.flow_count(), 2000u);
+  EXPECT_GT(truth.max_flow_size(), 1000u);
+}
+
+TEST(SyntheticTrace, ScaleValidation) {
+  EXPECT_THROW(SyntheticTraceGenerator::caida_like(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(SyntheticTraceGenerator::caida_like(1.5, 1), std::invalid_argument);
+  EXPECT_THROW(SyntheticTraceGenerator::zipf(1.1, -1.0, 1), std::invalid_argument);
+}
+
+TEST(WindowPair, ChurnReplacesFlows) {
+  SyntheticTraceConfig config;
+  config.packet_count = 30000;
+  config.flow_count = 500;
+  const WindowPair pair = make_window_pair(config, 0.5);
+  const GroundTruth a(pair.window_a);
+  const GroundTruth b(pair.window_b);
+  std::size_t shared = 0;
+  for (const auto& [key, size] : b.flow_sizes()) {
+    if (a.size_of(key) > 0) ++shared;
+  }
+  // Roughly half the flows survive.
+  EXPECT_GT(shared, b.flow_count() / 5);
+  EXPECT_LT(shared, b.flow_count() * 4 / 5);
+}
+
+TEST(WindowPair, ZeroChurnKeepsKeys) {
+  SyntheticTraceConfig config;
+  config.packet_count = 20000;
+  config.flow_count = 300;
+  const WindowPair pair = make_window_pair(config, 0.0);
+  const GroundTruth a(pair.window_a);
+  const GroundTruth b(pair.window_b);
+  // Key sets match; a tail rank can still receive packets in only one
+  // window, so allow a couple of sampling artifacts.
+  std::size_t unexpected = 0;
+  for (const auto& [key, size] : b.flow_sizes()) {
+    if (a.size_of(key) == 0) ++unexpected;
+  }
+  EXPECT_LE(unexpected, 3u);
+}
+
+TEST(WindowPair, ChurnValidation) {
+  SyntheticTraceConfig config;
+  EXPECT_THROW(make_window_pair(config, -0.1), std::invalid_argument);
+  EXPECT_THROW(make_window_pair(config, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcm::flow

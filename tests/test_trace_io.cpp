@@ -1,0 +1,83 @@
+#include "flow/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "flow/synthetic.h"
+
+namespace fcm::flow {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("fcm_trace_test_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  SyntheticTraceConfig config;
+  config.packet_count = 5000;
+  config.flow_count = 300;
+  const Trace original = SyntheticTraceGenerator(config).generate();
+  save_trace(original, path_);
+  const Trace loaded = load_trace(path_);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded.packets()[i].key, original.packets()[i].key);
+    ASSERT_EQ(loaded.packets()[i].bytes, original.packets()[i].bytes);
+    ASSERT_EQ(loaded.packets()[i].timestamp_ns, original.packets()[i].timestamp_ns);
+  }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  save_trace(Trace{}, path_);
+  EXPECT_TRUE(load_trace(path_).empty());
+}
+
+TEST_F(TraceIoTest, RejectsMissingFile) {
+  EXPECT_THROW(load_trace("/nonexistent/fcm_trace.bin"), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsWrongMagic) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTATRACEFILE___________";
+  out.close();
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsTruncatedFile) {
+  SyntheticTraceConfig config;
+  config.packet_count = 100;
+  config.flow_count = 10;
+  save_trace(SyntheticTraceGenerator(config).generate(), path_);
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) / 2);
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, EnvLoaderUnsetReturnsNullopt) {
+  ::unsetenv("FCM_TRACE");
+  EXPECT_FALSE(load_trace_from_env().has_value());
+}
+
+TEST_F(TraceIoTest, EnvLoaderReadsFile) {
+  SyntheticTraceConfig config;
+  config.packet_count = 50;
+  config.flow_count = 5;
+  save_trace(SyntheticTraceGenerator(config).generate(), path_);
+  ::setenv("FCM_TRACE", path_.c_str(), 1);
+  const auto trace = load_trace_from_env();
+  ::unsetenv("FCM_TRACE");
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->size(), 50u);
+}
+
+}  // namespace
+}  // namespace fcm::flow
