@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_skew.dir/bench_fig10_11_skew.cpp.o"
+  "CMakeFiles/bench_fig10_11_skew.dir/bench_fig10_11_skew.cpp.o.d"
+  "bench_fig10_11_skew"
+  "bench_fig10_11_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_memory.dir/bench_fig12_memory.cpp.o"
+  "CMakeFiles/bench_fig12_memory.dir/bench_fig12_memory.cpp.o.d"
+  "bench_fig12_memory"
+  "bench_fig12_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

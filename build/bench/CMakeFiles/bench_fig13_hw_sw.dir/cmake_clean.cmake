@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_hw_sw.dir/bench_fig13_hw_sw.cpp.o"
+  "CMakeFiles/bench_fig13_hw_sw.dir/bench_fig13_hw_sw.cpp.o.d"
+  "bench_fig13_hw_sw"
+  "bench_fig13_hw_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_hw_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

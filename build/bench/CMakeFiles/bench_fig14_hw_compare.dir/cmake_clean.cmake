@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hw_compare.dir/bench_fig14_hw_compare.cpp.o"
+  "CMakeFiles/bench_fig14_hw_compare.dir/bench_fig14_hw_compare.cpp.o.d"
+  "bench_fig14_hw_compare"
+  "bench_fig14_hw_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hw_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

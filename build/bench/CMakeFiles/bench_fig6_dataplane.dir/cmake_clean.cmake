@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dataplane.dir/bench_fig6_dataplane.cpp.o"
+  "CMakeFiles/bench_fig6_dataplane.dir/bench_fig6_dataplane.cpp.o.d"
+  "bench_fig6_dataplane"
+  "bench_fig6_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_controlplane.dir/bench_fig7_controlplane.cpp.o"
+  "CMakeFiles/bench_fig7_controlplane.dir/bench_fig7_controlplane.cpp.o.d"
+  "bench_fig7_controlplane"
+  "bench_fig7_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

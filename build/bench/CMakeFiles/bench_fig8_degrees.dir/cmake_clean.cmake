@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_degrees.dir/bench_fig8_degrees.cpp.o"
+  "CMakeFiles/bench_fig8_degrees.dir/bench_fig8_degrees.cpp.o.d"
+  "bench_fig8_degrees"
+  "bench_fig8_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_em.dir/bench_fig9_em.cpp.o"
+  "CMakeFiles/bench_fig9_em.dir/bench_fig9_em.cpp.o.d"
+  "bench_fig9_em"
+  "bench_fig9_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_trees.dir/bench_table3_trees.cpp.o"
+  "CMakeFiles/bench_table3_trees.dir/bench_table3_trees.cpp.o.d"
+  "bench_table3_trees"
+  "bench_table3_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

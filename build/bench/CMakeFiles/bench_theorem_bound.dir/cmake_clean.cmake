@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem_bound.dir/bench_theorem_bound.cpp.o"
+  "CMakeFiles/bench_theorem_bound.dir/bench_theorem_bound.cpp.o.d"
+  "bench_theorem_bound"
+  "bench_theorem_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

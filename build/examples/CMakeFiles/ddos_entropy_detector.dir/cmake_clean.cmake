@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_entropy_detector.dir/ddos_entropy_detector.cpp.o"
+  "CMakeFiles/ddos_entropy_detector.dir/ddos_entropy_detector.cpp.o.d"
+  "ddos_entropy_detector"
+  "ddos_entropy_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_entropy_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ddos_entropy_detector.
+# This may be replaced when dependencies are built.

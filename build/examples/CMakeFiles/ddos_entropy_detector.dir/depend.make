@@ -1,0 +1,2 @@
+# Empty dependencies file for ddos_entropy_detector.
+# This may be replaced when dependencies are built.

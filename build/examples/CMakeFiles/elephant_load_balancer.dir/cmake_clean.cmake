@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephant_load_balancer.dir/elephant_load_balancer.cpp.o"
+  "CMakeFiles/elephant_load_balancer.dir/elephant_load_balancer.cpp.o.d"
+  "elephant_load_balancer"
+  "elephant_load_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephant_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_hitter_monitor.dir/heavy_hitter_monitor.cpp.o"
+  "CMakeFiles/heavy_hitter_monitor.dir/heavy_hitter_monitor.cpp.o.d"
+  "heavy_hitter_monitor"
+  "heavy_hitter_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_hitter_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_common.dir/hash.cpp.o"
+  "CMakeFiles/fcm_common.dir/hash.cpp.o.d"
+  "CMakeFiles/fcm_common.dir/random.cpp.o"
+  "CMakeFiles/fcm_common.dir/random.cpp.o.d"
+  "libfcm_common.a"
+  "libfcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

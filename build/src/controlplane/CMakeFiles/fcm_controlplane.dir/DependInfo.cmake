@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/em.cpp" "src/controlplane/CMakeFiles/fcm_controlplane.dir/em.cpp.o" "gcc" "src/controlplane/CMakeFiles/fcm_controlplane.dir/em.cpp.o.d"
+  "/root/repo/src/controlplane/fsd.cpp" "src/controlplane/CMakeFiles/fcm_controlplane.dir/fsd.cpp.o" "gcc" "src/controlplane/CMakeFiles/fcm_controlplane.dir/fsd.cpp.o.d"
+  "/root/repo/src/controlplane/heavy_change.cpp" "src/controlplane/CMakeFiles/fcm_controlplane.dir/heavy_change.cpp.o" "gcc" "src/controlplane/CMakeFiles/fcm_controlplane.dir/heavy_change.cpp.o.d"
+  "/root/repo/src/controlplane/virtual_counter.cpp" "src/controlplane/CMakeFiles/fcm_controlplane.dir/virtual_counter.cpp.o" "gcc" "src/controlplane/CMakeFiles/fcm_controlplane.dir/virtual_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fcm/CMakeFiles/fcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fcm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fcm_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_controlplane.dir/em.cpp.o"
+  "CMakeFiles/fcm_controlplane.dir/em.cpp.o.d"
+  "CMakeFiles/fcm_controlplane.dir/fsd.cpp.o"
+  "CMakeFiles/fcm_controlplane.dir/fsd.cpp.o.d"
+  "CMakeFiles/fcm_controlplane.dir/heavy_change.cpp.o"
+  "CMakeFiles/fcm_controlplane.dir/heavy_change.cpp.o.d"
+  "CMakeFiles/fcm_controlplane.dir/virtual_counter.cpp.o"
+  "CMakeFiles/fcm_controlplane.dir/virtual_counter.cpp.o.d"
+  "libfcm_controlplane.a"
+  "libfcm_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

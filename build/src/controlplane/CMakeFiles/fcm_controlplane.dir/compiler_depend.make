@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fcm_controlplane.
+# This may be replaced when dependencies are built.

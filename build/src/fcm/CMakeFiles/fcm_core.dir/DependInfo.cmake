@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fcm/fcm_config.cpp" "src/fcm/CMakeFiles/fcm_core.dir/fcm_config.cpp.o" "gcc" "src/fcm/CMakeFiles/fcm_core.dir/fcm_config.cpp.o.d"
+  "/root/repo/src/fcm/fcm_sketch.cpp" "src/fcm/CMakeFiles/fcm_core.dir/fcm_sketch.cpp.o" "gcc" "src/fcm/CMakeFiles/fcm_core.dir/fcm_sketch.cpp.o.d"
+  "/root/repo/src/fcm/fcm_topk.cpp" "src/fcm/CMakeFiles/fcm_core.dir/fcm_topk.cpp.o" "gcc" "src/fcm/CMakeFiles/fcm_core.dir/fcm_topk.cpp.o.d"
+  "/root/repo/src/fcm/fcm_tree.cpp" "src/fcm/CMakeFiles/fcm_core.dir/fcm_tree.cpp.o" "gcc" "src/fcm/CMakeFiles/fcm_core.dir/fcm_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fcm_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fcm_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

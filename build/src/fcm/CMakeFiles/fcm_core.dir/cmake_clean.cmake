@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_core.dir/fcm_config.cpp.o"
+  "CMakeFiles/fcm_core.dir/fcm_config.cpp.o.d"
+  "CMakeFiles/fcm_core.dir/fcm_sketch.cpp.o"
+  "CMakeFiles/fcm_core.dir/fcm_sketch.cpp.o.d"
+  "CMakeFiles/fcm_core.dir/fcm_topk.cpp.o"
+  "CMakeFiles/fcm_core.dir/fcm_topk.cpp.o.d"
+  "CMakeFiles/fcm_core.dir/fcm_tree.cpp.o"
+  "CMakeFiles/fcm_core.dir/fcm_tree.cpp.o.d"
+  "libfcm_core.a"
+  "libfcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_flow.dir/flow_key.cpp.o"
+  "CMakeFiles/fcm_flow.dir/flow_key.cpp.o.d"
+  "CMakeFiles/fcm_flow.dir/synthetic.cpp.o"
+  "CMakeFiles/fcm_flow.dir/synthetic.cpp.o.d"
+  "CMakeFiles/fcm_flow.dir/trace.cpp.o"
+  "CMakeFiles/fcm_flow.dir/trace.cpp.o.d"
+  "CMakeFiles/fcm_flow.dir/trace_io.cpp.o"
+  "CMakeFiles/fcm_flow.dir/trace_io.cpp.o.d"
+  "libfcm_flow.a"
+  "libfcm_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfcm_flow.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_framework.dir/epoch_manager.cpp.o"
+  "CMakeFiles/fcm_framework.dir/epoch_manager.cpp.o.d"
+  "CMakeFiles/fcm_framework.dir/fcm_framework.cpp.o"
+  "CMakeFiles/fcm_framework.dir/fcm_framework.cpp.o.d"
+  "libfcm_framework.a"
+  "libfcm_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

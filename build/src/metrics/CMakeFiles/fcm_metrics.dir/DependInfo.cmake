@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/evaluator.cpp" "src/metrics/CMakeFiles/fcm_metrics.dir/evaluator.cpp.o" "gcc" "src/metrics/CMakeFiles/fcm_metrics.dir/evaluator.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "src/metrics/CMakeFiles/fcm_metrics.dir/metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/fcm_metrics.dir/metrics.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/metrics/CMakeFiles/fcm_metrics.dir/table.cpp.o" "gcc" "src/metrics/CMakeFiles/fcm_metrics.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/fcm_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fcm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_metrics.dir/evaluator.cpp.o"
+  "CMakeFiles/fcm_metrics.dir/evaluator.cpp.o.d"
+  "CMakeFiles/fcm_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/fcm_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/fcm_metrics.dir/table.cpp.o"
+  "CMakeFiles/fcm_metrics.dir/table.cpp.o.d"
+  "libfcm_metrics.a"
+  "libfcm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

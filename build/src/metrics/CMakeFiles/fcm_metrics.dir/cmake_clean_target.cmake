@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfcm_metrics.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pisa/fcm_p4.cpp" "src/pisa/CMakeFiles/fcm_pisa.dir/fcm_p4.cpp.o" "gcc" "src/pisa/CMakeFiles/fcm_pisa.dir/fcm_p4.cpp.o.d"
+  "/root/repo/src/pisa/hardware_topk.cpp" "src/pisa/CMakeFiles/fcm_pisa.dir/hardware_topk.cpp.o" "gcc" "src/pisa/CMakeFiles/fcm_pisa.dir/hardware_topk.cpp.o.d"
+  "/root/repo/src/pisa/pipeline.cpp" "src/pisa/CMakeFiles/fcm_pisa.dir/pipeline.cpp.o" "gcc" "src/pisa/CMakeFiles/fcm_pisa.dir/pipeline.cpp.o.d"
+  "/root/repo/src/pisa/resources.cpp" "src/pisa/CMakeFiles/fcm_pisa.dir/resources.cpp.o" "gcc" "src/pisa/CMakeFiles/fcm_pisa.dir/resources.cpp.o.d"
+  "/root/repo/src/pisa/tcam_cardinality.cpp" "src/pisa/CMakeFiles/fcm_pisa.dir/tcam_cardinality.cpp.o" "gcc" "src/pisa/CMakeFiles/fcm_pisa.dir/tcam_cardinality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fcm/CMakeFiles/fcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fcm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fcm_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

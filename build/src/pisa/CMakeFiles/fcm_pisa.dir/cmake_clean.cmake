@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_pisa.dir/fcm_p4.cpp.o"
+  "CMakeFiles/fcm_pisa.dir/fcm_p4.cpp.o.d"
+  "CMakeFiles/fcm_pisa.dir/hardware_topk.cpp.o"
+  "CMakeFiles/fcm_pisa.dir/hardware_topk.cpp.o.d"
+  "CMakeFiles/fcm_pisa.dir/pipeline.cpp.o"
+  "CMakeFiles/fcm_pisa.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fcm_pisa.dir/resources.cpp.o"
+  "CMakeFiles/fcm_pisa.dir/resources.cpp.o.d"
+  "CMakeFiles/fcm_pisa.dir/tcam_cardinality.cpp.o"
+  "CMakeFiles/fcm_pisa.dir/tcam_cardinality.cpp.o.d"
+  "libfcm_pisa.a"
+  "libfcm_pisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

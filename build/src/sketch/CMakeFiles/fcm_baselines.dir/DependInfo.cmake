@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/cardinality.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/cardinality.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/cardinality.cpp.o.d"
+  "/root/repo/src/sketch/cm_sketch.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/cm_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/cm_sketch.cpp.o.d"
+  "/root/repo/src/sketch/count_sketch.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/count_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/count_sketch.cpp.o.d"
+  "/root/repo/src/sketch/elastic_sketch.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/elastic_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/elastic_sketch.cpp.o.d"
+  "/root/repo/src/sketch/hashpipe.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/hashpipe.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/hashpipe.cpp.o.d"
+  "/root/repo/src/sketch/mrac.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/mrac.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/mrac.cpp.o.d"
+  "/root/repo/src/sketch/pyramid_sketch.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/pyramid_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/pyramid_sketch.cpp.o.d"
+  "/root/repo/src/sketch/sampled_netflow.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/sampled_netflow.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/sampled_netflow.cpp.o.d"
+  "/root/repo/src/sketch/spread_sketch.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/spread_sketch.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/spread_sketch.cpp.o.d"
+  "/root/repo/src/sketch/topk_filter.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/topk_filter.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/topk_filter.cpp.o.d"
+  "/root/repo/src/sketch/univmon.cpp" "src/sketch/CMakeFiles/fcm_baselines.dir/univmon.cpp.o" "gcc" "src/sketch/CMakeFiles/fcm_baselines.dir/univmon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fcm_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

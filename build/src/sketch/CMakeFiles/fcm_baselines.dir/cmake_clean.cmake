@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcm_baselines.dir/cardinality.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/cardinality.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/cm_sketch.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/cm_sketch.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/count_sketch.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/count_sketch.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/elastic_sketch.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/elastic_sketch.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/hashpipe.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/hashpipe.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/mrac.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/mrac.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/pyramid_sketch.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/pyramid_sketch.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/sampled_netflow.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/sampled_netflow.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/spread_sketch.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/spread_sketch.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/topk_filter.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/topk_filter.cpp.o.d"
+  "CMakeFiles/fcm_baselines.dir/univmon.cpp.o"
+  "CMakeFiles/fcm_baselines.dir/univmon.cpp.o.d"
+  "libfcm_baselines.a"
+  "libfcm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

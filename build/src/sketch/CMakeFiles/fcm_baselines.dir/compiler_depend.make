@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fcm_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cm_sketch.dir/test_cm_sketch.cpp.o"
+  "CMakeFiles/test_cm_sketch.dir/test_cm_sketch.cpp.o.d"
+  "test_cm_sketch"
+  "test_cm_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cm_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

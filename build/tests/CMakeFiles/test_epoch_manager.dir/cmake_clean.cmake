@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_manager.dir/test_epoch_manager.cpp.o"
+  "CMakeFiles/test_epoch_manager.dir/test_epoch_manager.cpp.o.d"
+  "test_epoch_manager"
+  "test_epoch_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcm_cu.dir/test_fcm_cu.cpp.o"
+  "CMakeFiles/test_fcm_cu.dir/test_fcm_cu.cpp.o.d"
+  "test_fcm_cu"
+  "test_fcm_cu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcm_cu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

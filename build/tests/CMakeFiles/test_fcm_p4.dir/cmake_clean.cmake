@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcm_p4.dir/test_fcm_p4.cpp.o"
+  "CMakeFiles/test_fcm_p4.dir/test_fcm_p4.cpp.o.d"
+  "test_fcm_p4"
+  "test_fcm_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcm_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

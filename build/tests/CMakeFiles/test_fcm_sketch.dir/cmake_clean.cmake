@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcm_sketch.dir/test_fcm_sketch.cpp.o"
+  "CMakeFiles/test_fcm_sketch.dir/test_fcm_sketch.cpp.o.d"
+  "test_fcm_sketch"
+  "test_fcm_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcm_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcm_topk.dir/test_fcm_topk.cpp.o"
+  "CMakeFiles/test_fcm_topk.dir/test_fcm_topk.cpp.o.d"
+  "test_fcm_topk"
+  "test_fcm_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcm_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fcm_tree.dir/test_fcm_tree.cpp.o"
+  "CMakeFiles/test_fcm_tree.dir/test_fcm_tree.cpp.o.d"
+  "test_fcm_tree"
+  "test_fcm_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fcm_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/test_flow.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/test_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/framework/CMakeFiles/fcm_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/fcm_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/fcm_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fcm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fcm/CMakeFiles/fcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fcm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fcm_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interface_invariants.dir/test_interface_invariants.cpp.o"
+  "CMakeFiles/test_interface_invariants.dir/test_interface_invariants.cpp.o.d"
+  "test_interface_invariants"
+  "test_interface_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interface_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampled_netflow.dir/test_sampled_netflow.cpp.o"
+  "CMakeFiles/test_sampled_netflow.dir/test_sampled_netflow.cpp.o.d"
+  "test_sampled_netflow"
+  "test_sampled_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampled_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

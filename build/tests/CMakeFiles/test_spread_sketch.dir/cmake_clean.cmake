@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spread_sketch.dir/test_spread_sketch.cpp.o"
+  "CMakeFiles/test_spread_sketch.dir/test_spread_sketch.cpp.o.d"
+  "test_spread_sketch"
+  "test_spread_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spread_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topk_elastic.dir/test_topk_elastic.cpp.o"
+  "CMakeFiles/test_topk_elastic.dir/test_topk_elastic.cpp.o.d"
+  "test_topk_elastic"
+  "test_topk_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topk_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_counter.dir/test_virtual_counter.cpp.o"
+  "CMakeFiles/test_virtual_counter.dir/test_virtual_counter.cpp.o.d"
+  "test_virtual_counter"
+  "test_virtual_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
