@@ -1,0 +1,145 @@
+// Contract macros and checked conversions for the whole tree.
+//
+// Three macro families, mirroring the classic design-by-contract split:
+//
+//   FCM_REQUIRE(cond, msg)  — precondition on caller-supplied input
+//                             (bad configs, out-of-range indices, ...)
+//   FCM_ASSERT(cond, msg)   — internal consistency mid-computation
+//   FCM_ENSURE(cond, msg)   — postcondition / result sanity
+//
+// The enforcement level is chosen at compile time via FCM_CONTRACT_LEVEL:
+//
+//   0  off    — contracts compile to nothing (benchmark-only; the repo's
+//               input-validation tests require level >= 1)
+//   1  throw  — violations throw fcm::common::ContractViolation (default)
+//   2  abort  — violations print to stderr and abort() (sanitizer/CI runs,
+//               where an exception would unwind past the corrupted state)
+//
+// ContractViolation derives from std::invalid_argument so pre-existing
+// callers catching std::invalid_argument / std::logic_error keep working.
+//
+// The message expression is evaluated lazily — only on violation — so it
+// may build std::strings without a hot-path cost.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#ifndef FCM_CONTRACT_LEVEL
+#define FCM_CONTRACT_LEVEL 1
+#endif
+
+namespace fcm::common {
+
+// Thrown (at level 1) when a contract is violated. what() carries the
+// contract kind, the failed condition, the source location, and the
+// caller-supplied message.
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(const char* kind, const char* condition, const char* file,
+                    int line, const std::string& message)
+      : std::invalid_argument(format(kind, condition, file, line, message)),
+        kind_(kind) {}
+
+  // "REQUIRE", "ASSERT", or "ENSURE".
+  const char* kind() const noexcept { return kind_; }
+
+ private:
+  static std::string format(const char* kind, const char* condition,
+                            const char* file, int line,
+                            const std::string& message) {
+    std::string out;
+    out.reserve(128);
+    out += "contract violation [";
+    out += kind;
+    out += "] at ";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    out += ": (";
+    out += condition;
+    out += ") — ";
+    out += message;
+    return out;
+  }
+
+  const char* kind_;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail_throw(const char* kind,
+                                             const char* condition,
+                                             const char* file, int line,
+                                             const std::string& message) {
+  throw ContractViolation(kind, condition, file, line, message);
+}
+
+[[noreturn]] inline void contract_fail_abort(const char* kind,
+                                             const char* condition,
+                                             const char* file, int line,
+                                             const std::string& message) {
+  std::fprintf(stderr, "contract violation [%s] at %s:%d: (%s) — %s\n", kind,
+               file, line, condition, message.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace fcm::common
+
+#if FCM_CONTRACT_LEVEL == 0
+#define FCM_CONTRACT_IMPL_(kind, cond, msg) ((void)0)
+#elif FCM_CONTRACT_LEVEL == 1
+#define FCM_CONTRACT_IMPL_(kind, cond, msg)                              \
+  ((cond) ? (void)0                                                     \
+          : ::fcm::common::detail::contract_fail_throw(kind, #cond,     \
+                                                       __FILE__, __LINE__, \
+                                                       (msg)))
+#else
+#define FCM_CONTRACT_IMPL_(kind, cond, msg)                              \
+  ((cond) ? (void)0                                                     \
+          : ::fcm::common::detail::contract_fail_abort(kind, #cond,     \
+                                                       __FILE__, __LINE__, \
+                                                       (msg)))
+#endif
+
+#define FCM_REQUIRE(cond, msg) FCM_CONTRACT_IMPL_("REQUIRE", cond, msg)
+#define FCM_ASSERT(cond, msg) FCM_CONTRACT_IMPL_("ASSERT", cond, msg)
+#define FCM_ENSURE(cond, msg) FCM_CONTRACT_IMPL_("ENSURE", cond, msg)
+
+// FCM_CHECKED_ONLY(stmt): executes `stmt` only in CHECKED builds
+// (-DFCM_CHECKED=ON). Used to run deep check_invariants() sweeps on hot
+// paths without taxing release builds.
+#ifdef FCM_CHECKED
+#define FCM_CHECKED_ONLY(stmt) \
+  do {                         \
+    stmt;                      \
+  } while (0)
+#else
+#define FCM_CHECKED_ONLY(stmt) \
+  do {                         \
+  } while (0)
+#endif
+
+namespace fcm::common {
+
+// Value-preserving narrowing conversion for counter types. The only
+// sanctioned way to narrow a counter in src/fcm and src/pisa — a bare
+// narrowing static_cast there is rejected by tools/fcm_lint.py.
+template <typename To, typename From>
+constexpr To checked_narrow(From value) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_narrow is for integral types");
+  const To narrowed = static_cast<To>(value);
+  FCM_ASSERT(static_cast<From>(narrowed) == value &&
+                 ((narrowed < To{}) == (value < From{})),
+             "narrowing conversion lost value");
+  return narrowed;
+}
+
+}  // namespace fcm::common

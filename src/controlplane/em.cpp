@@ -5,7 +5,10 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "common/contracts.h"
 
 namespace fcm::control {
 namespace {
@@ -44,14 +47,22 @@ void enumerate_partitions(std::uint64_t n, std::size_t p, std::uint64_t max_part
 EmFsdEstimator::EmFsdEstimator(std::vector<VirtualCounterArray> arrays,
                                EmConfig config)
     : config_(config), arrays_(std::move(arrays)) {
-  if (arrays_.empty()) {
-    throw std::invalid_argument("EmFsdEstimator: no virtual counter arrays");
+  FCM_REQUIRE(!arrays_.empty(), "EmFsdEstimator: no virtual counter arrays");
+  FCM_REQUIRE(config_.max_iterations > 0,
+              "EmFsdEstimator: max_iterations must be positive");
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    FCM_REQUIRE(arrays_[a].leaf_count > 0,
+                "EmFsdEstimator: array " + std::to_string(a) +
+                    " has leaf_count == 0 (lambda would divide by zero)");
   }
   // Histogram each tree by (degree, value); deterministic order via std::map.
   for (std::size_t a = 0; a < arrays_.size(); ++a) {
     std::map<std::pair<std::uint32_t, std::uint64_t>, double> histogram;
     for (const VirtualCounter& vc : arrays_[a].counters) {
       if (vc.value == 0) continue;
+      FCM_REQUIRE(vc.degree >= 1,
+                  "EmFsdEstimator: non-empty virtual counter with degree 0 in "
+                  "array " + std::to_string(a));
       histogram[{vc.degree, vc.value}] += 1.0;
       max_value_ = std::max(max_value_, vc.value);
     }
@@ -216,6 +227,36 @@ void EmFsdEstimator::iterate() {
   const double d = static_cast<double>(arrays_.size());
   for (auto& value : next) value /= d;
   current_ = FlowSizeDistribution(std::move(next));
+  FCM_CHECKED_ONLY(check_invariants());
+}
+
+void EmFsdEstimator::check_invariants() const {
+  for (const Group& group : groups_) {
+    FCM_ASSERT(group.array < arrays_.size(),
+               "EmFsdEstimator: group references an unknown array");
+    FCM_ASSERT(group.degree >= 1 && group.value >= 1 && group.multiplicity > 0,
+               "EmFsdEstimator: degenerate (degree, value, multiplicity) group");
+  }
+  double mass = 0.0;
+  const auto& counts = current_.counts();
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    FCM_ASSERT(std::isfinite(counts[j]) && counts[j] >= 0.0,
+               "EmFsdEstimator: estimate has a negative or non-finite entry at "
+               "size " + std::to_string(j));
+    mass += static_cast<double>(j) * counts[j];
+  }
+  // Mass conservation: each EM step redistributes the observed counter mass
+  // across flow sizes; it never creates or destroys packets (Eqn. 2/5).
+  double observed = 0.0;
+  for (const Group& group : groups_) {
+    observed += group.multiplicity * static_cast<double>(group.value);
+  }
+  observed /= static_cast<double>(arrays_.size());
+  const double tolerance = 1e-6 * std::max(1.0, observed);
+  FCM_ASSERT(std::abs(mass - observed) <= tolerance,
+             "EmFsdEstimator: EM step changed total packet mass (" +
+                 std::to_string(mass) + " vs observed " +
+                 std::to_string(observed) + ")");
 }
 
 FlowSizeDistribution EmFsdEstimator::run(const IterationCallback& callback) {

@@ -59,6 +59,15 @@ class EmFsdEstimator {
   // Estimated total number of flows n (paper's second EM output).
   double estimated_flow_count() const noexcept { return current_.total_flows(); }
 
+  // Deep invariants of the EM state:
+  //   - every group references a valid array, with degree >= 1, value >= 1,
+  //     and positive multiplicity;
+  //   - the current estimate is finite and non-negative everywhere;
+  //   - mass conservation: sum_j j * n_j equals the per-tree average of the
+  //     virtual-counter mass (each EM step redistributes, never creates,
+  //     packet mass), up to floating-point tolerance.
+  void check_invariants() const;
+
  private:
   // One distinct (degree, value) cell of one tree's histogram.
   struct Group {

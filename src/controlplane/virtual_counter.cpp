@@ -1,7 +1,10 @@
 #include "controlplane/virtual_counter.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
+
+#include "common/contracts.h"
 
 namespace fcm::control {
 
@@ -31,6 +34,21 @@ std::vector<std::size_t> VirtualCounterArray::degree_histogram() const {
     if (vc.value > 0) ++histogram[vc.degree];
   }
   return histogram;
+}
+
+void VirtualCounterArray::check_invariants() const {
+  FCM_ASSERT(leaf_count > 0, "VirtualCounterArray: leaf_count == 0");
+  std::uint64_t degree_sum = 0;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    FCM_ASSERT(counters[i].degree >= 1,
+               "VirtualCounterArray: counter " + std::to_string(i) +
+                   " has degree 0 (every virtual counter merges >= 1 leaf)");
+    degree_sum += counters[i].degree;
+  }
+  FCM_ASSERT(degree_sum == leaf_count,
+             "VirtualCounterArray: degrees sum to " + std::to_string(degree_sum) +
+                 " but the tree has " + std::to_string(leaf_count) +
+                 " leaves (paths must partition the leaf stage)");
 }
 
 VirtualCounterArray convert_tree(const core::FcmTree& tree) {
@@ -83,6 +101,14 @@ VirtualCounterArray convert_tree(const core::FcmTree& tree) {
       }
     }
   }
+  // §4.1 round-trip guarantee: the conversion preserves the tree's total
+  // count exactly, and the merged paths partition the leaf stage.
+  FCM_ENSURE(array.total_value() == tree.total_count(),
+             "convert_tree: virtual counters lost mass (" +
+                 std::to_string(array.total_value()) + " vs tree total " +
+                 std::to_string(tree.total_count()) + ")");
+  FCM_CHECKED_ONLY(array.check_invariants());
+  FCM_CHECKED_ONLY(tree.check_invariants());
   return array;
 }
 

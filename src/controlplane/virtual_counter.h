@@ -33,6 +33,14 @@ struct VirtualCounterArray {
   std::uint32_t max_degree() const noexcept;
   // Histogram: result[d] = number of non-empty counters of degree d.
   std::vector<std::size_t> degree_histogram() const;
+
+  // Deep invariants of a converted array (§4.1):
+  //   - leaf_count > 0;
+  //   - every counter's degree >= 1 (each virtual counter merges at least
+  //     one leaf path);
+  //   - the degrees of all counters sum to exactly leaf_count (every leaf
+  //     belongs to exactly one merged path).
+  void check_invariants() const;
 };
 
 // Converts one FCM tree.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/bitutil.h"
+#include "common/contracts.h"
 
 namespace fcm::core {
 
@@ -26,24 +27,24 @@ std::size_t FcmConfig::memory_bytes() const noexcept {
 }
 
 void FcmConfig::validate() const {
-  if (tree_count == 0) throw std::invalid_argument("FcmConfig: tree_count == 0");
-  if (k < 2) throw std::invalid_argument("FcmConfig: k must be >= 2");
-  if (stage_bits.empty()) throw std::invalid_argument("FcmConfig: no stages");
+  FCM_REQUIRE(tree_count > 0, "FcmConfig: tree_count == 0");
+  FCM_REQUIRE(k >= 2, "FcmConfig: k must be >= 2");
+  FCM_REQUIRE(!stage_bits.empty(), "FcmConfig: no stages");
   for (std::size_t i = 0; i < stage_bits.size(); ++i) {
-    if (stage_bits[i] < 2 || stage_bits[i] > 32) {
-      throw std::invalid_argument("FcmConfig: stage bits must be in [2, 32]");
-    }
-    if (i > 0 && stage_bits[i] <= stage_bits[i - 1]) {
-      throw std::invalid_argument("FcmConfig: stage bits must be increasing");
-    }
+    FCM_REQUIRE(stage_bits[i] >= 2 && stage_bits[i] <= 32,
+                "FcmConfig: stage bits must be in [2, 32], got " +
+                    std::to_string(stage_bits[i]) + " at stage " +
+                    std::to_string(i + 1));
+    FCM_REQUIRE(i == 0 || stage_bits[i] > stage_bits[i - 1],
+                "FcmConfig: stage bits must be strictly increasing (stage " +
+                    std::to_string(i + 1) + ")");
   }
   std::size_t divisor = 1;
   for (std::size_t l = 1; l < stage_count(); ++l) divisor *= k;
-  if (leaf_count == 0 || leaf_count % divisor != 0) {
-    throw std::invalid_argument(
-        "FcmConfig: leaf_count (" + std::to_string(leaf_count) +
-        ") must be a positive multiple of k^(L-1) = " + std::to_string(divisor));
-  }
+  FCM_REQUIRE(
+      leaf_count > 0 && leaf_count % divisor == 0,
+      "FcmConfig: leaf_count (" + std::to_string(leaf_count) +
+          ") must be a positive multiple of k^(L-1) = " + std::to_string(divisor));
 }
 
 FcmConfig FcmConfig::for_memory(std::size_t memory_bytes, std::size_t tree_count,
@@ -62,9 +63,8 @@ FcmConfig FcmConfig::for_memory(std::size_t memory_bytes, std::size_t tree_count
     bits_per_leaf += static_cast<double>(b) / scale;
     scale *= static_cast<double>(k);
   }
-  if (tree_count == 0 || bits_per_leaf <= 0.0) {
-    throw std::invalid_argument("FcmConfig::for_memory: bad parameters");
-  }
+  FCM_REQUIRE(tree_count > 0 && bits_per_leaf > 0.0,
+              "FcmConfig::for_memory: bad parameters");
   const double budget_bits =
       static_cast<double>(memory_bytes) * 8.0 / static_cast<double>(tree_count);
   auto leaves = static_cast<std::size_t>(budget_bits / bits_per_leaf);
@@ -72,11 +72,14 @@ FcmConfig FcmConfig::for_memory(std::size_t memory_bytes, std::size_t tree_count
   std::size_t divisor = 1;
   for (std::size_t l = 1; l < config.stage_count(); ++l) divisor *= k;
   leaves -= leaves % divisor;
-  if (leaves == 0) {
-    throw std::invalid_argument("FcmConfig::for_memory: memory too small");
-  }
+  FCM_REQUIRE(leaves > 0,
+              "FcmConfig::for_memory: memory budget of " +
+                  std::to_string(memory_bytes) + " bytes too small for " +
+                  std::to_string(tree_count) + " tree(s)");
   config.leaf_count = leaves;
   config.validate();
+  FCM_ENSURE(config.memory_bytes() <= memory_bytes,
+             "FcmConfig::for_memory: built config exceeds the memory budget");
   return config;
 }
 

@@ -1,6 +1,9 @@
 #include "fcm/fcm_sketch.h"
 
 #include <cmath>
+#include <string>
+
+#include "common/contracts.h"
 
 namespace fcm::core {
 
@@ -8,7 +11,9 @@ FcmSketch::FcmSketch(FcmConfig config) : config_(std::move(config)) {
   config_.validate();
   trees_.reserve(config_.tree_count);
   for (std::size_t t = 0; t < config_.tree_count; ++t) {
-    trees_.emplace_back(config_, common::make_hash(config_.seed, static_cast<std::uint32_t>(t)));
+    trees_.emplace_back(
+        config_, common::make_hash(config_.seed,
+                                   common::checked_narrow<std::uint32_t>(t)));
   }
 }
 
@@ -34,6 +39,10 @@ std::uint64_t FcmSketch::update_conservative(flow::FlowKey key) {
       estimate = std::min(estimate, tree.add(key, 1));
     }
   }
+  // Conservative updates are monotone and tight: the post-update minimum
+  // moves by at most one and never decreases (footnote 3 semantics).
+  FCM_ENSURE(estimate >= minimum && estimate <= minimum + 1,
+             "FcmSketch: conservative update broke monotonicity");
   if (hh_threshold_ && estimate >= *hh_threshold_) {
     heavy_hitters_.insert(key);
   }
@@ -55,15 +64,35 @@ double FcmSketch::estimate_cardinality() const {
     empty_sum += static_cast<double>(tree.empty_leaf_count());
   }
   double w0 = empty_sum / static_cast<double>(trees_.size());
-  // Standard linear-counting guard: a full table has no finite estimate;
-  // treat as half an empty slot (upper end of the estimable range).
-  if (w0 < 0.5) w0 = 0.5;
-  return -w1 * std::log(w0 / w1);
+  FCM_ASSERT(w0 >= 0.0 && w0 <= w1,
+             "FcmSketch: empty-leaf average outside [0, w1]");
+  // Linear-counting guard: a full table has no finite estimate. Saturate at
+  // half an empty slot (the upper end of the estimable range) and record the
+  // event so callers/benches can see how often the guard fired instead of
+  // silently absorbing it.
+  if (w0 < 0.5) {
+    ++cardinality_saturations_;
+    w0 = 0.5;
+  }
+  const double estimate = -w1 * std::log(w0 / w1);
+  FCM_ENSURE(std::isfinite(estimate) && estimate >= 0.0,
+             "FcmSketch: linear-counting estimate is not finite/non-negative");
+  return estimate;
+}
+
+void FcmSketch::check_invariants() const {
+  config_.validate();
+  FCM_ASSERT(trees_.size() == config_.tree_count,
+             "FcmSketch: tree count diverged from config (" +
+                 std::to_string(trees_.size()) + " vs " +
+                 std::to_string(config_.tree_count) + ")");
+  for (const auto& tree : trees_) tree.check_invariants();
 }
 
 void FcmSketch::clear() {
   for (auto& tree : trees_) tree.clear();
   heavy_hitters_.clear();
+  cardinality_saturations_ = 0;
 }
 
 }  // namespace fcm::core

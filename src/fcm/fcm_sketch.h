@@ -40,8 +40,18 @@ class FcmSketch {
   std::uint64_t query(flow::FlowKey key) const noexcept;
 
   // Linear-counting cardinality over stage-1 nodes (§3.3):
-  // n̂ = -w1 * ln(w0/w1), with w0 averaged across trees.
+  // n̂ = -w1 * ln(w0/w1), with w0 averaged across trees. When every leaf is
+  // occupied the formula has no finite value; the estimate saturates at the
+  // guard w0 = 0.5 (half an empty slot) and the event is recorded in
+  // cardinality_saturation_count() so benches can report how often linear
+  // counting ran out of range.
   double estimate_cardinality() const;
+
+  // How many estimate_cardinality() calls hit the full-table guard since
+  // construction / the last clear().
+  std::uint64_t cardinality_saturation_count() const noexcept {
+    return cardinality_saturations_;
+  }
 
   // --- heavy hitters (data-plane query) ---
   void set_heavy_hitter_threshold(std::uint64_t threshold) {
@@ -57,6 +67,10 @@ class FcmSketch {
   const FcmTree& tree(std::size_t i) const noexcept { return trees_[i]; }
   std::size_t memory_bytes() const noexcept { return config_.memory_bytes(); }
 
+  // Deep invariants: config validity, tree-count consistency, and every
+  // tree's structural invariants (see FcmTree::check_invariants).
+  void check_invariants() const;
+
   void clear();
 
  private:
@@ -64,6 +78,9 @@ class FcmSketch {
   std::vector<FcmTree> trees_;
   std::optional<std::uint64_t> hh_threshold_;
   std::unordered_set<flow::FlowKey> heavy_hitters_;
+  // Mutable: estimate_cardinality() is logically const; the counter is
+  // observability metadata, not sketch state.
+  mutable std::uint64_t cardinality_saturations_ = 0;
 };
 
 }  // namespace fcm::core

@@ -82,6 +82,11 @@ std::unordered_map<flow::FlowKey, std::uint64_t> FcmTopK::topk_flows() const {
   return flows;
 }
 
+void FcmTopK::check_invariants() const {
+  sketch_.check_invariants();
+  filter_.check_invariants();
+}
+
 void FcmTopK::clear() {
   sketch_.clear();
   filter_.clear();

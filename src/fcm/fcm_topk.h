@@ -49,6 +49,9 @@ class FcmTopK {
     return sketch_.memory_bytes() + filter_.memory_bytes();
   }
 
+  // Deep invariants of both parts (sketch trees + filter vote table).
+  void check_invariants() const;
+
   void clear();
 
  private:

@@ -1,6 +1,9 @@
 #include "fcm/fcm_tree.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/contracts.h"
 
 namespace fcm::core {
 
@@ -13,7 +16,8 @@ FcmTree::FcmTree(const FcmConfig& config, common::SeededHash hash)
   marker_.resize(levels);
   for (std::size_t l = 1; l <= levels; ++l) {
     stages_[l - 1].assign(config_.width(l), 0);
-    counting_max_[l - 1] = static_cast<std::uint32_t>(config_.counting_max(l));
+    counting_max_[l - 1] =
+        common::checked_narrow<std::uint32_t>(config_.counting_max(l));
     marker_[l - 1] = counting_max_[l - 1] + 1;
   }
 }
@@ -36,14 +40,14 @@ std::uint64_t FcmTree::add(flow::FlowKey key, std::uint64_t count) {
     } else {
       const std::uint64_t room = cap - node;
       if (carry <= room) {
-        node = static_cast<std::uint32_t>(node + carry);
+        node = common::checked_narrow<std::uint32_t>(node + carry);
         estimate += node;
         return estimate;
       }
       // The increments fill the node and trip the overflow marker; the
       // remainder (including the tripping increment) carries forward.
       carry -= room;
-      node = static_cast<std::uint32_t>(mark);
+      node = common::checked_narrow<std::uint32_t>(mark);
       estimate += cap;
     }
     if (l + 1 == levels) {
@@ -96,6 +100,52 @@ std::uint64_t FcmTree::total_count() const noexcept {
     }
   }
   return total;
+}
+
+void FcmTree::check_invariants() const {
+  const std::size_t levels = config_.stage_count();
+  FCM_ASSERT(stages_.size() == levels,
+             "FcmTree: stage vector count diverged from config");
+  FCM_ASSERT(counting_max_.size() == levels && marker_.size() == levels,
+             "FcmTree: cached per-stage limits diverged from config");
+  for (std::size_t l = 0; l < levels; ++l) {
+    FCM_ASSERT(stages_[l].size() == config_.width(l + 1),
+               "FcmTree: stage " + std::to_string(l + 1) +
+                   " width diverged from config");
+    FCM_ASSERT(marker_[l] == counting_max_[l] + 1,
+               "FcmTree: marker/counting-max mismatch at stage " +
+                   std::to_string(l + 1));
+    for (std::size_t i = 0; i < stages_[l].size(); ++i) {
+      const std::uint32_t v = stages_[l][i];
+      // Bit-width saturation: a b-bit node never stores more than 2^b - 1.
+      FCM_ASSERT(v <= marker_[l],
+                 "FcmTree: node value exceeds its bit width at stage " +
+                     std::to_string(l + 1) + " index " + std::to_string(i));
+      if (l + 1 < levels) {
+        // Overflow flag ↔ next-level counter consistency (Figure 3): the
+        // tripping increment always lands in the parent.
+        FCM_ASSERT(v != marker_[l] || stages_[l + 1][i / config_.k] > 0,
+                   "FcmTree: overflowed node at stage " + std::to_string(l + 1) +
+                       " index " + std::to_string(i) +
+                       " but its parent holds no count");
+      }
+      if (l > 0 && v > 0) {
+        // A non-leaf node only receives counts via child overflow.
+        bool any_overflowed_child = false;
+        for (std::size_t c = i * config_.k;
+             c < std::min((i + 1) * config_.k, stages_[l - 1].size()); ++c) {
+          if (stages_[l - 1][c] == marker_[l - 1]) {
+            any_overflowed_child = true;
+            break;
+          }
+        }
+        FCM_ASSERT(any_overflowed_child,
+                   "FcmTree: stage " + std::to_string(l + 1) + " node " +
+                       std::to_string(i) +
+                       " holds a count but no child overflowed");
+      }
+    }
+  }
 }
 
 void FcmTree::clear() noexcept {

@@ -54,6 +54,17 @@ class FcmTree {
 
   const FcmConfig& config() const noexcept { return config_; }
 
+  // Deep structural invariants (§3.1/Figure 3 semantics); throws/aborts per
+  // the contract level on violation:
+  //   - geometry: stage vector shapes match the config;
+  //   - bit-width saturation: every stored node value <= overflow marker;
+  //   - overflow-flag ↔ parent consistency: an overflowed node's parent
+  //     holds a positive count (the carry landed), and a non-leaf node with
+  //     a positive count has at least one overflowed child.
+  // Cheap enough for test sweeps; CHECKED builds call it from hot paths via
+  // FCM_CHECKED_ONLY.
+  void check_invariants() const;
+
   // The hash function selecting this tree's leaf (needed to compile the
   // tree onto the PISA pipeline with identical indexing).
   common::SeededHash hash() const noexcept { return hash_; }

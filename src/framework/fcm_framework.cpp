@@ -2,13 +2,14 @@
 
 #include <stdexcept>
 
+#include "common/contracts.h"
+
 namespace fcm::framework {
 
 FcmFramework::FcmFramework(Options options) : options_(std::move(options)) {
-  if (options_.count_mode == CountMode::kBytes && options_.topk_entries > 0) {
-    throw std::invalid_argument(
-        "FcmFramework: byte counting requires the plain-FCM data plane");
-  }
+  FCM_REQUIRE(
+      !(options_.count_mode == CountMode::kBytes && options_.topk_entries > 0),
+      "FcmFramework: byte counting requires the plain-FCM data plane");
   if (options_.topk_entries > 0) {
     core::FcmTopK::Config config;
     config.fcm = options_.fcm;
@@ -105,6 +106,16 @@ void FcmFramework::reset() {
 
 std::size_t FcmFramework::memory_bytes() const {
   return with_topk_ ? with_topk_->memory_bytes() : plain_->memory_bytes();
+}
+
+void FcmFramework::check_invariants() const {
+  FCM_ASSERT(plain_.has_value() != with_topk_.has_value(),
+             "FcmFramework: exactly one data-plane variant must be active");
+  if (with_topk_) {
+    with_topk_->check_invariants();
+  } else {
+    plain_->check_invariants();
+  }
 }
 
 }  // namespace fcm::framework

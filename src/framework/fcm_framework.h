@@ -71,6 +71,10 @@ class FcmFramework {
   const Options& options() const noexcept { return options_; }
   std::size_t memory_bytes() const;
 
+  // Deep invariants of the active data plane (sketch trees, and the vote
+  // table when the Top-K filter is enabled).
+  void check_invariants() const;
+
   // Frameworks are copyable: keep a snapshot per epoch for heavy change.
   FcmFramework(const FcmFramework&) = default;
   FcmFramework& operator=(const FcmFramework&) = default;

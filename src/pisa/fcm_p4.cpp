@@ -3,18 +3,21 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "common/contracts.h"
 
 namespace fcm::pisa {
 
 FcmP4Program::FcmP4Program(core::FcmConfig config)
     : config_(std::move(config)), cardinality_table_(config_.leaf_count, 0.002) {
   config_.validate();
-  if (config_.tree_count > 4) {
-    throw std::invalid_argument("FcmP4Program: at most 4 trees fit the PHV layout");
-  }
+  FCM_REQUIRE(config_.tree_count <= 4,
+              "FcmP4Program: at most 4 trees fit the PHV layout, got " +
+                  std::to_string(config_.tree_count));
   for (std::size_t t = 0; t < config_.tree_count; ++t) {
     tree_hashes_.push_back(
-        common::make_hash(config_.seed, static_cast<std::uint32_t>(t)));
+        common::make_hash(config_.seed, common::checked_narrow<std::uint32_t>(t)));
   }
 
   // Register arrays: one per (tree, level). Trees are parallel, so a level's
@@ -105,7 +108,7 @@ std::uint64_t FcmP4Program::query(flow::FlowKey key) const {
     for (std::size_t l = 1; l <= config_.stage_count(); ++l) {
       const RegisterArray& array =
           pipeline_.register_array(array_ids_[t][l - 1]);
-      const std::uint64_t value = array.cells[index];
+      const std::uint64_t value = array.at(index);
       if (value != array.marker()) {
         estimate += value;
         break;
@@ -134,7 +137,33 @@ double FcmP4Program::estimate_cardinality_tcam() const {
 
 const RegisterArray& FcmP4Program::level_registers(std::size_t tree,
                                                    std::size_t level_1based) const {
-  return pipeline_.register_array(array_ids_.at(tree).at(level_1based - 1));
+  FCM_REQUIRE(tree < array_ids_.size(),
+              "FcmP4Program: tree " + std::to_string(tree) + " out of range");
+  FCM_REQUIRE(level_1based >= 1 && level_1based <= array_ids_[tree].size(),
+              "FcmP4Program: level " + std::to_string(level_1based) +
+                  " out of range");
+  return pipeline_.register_array(array_ids_[tree][level_1based - 1]);
+}
+
+void FcmP4Program::check_invariants() const {
+  config_.validate();
+  pipeline_.check_invariants();
+  // The compiled register arrays mirror the config's geometry exactly —
+  // this is what makes the P4 program bit-identical to core::FcmSketch.
+  FCM_ASSERT(array_ids_.size() == config_.tree_count,
+             "FcmP4Program: register array rows diverged from tree count");
+  for (std::size_t t = 0; t < array_ids_.size(); ++t) {
+    FCM_ASSERT(array_ids_[t].size() == config_.stage_count(),
+               "FcmP4Program: tree " + std::to_string(t) +
+                   " register levels diverged from stage count");
+    for (std::size_t l = 1; l <= array_ids_[t].size(); ++l) {
+      const RegisterArray& array = level_registers(t, l);
+      FCM_ASSERT(array.bits == config_.stage_bits[l - 1] &&
+                     array.size() == config_.width(l),
+                 "FcmP4Program: register array '" + array.name +
+                     "' geometry diverged from the FCM config");
+    }
+  }
 }
 
 }  // namespace fcm::pisa

@@ -42,6 +42,10 @@ class FcmP4Program {
   Pipeline& pipeline() noexcept { return pipeline_; }
   const Pipeline& pipeline() const noexcept { return pipeline_; }
 
+  // Deep invariants: the pipeline's register state respects every array's
+  // bit width, and the compiled arrays still mirror the FCM geometry.
+  void check_invariants() const;
+
   void clear() { pipeline_.clear_registers(); }
 
  private:

@@ -1,6 +1,9 @@
 #include "pisa/hardware_topk.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "common/contracts.h"
 
 namespace fcm::pisa {
 
@@ -8,9 +11,10 @@ HardwareTopKFilter::HardwareTopKFilter(std::size_t entry_count,
                                        std::uint32_t eviction_votes,
                                        std::uint64_t seed)
     : hash_(common::make_hash(seed, 0)), eviction_votes_(eviction_votes) {
-  if (entry_count == 0 || eviction_votes == 0) {
-    throw std::invalid_argument("HardwareTopKFilter: bad parameters");
-  }
+  FCM_REQUIRE(entry_count > 0,
+              "HardwareTopKFilter: entry_count must be positive");
+  FCM_REQUIRE(eviction_votes > 0,
+              "HardwareTopKFilter: eviction_votes must be positive");
   table_.resize(entry_count);
 }
 
@@ -54,6 +58,25 @@ std::vector<sketch::TopKFilter::EntryView> HardwareTopKFilter::entries() const {
     }
   }
   return result;
+}
+
+void HardwareTopKFilter::check_invariants() const {
+  FCM_ASSERT(!table_.empty(), "HardwareTopKFilter: empty table");
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const Entry& entry = table_[i];
+    if (entry.key.value == 0) {
+      FCM_ASSERT(entry.count == 0 && entry.negative == 0 && !entry.has_light_part,
+                 "HardwareTopKFilter: empty bucket " + std::to_string(i) +
+                     " carries votes or flags");
+      continue;
+    }
+    FCM_ASSERT(entry.count >= 1,
+               "HardwareTopKFilter: occupied bucket " + std::to_string(i) +
+                   " has zero count");
+    FCM_ASSERT(entry.negative < eviction_votes_,
+               "HardwareTopKFilter: bucket " + std::to_string(i) +
+                   " survived past the eviction threshold");
+  }
 }
 
 void HardwareTopKFilter::clear() {

@@ -29,6 +29,12 @@ class HardwareTopKFilter {
   std::vector<sketch::TopKFilter::EntryView> entries() const;
 
   std::size_t memory_bytes() const { return table_.size() * 8; }
+
+  // Deep invariants of the hardware vote table: empty buckets carry no
+  // state; occupied buckets have count >= 1 and strictly fewer negative
+  // votes than the eviction threshold.
+  void check_invariants() const;
+
   void clear();
 
  private:
@@ -58,6 +64,13 @@ class HardwareFcmTopK {
   std::size_t memory_bytes() const {
     return sketch_.memory_bytes() + filter_.memory_bytes();
   }
+
+  // Deep invariants of both parts.
+  void check_invariants() const {
+    sketch_.check_invariants();
+    filter_.check_invariants();
+  }
+
   void clear();
 
  private:

@@ -6,11 +6,22 @@
 
 namespace fcm::pisa {
 
+namespace {
+
+// True when `field` is a valid PHV slot or the "unused" sentinel -1.
+bool phv_field_ok(int field, bool allow_unset = true) {
+  if (field == -1) return allow_unset;
+  return field >= 0 && static_cast<std::size_t>(field) < Phv::kFields;
+}
+
+}  // namespace
+
 std::size_t Pipeline::add_register_array(std::string name, unsigned bits,
                                          std::size_t size) {
-  if (bits < 2 || bits > 32 || size == 0) {
-    throw std::invalid_argument("Pipeline: bad register array geometry");
-  }
+  FCM_REQUIRE(bits >= 2 && bits <= 32,
+              "Pipeline: register array '" + name + "' cell width " +
+                  std::to_string(bits) + " outside [2, 32] bits");
+  FCM_REQUIRE(size > 0, "Pipeline: register array '" + name + "' has zero cells");
   arrays_.push_back(RegisterArray{std::move(name), bits,
                                   std::vector<std::uint32_t>(size, 0u)});
   return arrays_.size() - 1;
@@ -22,15 +33,59 @@ std::size_t Pipeline::add_stage() {
 }
 
 void Pipeline::add_action(std::size_t stage, Action action) {
-  stages_.at(stage).push_back(std::move(action));
+  FCM_REQUIRE(stage < stages_.size(),
+              "Pipeline: stage " + std::to_string(stage) +
+                  " does not exist (have " + std::to_string(stages_.size()) +
+                  " stages)");
+  if (const auto* salu = std::get_if<SaluAction>(&action)) {
+    FCM_REQUIRE(salu->array < arrays_.size(),
+                "Pipeline: sALU in stage " + std::to_string(stage) +
+                    " references unknown register array id " +
+                    std::to_string(salu->array));
+    const std::string& name = arrays_[salu->array].name;
+    FCM_REQUIRE(phv_field_ok(salu->index_field, /*allow_unset=*/false),
+                "Pipeline: sALU on array '" + name + "' in stage " +
+                    std::to_string(stage) + " has an invalid index field");
+    FCM_REQUIRE(phv_field_ok(salu->output_field) &&
+                    phv_field_ok(salu->input_field) &&
+                    phv_field_ok(salu->gate_field),
+                "Pipeline: sALU on array '" + name + "' in stage " +
+                    std::to_string(stage) + " has a PHV field out of range");
+    FCM_REQUIRE((salu->kind != SaluAction::Kind::kAddFieldSaturating &&
+                 salu->kind != SaluAction::Kind::kSwap) ||
+                    salu->input_field >= 0,
+                "Pipeline: sALU on array '" + name + "' in stage " +
+                    std::to_string(stage) + " needs an input field");
+  } else if (const auto* hash = std::get_if<HashAction>(&action)) {
+    FCM_REQUIRE(phv_field_ok(hash->dst, /*allow_unset=*/false),
+                "Pipeline: hash action in stage " + std::to_string(stage) +
+                    " writes an out-of-range PHV field");
+    FCM_REQUIRE(hash->modulo > 0, "Pipeline: hash action in stage " +
+                                      std::to_string(stage) +
+                                      " has modulo == 0");
+  } else {
+    const auto& field = std::get<FieldAction>(action);
+    FCM_REQUIRE(phv_field_ok(field.dst, /*allow_unset=*/false) &&
+                    phv_field_ok(field.a) && phv_field_ok(field.b) &&
+                    phv_field_ok(field.gate_field),
+                "Pipeline: field action in stage " + std::to_string(stage) +
+                    " has a PHV field out of range");
+    FCM_REQUIRE(field.op != FieldAction::Op::kDivImm || field.imm != 0,
+                "Pipeline: field action in stage " + std::to_string(stage) +
+                    " divides by zero");
+  }
+  stages_[stage].push_back(std::move(action));
 }
 
 void Pipeline::validate() const {
   if (stages_.size() > limits_.max_stages) {
-    throw std::runtime_error("Pipeline: stage budget exceeded");
+    throw PipelineError("Pipeline: program uses " +
+                        std::to_string(stages_.size()) + " stages, budget is " +
+                        std::to_string(limits_.max_stages));
   }
   std::set<std::size_t> arrays_touched;
-  for (const auto& stage : stages_) {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const auto& stage = stages_[s];
     std::size_t salus = 0;
     std::size_t stage_register_bytes = 0;
     std::set<std::size_t> arrays_in_stage;
@@ -38,26 +93,56 @@ void Pipeline::validate() const {
       if (const auto* salu = std::get_if<SaluAction>(&action)) {
         ++salus;
         if (salu->array >= arrays_.size()) {
-          throw std::runtime_error("Pipeline: sALU references unknown array");
-        }
-        if (!arrays_in_stage.insert(salu->array).second) {
-          throw std::runtime_error(
-              "Pipeline: register array accessed twice in one stage");
-        }
-        if (!arrays_touched.insert(salu->array).second) {
-          throw std::runtime_error(
-              "Pipeline: register array accessed from two stages (one access "
-              "per packet pass)");
+          throw PipelineError("Pipeline: stage " + std::to_string(s) +
+                              " sALU references unknown array id " +
+                              std::to_string(salu->array));
         }
         const RegisterArray& array = arrays_[salu->array];
+        if (!arrays_in_stage.insert(salu->array).second) {
+          throw PipelineError("Pipeline: register array '" + array.name +
+                              "' accessed twice in stage " + std::to_string(s));
+        }
+        if (!arrays_touched.insert(salu->array).second) {
+          throw PipelineError("Pipeline: register array '" + array.name +
+                              "' accessed again in stage " + std::to_string(s) +
+                              " (one access per packet pass)");
+        }
         stage_register_bytes += array.cells.size() * ((array.bits + 7) / 8);
       }
     }
     if (salus > limits_.max_salus_per_stage) {
-      throw std::runtime_error("Pipeline: too many sALUs in one stage");
+      throw PipelineError("Pipeline: stage " + std::to_string(s) + " uses " +
+                          std::to_string(salus) + " sALUs, budget is " +
+                          std::to_string(limits_.max_salus_per_stage));
     }
     if (stage_register_bytes > limits_.max_register_bytes_per_stage) {
-      throw std::runtime_error("Pipeline: stage SRAM budget exceeded");
+      throw PipelineError("Pipeline: stage " + std::to_string(s) + " places " +
+                          std::to_string(stage_register_bytes) +
+                          " register bytes, SRAM budget is " +
+                          std::to_string(limits_.max_register_bytes_per_stage));
+    }
+  }
+}
+
+void Pipeline::check_invariants() const {
+  for (const RegisterArray& array : arrays_) {
+    const std::uint64_t marker = array.marker();
+    for (std::size_t i = 0; i < array.cells.size(); ++i) {
+      // Bit-width saturation: a b-bit register never stores more than
+      // 2^b - 1; anything above means a write bypassed the sALU semantics.
+      FCM_ASSERT(array.at(i) <= marker,
+                 "Pipeline: register array '" + array.name + "' cell " +
+                     std::to_string(i) + " exceeds its " +
+                     std::to_string(array.bits) + "-bit width");
+    }
+  }
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    for (const Action& action : stages_[s]) {
+      if (const auto* salu = std::get_if<SaluAction>(&action)) {
+        FCM_ASSERT(salu->array < arrays_.size(),
+                   "Pipeline: stage " + std::to_string(s) +
+                       " sALU references an unknown array");
+      }
     }
   }
 }
@@ -71,8 +156,8 @@ bool gated_off(const Phv& phv, int gate_field) {
 void run_salu(RegisterArray& array, const SaluAction& salu, Phv& phv) {
   if (gated_off(phv, salu.gate_field)) return;
   auto& cell =
-      array.cells[phv.fields[static_cast<std::size_t>(salu.index_field)] %
-                  array.cells.size()];
+      array.at(phv.fields[static_cast<std::size_t>(salu.index_field)] %
+               array.size());
   const std::uint64_t marker = array.marker();
   std::uint64_t output = cell;
   switch (salu.kind) {
@@ -83,7 +168,7 @@ void run_salu(RegisterArray& array, const SaluAction& salu, Phv& phv) {
     case SaluAction::Kind::kAddFieldSaturating: {
       const std::uint64_t next =
           cell + phv.fields[static_cast<std::size_t>(salu.input_field)];
-      cell = static_cast<std::uint32_t>(std::min(next, marker));
+      cell = common::checked_narrow<std::uint32_t>(std::min(next, marker));
       output = cell;
       break;
     }
@@ -92,7 +177,7 @@ void run_salu(RegisterArray& array, const SaluAction& salu, Phv& phv) {
       break;
     case SaluAction::Kind::kSwap:
       output = cell;
-      cell = static_cast<std::uint32_t>(
+      cell = common::checked_narrow<std::uint32_t>(
           phv.fields[static_cast<std::size_t>(salu.input_field)] & marker);
       break;
   }

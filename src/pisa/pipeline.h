@@ -15,14 +15,23 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/hash.h"
 #include "flow/flow_key.h"
 
 namespace fcm::pisa {
+
+// Thrown when a program violates the modeled hardware constraints. The
+// message always names the offending stage and/or register array.
+class PipelineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 // Packet header vector: a small bank of metadata fields programs operate on.
 struct Phv {
@@ -92,6 +101,24 @@ struct RegisterArray {
   std::vector<std::uint32_t> cells;
 
   std::uint64_t marker() const noexcept { return (1ull << bits) - 1; }
+
+  std::size_t size() const noexcept { return cells.size(); }
+
+  // Bounds-checked cell access — the only sanctioned way to index a
+  // register array (enforced by tools/fcm_lint.py). Out-of-range access is
+  // a contract violation naming the offending array.
+  std::uint32_t at(std::size_t index) const {
+    FCM_REQUIRE(index < cells.size(),
+                "RegisterArray '" + name + "': index " + std::to_string(index) +
+                    " out of range (size " + std::to_string(cells.size()) + ")");
+    return cells[index];
+  }
+  std::uint32_t& at(std::size_t index) {
+    FCM_REQUIRE(index < cells.size(),
+                "RegisterArray '" + name + "': index " + std::to_string(index) +
+                    " out of range (size " + std::to_string(cells.size()) + ")");
+    return cells[index];
+  }
 };
 
 struct PipelineLimits {
@@ -105,19 +132,42 @@ class Pipeline {
   explicit Pipeline(PipelineLimits limits = {}) : limits_(limits) {}
 
   std::size_t add_register_array(std::string name, unsigned bits, std::size_t size);
-  RegisterArray& register_array(std::size_t id) { return arrays_[id]; }
-  const RegisterArray& register_array(std::size_t id) const { return arrays_[id]; }
+  RegisterArray& register_array(std::size_t id) {
+    FCM_REQUIRE(id < arrays_.size(),
+                "Pipeline: register array id " + std::to_string(id) +
+                    " out of range (have " + std::to_string(arrays_.size()) +
+                    " arrays)");
+    return arrays_[id];
+  }
+  const RegisterArray& register_array(std::size_t id) const {
+    FCM_REQUIRE(id < arrays_.size(),
+                "Pipeline: register array id " + std::to_string(id) +
+                    " out of range (have " + std::to_string(arrays_.size()) +
+                    " arrays)");
+    return arrays_[id];
+  }
 
   // Appends a stage; returns its index.
   std::size_t add_stage();
+
+  // Appends `action` to `stage`. Structural preconditions — the stage
+  // exists, an sALU references a known register array, and every PHV field
+  // index is in range — are contract-checked here, at insertion time, so a
+  // malformed program fails where it is built rather than at validate().
   void add_action(std::size_t stage, Action action);
 
   std::size_t stage_count() const noexcept { return stages_.size(); }
 
-  // Throws std::runtime_error when the program violates the hardware
+  // Throws PipelineError (a std::runtime_error) naming the offending stage
+  // and/or register array when the program violates the hardware
   // constraints (stage budget, sALUs per stage, one array access per pass,
   // array placement within one stage's SRAM).
   void validate() const;
+
+  // Deep invariants of the runtime state: every register cell respects its
+  // array's bit width (value <= marker), and every recorded action's
+  // references are still in range.
+  void check_invariants() const;
 
   // Runs one packet through every stage, mutating `phv` and the register
   // arrays.

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "common/contracts.h"
 
 namespace fcm::sketch {
 
 CmSketch::CmSketch(std::size_t depth, std::size_t width, std::uint64_t seed)
     : width_(width) {
-  if (depth == 0 || width == 0) {
-    throw std::invalid_argument("CmSketch: depth and width must be positive");
-  }
+  FCM_REQUIRE(depth > 0 && width > 0,
+              "CmSketch: depth and width must be positive (depth=" +
+                  std::to_string(depth) + ", width=" + std::to_string(width) +
+                  ")");
   hashes_.reserve(depth);
   rows_.reserve(depth);
   for (std::size_t d = 0; d < depth; ++d) {
@@ -43,6 +47,18 @@ std::uint64_t CmSketch::query(flow::FlowKey key) const {
 
 std::size_t CmSketch::memory_bytes() const {
   return rows_.size() * width_ * sizeof(std::uint32_t);
+}
+
+void CmSketch::check_invariants() const {
+  FCM_ASSERT(!rows_.empty(), "CmSketch: zero depth");
+  FCM_ASSERT(width_ > 0, "CmSketch: zero width");
+  FCM_ASSERT(hashes_.size() == rows_.size(),
+             "CmSketch: hash count diverged from row count");
+  for (std::size_t d = 0; d < rows_.size(); ++d) {
+    FCM_ASSERT(rows_[d].size() == width_,
+               "CmSketch: row " + std::to_string(d) +
+                   " width diverged from the sketch geometry");
+  }
 }
 
 void CmSketch::clear() {

@@ -30,6 +30,10 @@ class CmSketch : public FrequencyEstimator {
   std::size_t depth() const noexcept { return rows_.size(); }
   std::size_t width() const noexcept { return width_; }
 
+  // Deep invariants: row geometry (depth >= 1, every row exactly `width()`
+  // counters, one hash per row).
+  void check_invariants() const;
+
  protected:
   std::size_t row_index(std::size_t row, flow::FlowKey key) const noexcept {
     return hashes_[row].index(key, width_);

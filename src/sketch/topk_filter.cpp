@@ -1,15 +1,17 @@
 #include "sketch/topk_filter.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "common/contracts.h"
 
 namespace fcm::sketch {
 
 TopKFilter::TopKFilter(std::size_t entry_count, std::uint32_t eviction_lambda,
                        std::uint64_t seed)
     : hash_(common::make_hash(seed, 0)), lambda_(eviction_lambda) {
-  if (entry_count == 0 || eviction_lambda == 0) {
-    throw std::invalid_argument("TopKFilter: bad parameters");
-  }
+  FCM_REQUIRE(entry_count > 0, "TopKFilter: entry_count must be positive");
+  FCM_REQUIRE(eviction_lambda > 0, "TopKFilter: eviction_lambda must be positive");
   table_.resize(entry_count);
 }
 
@@ -56,6 +58,29 @@ std::vector<TopKFilter::EntryView> TopKFilter::entries() const {
     }
   }
   return result;
+}
+
+void TopKFilter::check_invariants() const {
+  FCM_ASSERT(!table_.empty(), "TopKFilter: empty table");
+  FCM_ASSERT(lambda_ > 0, "TopKFilter: lambda must stay positive");
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const Entry& entry = table_[i];
+    if (entry.key.value == 0) {
+      FCM_ASSERT(entry.count == 0 && entry.negative == 0 && !entry.has_light_part,
+                 "TopKFilter: empty bucket " + std::to_string(i) +
+                     " carries votes or flags");
+      continue;
+    }
+    FCM_ASSERT(entry.count >= 1,
+               "TopKFilter: occupied bucket " + std::to_string(i) +
+                   " has zero positive votes");
+    // offer() evicts the moment negative >= lambda * count, so a resident
+    // entry always satisfies the strict inequality (same 32-bit arithmetic
+    // as the eviction test).
+    FCM_ASSERT(entry.negative < lambda_ * entry.count,
+               "TopKFilter: bucket " + std::to_string(i) +
+                   " survived past the eviction threshold");
+  }
 }
 
 void TopKFilter::clear() {

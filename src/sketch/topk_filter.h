@@ -55,6 +55,16 @@ class TopKFilter {
   // "key-value entries"; votes/flags ride along as in the hardware tables.
   std::size_t memory_bytes() const { return table_.size() * 8; }
   std::size_t entry_count() const { return table_.size(); }
+
+  // Deep invariants of the vote table (the heavy-part ordering property):
+  //   - empty buckets carry no votes and no light-part flag;
+  //   - an occupied bucket's positive votes are >= 1 (installation counts
+  //     the installing packet);
+  //   - negative votes stay strictly below the eviction threshold
+  //     lambda * count (offer() evicts the moment the threshold is reached,
+  //     so a resident entry always dominates its challengers).
+  void check_invariants() const;
+
   void clear();
 
  private:

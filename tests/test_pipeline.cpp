@@ -76,7 +76,7 @@ TEST(Pipeline, FcmIncrementSaturatesAtMarker) {
     pipeline.process(phv);
     EXPECT_EQ(phv.fields[1], std::min<std::uint64_t>(i, 3));
   }
-  EXPECT_EQ(pipeline.register_array(array).cells[2], 3u);  // marker, stuck
+  EXPECT_EQ(pipeline.register_array(array).at(2), 3u);  // marker, stuck
 }
 
 TEST(Pipeline, AddFieldSaturating) {
@@ -104,7 +104,7 @@ TEST(Pipeline, SwapOutputsOldValue) {
   Phv phv;
   pipeline.process(phv);
   EXPECT_EQ(phv.fields[2], 0u);
-  EXPECT_EQ(pipeline.register_array(array).cells[1], 42u);
+  EXPECT_EQ(pipeline.register_array(array).at(1), 42u);
   pipeline.process(phv);
   EXPECT_EQ(phv.fields[2], 42u);
 }
@@ -122,13 +122,13 @@ TEST(Pipeline, GatingSkipsActions) {
   Phv gated_off;
   gated_off.fields[5] = 0;
   pipeline.process(gated_off);
-  EXPECT_EQ(pipeline.register_array(array).cells[0], 0u);
+  EXPECT_EQ(pipeline.register_array(array).at(0), 0u);
   EXPECT_EQ(gated_off.fields[6], 0u);
 
   Phv gated_on;
   gated_on.fields[5] = 1;
   pipeline.process(gated_on);
-  EXPECT_EQ(pipeline.register_array(array).cells[0], 1u);
+  EXPECT_EQ(pipeline.register_array(array).at(0), 1u);
   EXPECT_EQ(gated_on.fields[6], 7u);
 }
 

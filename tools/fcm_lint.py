@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""fcm_lint: repo-specific static analysis the compiler can't do.
+
+Rules (see DESIGN.md "Correctness & static analysis"):
+
+  narrowing-cast   No bare narrowing ``static_cast`` onto counter types
+                   (``uint8_t``/``uint16_t``/``uint32_t`` and signed
+                   variants) inside ``src/fcm`` and ``src/pisa``. Counter
+                   narrowing must go through ``fcm::common::checked_narrow``,
+                   which asserts value preservation. (Bit-exact counter
+                   semantics are exactly what breaks silently under
+                   optimization — FCM-sketch §6-§8.)
+
+  rand-seeding     No ``std::rand``/``rand()``/``srand``/``random()`` and no
+                   seeding from ``time(0)``/``time(NULL)``/``std::time``.
+                   All randomness goes through the deterministic
+                   ``fcm::common::Xoshiro256`` so experiments reproduce.
+
+  pragma-once      Every header carries ``#pragma once``.
+
+  register-access  Every ``RegisterArray`` cell access goes through the
+                   bounds-checked ``.at(...)`` accessor; direct ``.cells[...]``
+                   indexing is banned (it bypasses the contract that names
+                   the offending array on out-of-range access).
+
+Suppression: append ``// fcm-lint: allow(<rule>)`` to the offending line.
+
+Usage:  tools/fcm_lint.py [paths...]       (default: src tests bench examples)
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_SUFFIXES = {".h", ".hpp", ".hh"}
+SOURCE_SUFFIXES = HEADER_SUFFIXES | {".cc", ".cpp", ".cxx"}
+
+# Rule: narrowing-cast — only inside these top-level directories.
+NARROWING_DIRS = ("src/fcm", "src/pisa")
+NARROWING_RE = re.compile(
+    r"static_cast<\s*(?:std::)?u?int(?:8|16|32)_t\s*>"
+)
+
+RAND_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:rand|srand|srandom|random)\s*\("
+)
+TIME_SEED_RE = re.compile(
+    r"(?<![\w:])(?:std::)?time\s*\(\s*(?:0|NULL|nullptr)\s*\)"
+)
+
+CELLS_INDEX_RE = re.compile(r"\.cells\s*\[")
+
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+
+ALLOW_RE = re.compile(r"//\s*fcm-lint:\s*allow\(([a-z-]+)\)")
+
+# contracts.h implements checked_narrow itself; its internal static_cast is
+# the sanctioned primitive.
+EXEMPT_FILES = {"src/common/contracts.h"}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def line_allows(line: str, rule: str) -> bool:
+    match = ALLOW_RE.search(line)
+    return bool(match) and match.group(1) == rule
+
+
+def strip_comments_keep_lines(text: str) -> str:
+    """Blank out // and /* */ comment bodies so rules don't fire on prose,
+    while preserving line numbering and the fcm-lint allow markers."""
+    out = []
+    i = 0
+    n = len(text)
+    in_block = False
+    in_line = False
+    in_string: str | None = None
+    while i < n:
+        c = text[i]
+        if in_block:
+            if c == "\n":
+                out.append("\n")
+            elif text.startswith("*/", i):
+                in_block = False
+                out.append("  ")
+                i += 2
+                continue
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if in_line:
+            if c == "\n":
+                in_line = False
+                out.append("\n")
+            else:
+                out.append(" ")  # allow markers are matched on the raw line
+            i += 1
+            continue
+        if in_string:
+            out.append(c)
+            if c == "\\":
+                if i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 2
+                    continue
+            elif c == in_string:
+                in_string = None
+            i += 1
+            continue
+        if text.startswith("/*", i):
+            in_block = True
+            out.append("  ")
+            i += 2
+            continue
+        if text.startswith("//", i):
+            in_line = True
+            out.append("//")
+            i += 2
+            continue
+        if c in "\"'":
+            in_string = c
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, repo_root: Path) -> list[Finding]:
+    rel = path.relative_to(repo_root).as_posix()
+    if rel in EXEMPT_FILES:
+        return []
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    text = strip_comments_keep_lines(raw)
+    findings: list[Finding] = []
+
+    if path.suffix in HEADER_SUFFIXES and not PRAGMA_ONCE_RE.search(raw):
+        findings.append(
+            Finding(path, 1, "pragma-once", "header is missing '#pragma once'")
+        )
+
+    check_narrowing = any(rel.startswith(d + "/") for d in NARROWING_DIRS)
+
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else line
+        if check_narrowing and NARROWING_RE.search(line):
+            if not line_allows(raw_line, "narrowing-cast"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "narrowing-cast",
+                        "bare narrowing static_cast on a counter type; use "
+                        "fcm::common::checked_narrow<T>() "
+                        "(or '// fcm-lint: allow(narrowing-cast)')",
+                    )
+                )
+        if RAND_RE.search(line) or TIME_SEED_RE.search(line):
+            if not line_allows(raw_line, "rand-seeding"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "rand-seeding",
+                        "non-deterministic randomness; use "
+                        "fcm::common::Xoshiro256 with an explicit seed",
+                    )
+                )
+        if CELLS_INDEX_RE.search(line):
+            if not line_allows(raw_line, "register-access"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "register-access",
+                        "direct RegisterArray cell indexing; use the "
+                        "bounds-checked .at(...) accessor",
+                    )
+                )
+    return findings
+
+
+def collect_files(paths: list[str], repo_root: Path) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = (repo_root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if p.is_file():
+            if p.suffix in SOURCE_SUFFIXES:
+                files.append(p)
+        elif p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
+            )
+        else:
+            print(f"fcm_lint: no such path: {raw}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "bench", "examples"],
+        help="files or directories to lint (default: src tests bench examples)",
+    )
+    args = parser.parse_args()
+
+    repo_root = Path(__file__).resolve().parent.parent
+    files = collect_files(args.paths, repo_root)
+    if not files:
+        print("fcm_lint: no C++ sources found", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, repo_root))
+
+    for finding in findings:
+        try:
+            shown = finding.path.relative_to(repo_root)
+        except ValueError:
+            shown = finding.path
+        print(f"{shown}:{finding.line}: [{finding.rule}] {finding.message}")
+
+    if findings:
+        print(f"fcm_lint: {len(findings)} finding(s) in {len(files)} file(s)")
+        return 1
+    print(f"fcm_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
