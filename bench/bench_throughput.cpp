@@ -1,11 +1,32 @@
-// Update/query throughput of every sketch (google-benchmark).
+// Update/query throughput of every sketch (google-benchmark), plus the
+// sharded-runtime scaling study.
 // Not a paper figure per se; it substantiates §8.3's accuracy-complexity
 // trade-off discussion (FCM costs more per update than CM in sequential
-// software, which the pipeline hides in hardware).
+// software, which the pipeline hides in hardware). The scaling study
+// measures how ShardedFcmFramework (DESIGN.md §7) recovers the hardware's
+// parallelism in software: serial FcmFramework baseline vs. sharded ingest
+// at N in {1, 2, 4, 8}, with machine-readable results in
+// BENCH_throughput.json.
+//
+// Flags: --scaling-only        run just the scaling study (skip micro-benches)
+//        --json=PATH           where to write the JSON (default
+//                              BENCH_throughput.json in the CWD)
+// Remaining arguments are forwarded to google-benchmark.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "fcm/fcm_estimator.h"
 #include "flow/synthetic.h"
+#include "framework/fcm_framework.h"
+#include "runtime/sharded_framework.h"
 #include "sketch/cm_sketch.h"
 #include "sketch/elastic_sketch.h"
 #include "sketch/hashpipe.h"
@@ -115,6 +136,147 @@ BENCHMARK(BM_QueryFcm);
 BENCHMARK(BM_QueryCm);
 BENCHMARK(BM_QueryElastic);
 
+// --- sharded-runtime scaling study ------------------------------------------
+
+struct ScalingPoint {
+  std::size_t shards = 0;       // 0 = serial baseline
+  double packets_per_sec = 0.0;
+  double speedup = 1.0;         // vs. the serial baseline
+};
+
+double time_packets_per_sec(const flow::Trace& trace,
+                            const std::function<void()>& run) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  run();
+  const auto elapsed = std::chrono::duration<double>(clock::now() - start);
+  return static_cast<double>(trace.size()) / elapsed.count();
+}
+
+std::vector<ScalingPoint> run_scaling_study(const flow::Trace& trace) {
+  framework::FcmFramework::Options fw;
+  fw.fcm = core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32});
+
+  constexpr int kRepeats = 3;  // best-of to shave scheduler noise
+  std::vector<ScalingPoint> points;
+
+  // Serial baseline: one framework, driver thread does everything.
+  ScalingPoint serial;
+  serial.shards = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    framework::FcmFramework framework(fw);
+    const double pps = time_packets_per_sec(trace, [&] {
+      for (const flow::Packet& packet : trace.packets()) {
+        framework.process(packet.key);
+      }
+    });
+    serial.packets_per_sec = std::max(serial.packets_per_sec, pps);
+  }
+  points.push_back(serial);
+
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ScalingPoint point;
+    point.shards = shards;
+    for (int r = 0; r < kRepeats; ++r) {
+      runtime::ShardedFcmFramework::Options options;
+      options.framework = fw;
+      options.shard_count = shards;
+      options.fanout = runtime::ShardedFcmFramework::Fanout::kHashByKey;
+      runtime::ShardedFcmFramework sharded(options);
+      // Ingest + rotate: the honest end-to-end cost of one epoch, including
+      // the final merge (which the runtime overlaps with the NEXT epoch's
+      // ingest in steady state; a single epoch pays it at the end).
+      const double pps = time_packets_per_sec(trace, [&] {
+        for (const flow::Packet& packet : trace.packets()) {
+          sharded.ingest(packet.key);
+        }
+        sharded.rotate();
+      });
+      point.packets_per_sec = std::max(point.packets_per_sec, pps);
+    }
+    point.speedup = point.packets_per_sec / serial.packets_per_sec;
+    points.push_back(point);
+  }
+  return points;
+}
+
+void write_scaling_json(const std::string& path, const flow::Trace& trace,
+                        const std::vector<ScalingPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_throughput: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"sharded_runtime_scaling\",\n";
+  out << "  \"packet_count\": " << trace.size() << ",\n";
+  out << "  \"fanout\": \"hash_by_key\",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  double serial_pps = 0.0;
+  for (const ScalingPoint& p : points) {
+    if (p.shards == 0) serial_pps = p.packets_per_sec;
+  }
+  out << "  \"serial_packets_per_sec\": " << serial_pps << ",\n";
+  out << "  \"sharded\": [\n";
+  bool first = true;
+  for (const ScalingPoint& p : points) {
+    if (p.shards == 0) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"shards\": " << p.shards
+        << ", \"packets_per_sec\": " << p.packets_per_sec
+        << ", \"speedup_vs_serial\": " << p.speedup << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void print_scaling(const std::vector<ScalingPoint>& points) {
+  std::printf("\nsharded-runtime scaling (hash fanout, %u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-10s %16s %10s\n", "config", "pkts/sec", "speedup");
+  for (const ScalingPoint& p : points) {
+    if (p.shards == 0) {
+      std::printf("%-10s %16.0f %10s\n", "serial", p.packets_per_sec, "1.00x");
+    } else {
+      std::printf("%zu %-8s %16.0f %9.2fx\n", p.shards, "shards",
+                  p.packets_per_sec, p.speedup);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool scaling_only = false;
+  std::string json_path = "BENCH_throughput.json";
+  std::vector<char*> forwarded;
+  forwarded.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scaling-only") {
+      scaling_only = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      forwarded.push_back(argv[i]);
+    }
+  }
+
+  const fcm::flow::Trace& trace = shared_trace();
+  const std::vector<ScalingPoint> points = run_scaling_study(trace);
+  print_scaling(points);
+  write_scaling_json(json_path, trace, points);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (scaling_only) return 0;
+
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwarded_argc, forwarded.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded_argc, forwarded.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -210,7 +210,9 @@ void EmFsdEstimator::iterate() {
   } else {
     std::vector<std::vector<double>> partial(
         threads, std::vector<double>(max_value_ + 1, 0.0));
-    std::vector<std::thread> workers;
+    // jthread: joins on destruction, so an exception while spawning (or in
+    // this scope) cannot reach ~thread() on a joinable thread and terminate.
+    std::vector<std::jthread> workers;
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {

@@ -20,6 +20,11 @@ struct FcmConfig {
 
   std::size_t stage_count() const noexcept { return stage_bits.size(); }
 
+  // Two configs are mergeable (see FcmTree::merge / FcmSketch::merge) iff
+  // they compare equal: identical geometry AND an identical hash-family seed,
+  // so every tree indexes flows the same way.
+  friend bool operator==(const FcmConfig&, const FcmConfig&) = default;
+
   // Nodes at stage l (1-based).
   std::size_t width(std::size_t stage) const noexcept;
 

@@ -57,6 +57,33 @@ std::uint64_t FcmSketch::query(flow::FlowKey key) const noexcept {
   return estimate;
 }
 
+void FcmSketch::merge(const FcmSketch& other) {
+  FCM_REQUIRE(config_ == other.config_,
+              "FcmSketch::merge: mismatched configs (geometry or seed differ)");
+  FCM_REQUIRE(hh_threshold_ == other.hh_threshold_,
+              "FcmSketch::merge: mismatched heavy-hitter thresholds");
+  FCM_ASSERT(trees_.size() == other.trees_.size(),
+             "FcmSketch::merge: tree count diverged between operands");
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    trees_[t].merge(other.trees_[t]);
+  }
+  // Union the per-shard candidates, then re-qualify against the merged
+  // counters so flows below the threshold globally are dropped.
+  heavy_hitters_.insert(other.heavy_hitters_.begin(),
+                        other.heavy_hitters_.end());
+  if (hh_threshold_) requalify_heavy_hitters(*hh_threshold_);
+  cardinality_saturations_ += other.cardinality_saturations_;
+}
+
+void FcmSketch::requalify_heavy_hitters(std::uint64_t threshold) {
+  FCM_REQUIRE(threshold > 0,
+              "FcmSketch::requalify_heavy_hitters: threshold must be positive");
+  hh_threshold_ = threshold;
+  std::erase_if(heavy_hitters_, [&](const flow::FlowKey& key) {
+    return query(key) < threshold;
+  });
+}
+
 double FcmSketch::estimate_cardinality() const {
   const double w1 = static_cast<double>(config_.leaf_count);
   double empty_sum = 0.0;

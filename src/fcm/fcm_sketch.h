@@ -39,6 +39,25 @@ class FcmSketch {
   // Count-query (§3.2): min over trees. Never underestimates.
   std::uint64_t query(flow::FlowKey key) const noexcept;
 
+  // Merges `other` into this sketch, tree by tree (see FcmTree::merge): the
+  // merged state is bit-exact the state a single sketch would hold after
+  // absorbing both packet streams, so sharded ingestion loses no accuracy.
+  // Requires identical FcmConfig and identical heavy-hitter thresholds
+  // (ContractViolation otherwise). Heavy-hitter sets are unioned, deduped,
+  // and re-qualified against the *merged* counters: a candidate recorded by
+  // one shard is dropped when its merged estimate is below the threshold.
+  // Callers sharding a stream across N replicas should record with a
+  // per-shard threshold of ceil(T/N) and re-qualify at T afterwards (see
+  // requalify_heavy_hitters): a flow with true global count >= T has count
+  // >= ceil(T/N) in some shard, so the union cannot miss it.
+  void merge(const FcmSketch& other);
+
+  // Tightens (or sets) the heavy-hitter threshold and prunes the recorded
+  // set against the current counters: only flows whose estimate still
+  // reaches `threshold` survive. Used after merge() to lift per-shard
+  // thresholds back to the global one.
+  void requalify_heavy_hitters(std::uint64_t threshold);
+
   // Linear-counting cardinality over stage-1 nodes (§3.3):
   // n̂ = -w1 * ln(w0/w1), with w0 averaged across trees. When every leaf is
   // occupied the formula has no finite value; the estimate saturates at the

@@ -37,6 +37,20 @@ void FcmTopK::update(flow::FlowKey key) {
   }
 }
 
+void FcmTopK::merge(const FcmTopK& other) {
+  // Sketches first (bit-exact linear merge), then the heavy parts; flows
+  // displaced by bucket contention flush into the merged sketch the same way
+  // a data-plane eviction would.
+  sketch_.merge(other.sketch_);
+  for (const auto& evicted : filter_.merge(other.filter_)) {
+    sketch_.add(evicted.key, evicted.count);
+  }
+}
+
+void FcmTopK::requalify_heavy_hitters(std::uint64_t threshold) {
+  sketch_.requalify_heavy_hitters(threshold);
+}
+
 std::uint64_t FcmTopK::query(flow::FlowKey key) const {
   if (const auto hit = filter_.query(key)) {
     return hit->has_light_part ? hit->count + sketch_.query(key) : hit->count;

@@ -31,6 +31,18 @@ class FcmTopK {
   void update(flow::FlowKey key);
   std::uint64_t query(flow::FlowKey key) const;
 
+  // Merges `other` into this instance: the FCM sketches merge bit-exactly
+  // (FcmSketch::merge); the Top-K heavy parts merge bucket-wise, with flows
+  // displaced from contended buckets flushed into the merged sketch exactly
+  // as a data-plane eviction would flush them (TopKFilter::merge). Queries
+  // on the merged structure never underestimate. Requires identical configs
+  // (ContractViolation otherwise).
+  void merge(const FcmTopK& other);
+
+  // Lifts the sketch-side heavy-hitter threshold and prunes its recorded
+  // set against the merged counters (see FcmSketch::requalify_heavy_hitters).
+  void requalify_heavy_hitters(std::uint64_t threshold);
+
   double estimate_cardinality() const;
 
   void set_heavy_hitter_threshold(std::uint64_t threshold);

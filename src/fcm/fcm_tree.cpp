@@ -76,6 +76,48 @@ std::uint64_t FcmTree::query(flow::FlowKey key) const noexcept {
   return estimate;
 }
 
+void FcmTree::merge(const FcmTree& other) {
+  FCM_REQUIRE(config_ == other.config_,
+              "FcmTree::merge: mismatched configs (geometry or seed differ)");
+  FCM_REQUIRE(hash_.seed() == other.hash_.seed(),
+              "FcmTree::merge: trees use different leaf hash functions");
+  const std::size_t levels = stages_.size();
+  // Counts promoted from merged children into the current level. Index j at
+  // level l receives the excess of its k children at level l-1.
+  std::vector<std::uint64_t> promoted(stages_[0].size(), 0);
+  std::vector<std::uint64_t> next_promoted;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::uint64_t cap = counting_max_[l];
+    const std::uint32_t mark = marker_[l];
+    next_promoted.assign(l + 1 < levels ? stages_[l + 1].size() : 0, 0);
+    for (std::size_t i = 0; i < stages_[l].size(); ++i) {
+      const std::uint32_t va = stages_[l][i];
+      const std::uint32_t vb = other.stages_[l][i];
+      const bool shard_overflowed = (va == mark) || (vb == mark);
+      // Local arrivals visible at this level: what each shard counted here
+      // (capped; their excess is in their next level) plus what the merged
+      // children promoted.
+      const std::uint64_t sum = promoted[i] +
+                                std::min<std::uint64_t>(va, cap) +
+                                std::min<std::uint64_t>(vb, cap);
+      // A shard overflow implies its capped value == cap, hence sum >= cap;
+      // the serial tree overflowed here iff a shard did or the sum alone
+      // exceeds the counting range.
+      if (shard_overflowed || sum > cap) {
+        FCM_ASSERT(sum >= cap,
+                   "FcmTree::merge: overflowed node with sum below capacity");
+        if (l + 1 < levels) next_promoted[i / config_.k] += sum - cap;
+        // Beyond the root the serial tree drops the excess too.
+        stages_[l][i] = mark;
+      } else {
+        stages_[l][i] = common::checked_narrow<std::uint32_t>(sum);
+      }
+    }
+    promoted.swap(next_promoted);
+  }
+  FCM_CHECKED_ONLY(check_invariants());
+}
+
 std::uint64_t FcmTree::node_count(std::size_t stage_1based,
                                   std::size_t index) const noexcept {
   const std::uint32_t v = stages_[stage_1based - 1][index];

@@ -30,6 +30,20 @@ class FcmTree {
   // Count-query (paper §3.2): sum along the overflow path.
   std::uint64_t query(flow::FlowKey key) const noexcept;
 
+  // Merges `other` into this tree: counter-sum with overflow promotion to
+  // the next tree level. FCM trees are linear in the per-leaf arrival totals,
+  // so the merged state is *bit-exact* the state a single tree would hold
+  // after absorbing both input streams (see DESIGN.md §7 for the argument):
+  // per node, bottom-up,
+  //     S = promoted + Σ_shard min(v_shard, θ_l)
+  // stores S when no shard overflowed and S <= θ_l; otherwise the node is
+  // marked overflowed and max(0, S - θ_l) is promoted to its parent (the
+  // excess each shard already forwarded lives in that shard's next level and
+  // is picked up by the Σ there). Requires identical config and leaf hash;
+  // violations raise ContractViolation via FCM_REQUIRE. Commutative and
+  // associative; merging a cleared tree is an identity.
+  void merge(const FcmTree& other);
+
   // Leaf index this tree assigns to `key`.
   std::size_t leaf_index(flow::FlowKey key) const noexcept {
     return hash_.index(key, config_.leaf_count);

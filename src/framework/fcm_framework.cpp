@@ -96,6 +96,33 @@ std::vector<flow::FlowKey> FcmFramework::heavy_changes(
       threshold);
 }
 
+void FcmFramework::merge(const FcmFramework& other) {
+  FCM_REQUIRE(options_.fcm == other.options_.fcm,
+              "FcmFramework::merge: mismatched FCM configs");
+  FCM_REQUIRE(options_.topk_entries == other.options_.topk_entries,
+              "FcmFramework::merge: mismatched Top-K geometries");
+  FCM_REQUIRE(options_.count_mode == other.options_.count_mode,
+              "FcmFramework::merge: mismatched count modes");
+  FCM_REQUIRE(
+      options_.heavy_hitter_threshold == other.options_.heavy_hitter_threshold,
+      "FcmFramework::merge: mismatched heavy-hitter thresholds");
+  if (with_topk_) {
+    with_topk_->merge(*other.with_topk_);
+  } else {
+    plain_->merge(*other.plain_);
+  }
+}
+
+void FcmFramework::requalify_heavy_hitters(std::uint64_t threshold) {
+  options_.heavy_hitter_threshold = threshold;
+  if (threshold == 0) return;
+  if (with_topk_) {
+    with_topk_->requalify_heavy_hitters(threshold);
+  } else {
+    plain_->requalify_heavy_hitters(threshold);
+  }
+}
+
 void FcmFramework::reset() {
   if (with_topk_) {
     with_topk_->clear();

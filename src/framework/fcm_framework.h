@@ -65,6 +65,25 @@ class FcmFramework {
                                                   const FcmFramework& window_b,
                                                   std::uint64_t threshold);
 
+  // Merges `other`'s data plane into this framework (FcmSketch/FcmTopK
+  // merge; see DESIGN.md §7). Both frameworks must have been built from
+  // equivalent Options — same FcmConfig, Top-K geometry, count mode, and
+  // heavy-hitter threshold (ContractViolation otherwise). For the plain-FCM
+  // data plane the merged state is bit-exact the state of one framework fed
+  // both packet streams; FCM+TopK merges the heavy part approximately but
+  // never underestimates. The runtime's shard replicas merge through this.
+  void merge(const FcmFramework& other);
+
+  // Lifts the heavy-hitter threshold to `threshold` (e.g. from a per-shard
+  // ceil(T/N) back to the global T after merging) and prunes recorded
+  // candidates against the current counters.
+  void requalify_heavy_hitters(std::uint64_t threshold);
+
+  // The underlying FCM sketch (the data-plane structure behind the facade);
+  // the TopK variant exposes the sketch part. Read-only: used by the
+  // control plane, the sharded runtime's equivalence tests, and benches.
+  const core::FcmSketch& sketch() const { return active_sketch(); }
+
   // Resets the data plane for the next measurement window.
   void reset();
 

@@ -1,0 +1,378 @@
+#include "runtime/sharded_framework.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "common/contracts.h"
+#include "common/hash.h"
+#include "common/spsc_queue.h"
+
+namespace fcm::runtime {
+
+namespace {
+
+// Worker-side dequeue batch.
+constexpr std::size_t kPopBatch = 256;
+
+// Progressive backoff for spin loops (producer backpressure, idle workers,
+// blocked marker pushes). Yield first; park briefly once clearly idle so a
+// single-core host still makes progress.
+void backoff(unsigned& spins) {
+  ++spins;
+  if (spins < 64) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace
+
+// One ring-buffer slot. count == 0 is the in-band epoch marker; packet items
+// carry count == 1 (packet mode) or the packet's byte size (byte mode, which
+// ingest() guards to be positive).
+struct Item {
+  flow::FlowKey key{};
+  std::uint32_t count = 0;
+};
+
+struct ShardedFcmFramework::Shard {
+  Shard(const framework::FcmFramework::Options& replica_options,
+        std::size_t queue_capacity, std::size_t flush_batch)
+      : queue(queue_capacity) {
+    replicas.reserve(2);
+    replicas.emplace_back(replica_options);
+    replicas.emplace_back(replica_options);
+    staging.reserve(flush_batch);
+  }
+
+  common::SpscQueue<Item> queue;
+  // Double-buffered generations: `active` is worker-local; the coordinator
+  // only touches replicas[g] after every worker has flipped away from g
+  // (ordered through mutex_-guarded flip counters).
+  std::vector<framework::FcmFramework> replicas;
+  std::size_t active = 0;                    // worker thread only
+  std::uint64_t packets_in_generation[2] = {0, 0};  // worker writes, see above
+  std::size_t flips = 0;  // guarded by ShardedFcmFramework::mutex_
+
+  std::vector<Item> staging;  // driver thread only
+
+  // Started last so every field above is constructed first; jthread joins on
+  // destruction, keeping teardown exception-safe.
+  std::jthread worker;
+};
+
+ShardedFcmFramework::ShardedFcmFramework(Options options)
+    : options_(std::move(options)) {
+  FCM_REQUIRE(options_.shard_count >= 1,
+              "ShardedFcmFramework: shard_count must be >= 1");
+  FCM_REQUIRE(options_.shard_count <= 256,
+              "ShardedFcmFramework: shard_count implausibly large (> 256)");
+  FCM_REQUIRE(options_.queue_capacity >= 2 &&
+                  (options_.queue_capacity & (options_.queue_capacity - 1)) == 0,
+              "ShardedFcmFramework: queue_capacity must be a power of two >= 2");
+  FCM_REQUIRE(options_.flush_batch >= 1 &&
+                  options_.flush_batch <= options_.queue_capacity,
+              "ShardedFcmFramework: flush_batch must be in [1, queue_capacity]");
+  FCM_REQUIRE(options_.retained_epochs >= 1,
+              "ShardedFcmFramework: must retain at least one epoch");
+  if (options_.heavy_change_threshold == 0) {
+    options_.heavy_change_threshold = options_.framework.heavy_hitter_threshold;
+  }
+
+  // Shard replicas record heavy-hitter candidates at ceil(T / N): a flow
+  // with true global count >= T has >= ceil(T/N) packets in some shard, and
+  // FCM never underestimates, so the candidate union cannot miss it. The
+  // coordinator re-qualifies at T after the merge.
+  framework::FcmFramework::Options replica_options = options_.framework;
+  const std::uint64_t global_t = options_.framework.heavy_hitter_threshold;
+  if (global_t > 0) {
+    per_shard_hh_threshold_ =
+        (global_t + options_.shard_count - 1) / options_.shard_count;
+    replica_options.heavy_hitter_threshold = per_shard_hh_threshold_;
+  }
+
+  shards_.reserve(options_.shard_count);
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>(
+        replica_options, options_.queue_capacity, options_.flush_batch));
+  }
+  // Start threads only after every shard exists.
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->worker = std::jthread([this, raw] { worker_loop(*raw); });
+  }
+  coordinator_ = std::jthread([this] { coordinator_loop(); });
+}
+
+ShardedFcmFramework::~ShardedFcmFramework() { stop(); }
+
+// --- data plane (driver thread) --------------------------------------------
+
+void ShardedFcmFramework::route(flow::FlowKey key, std::uint32_t count) {
+  std::size_t shard_index;
+  if (options_.fanout == Fanout::kHashByKey) {
+    shard_index = static_cast<std::size_t>(common::mix64(key.value)) %
+                  shards_.size();
+  } else {
+    shard_index = rr_next_;
+    rr_next_ = rr_next_ + 1 == shards_.size() ? 0 : rr_next_ + 1;
+  }
+  Shard& shard = *shards_[shard_index];
+  shard.staging.push_back(Item{key, count});
+  if (shard.staging.size() >= options_.flush_batch) flush_shard(shard);
+}
+
+void ShardedFcmFramework::flush_shard(Shard& shard) {
+  std::span<const Item> pending(shard.staging);
+  unsigned spins = 0;
+  while (!pending.empty()) {
+    const std::size_t pushed = shard.queue.try_push_bulk(pending);
+    pending = pending.subspan(pushed);
+    if (!pending.empty()) backoff(spins);  // ring full: backpressure
+  }
+  shard.staging.clear();
+}
+
+void ShardedFcmFramework::flush_all() {
+  for (auto& shard : shards_) {
+    if (!shard->staging.empty()) flush_shard(*shard);
+  }
+}
+
+void ShardedFcmFramework::ingest(flow::FlowKey key) {
+  FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
+  route(key, 1);
+}
+
+void ShardedFcmFramework::ingest(const flow::Packet& packet) {
+  FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
+  if (options_.framework.count_mode ==
+      framework::FcmFramework::CountMode::kBytes) {
+    // count == 0 is reserved for the in-band epoch marker.
+    FCM_REQUIRE(packet.bytes > 0,
+                "ShardedFcmFramework: zero-byte packet in byte-count mode");
+    route(packet.key, packet.bytes);
+  } else {
+    route(packet.key, 1);
+  }
+}
+
+void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
+  for (const flow::Packet& packet : packets) ingest(packet);
+}
+
+// --- epoch rotation ---------------------------------------------------------
+
+std::size_t ShardedFcmFramework::rotate_async() {
+  FCM_REQUIRE(!stopped_, "ShardedFcmFramework: rotate after stop()");
+  // At most one rotation in flight: the generation we are about to expose to
+  // the workers must be fully merged and cleared first.
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return epochs_merged_ == rotations_requested_; });
+  }
+  flush_all();
+  const Item marker{};  // count == 0
+  for (auto& shard : shards_) {
+    unsigned spins = 0;
+    while (!shard->queue.try_push(marker)) backoff(spins);
+  }
+  std::size_t epoch;
+  {
+    std::lock_guard lock(mutex_);
+    epoch = rotations_requested_++;
+  }
+  cv_.notify_all();
+  return epoch;
+}
+
+ShardedFcmFramework::EpochReport ShardedFcmFramework::rotate() {
+  return wait_epoch(rotate_async());
+}
+
+ShardedFcmFramework::EpochReport ShardedFcmFramework::wait_epoch(
+    std::size_t index) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return epochs_merged_ > index; });
+  FCM_REQUIRE(index >= history_base_,
+              "ShardedFcmFramework: epoch " + std::to_string(index) +
+                  " no longer retained");
+  return reports_[index - history_base_];
+}
+
+// --- worker -----------------------------------------------------------------
+
+void ShardedFcmFramework::worker_loop(Shard& shard) {
+  const bool byte_mode = options_.framework.count_mode ==
+                         framework::FcmFramework::CountMode::kBytes;
+  std::vector<Item> batch(kPopBatch);
+  unsigned spins = 0;
+  for (;;) {
+    const std::size_t n = shard.queue.try_pop_bulk(std::span<Item>(batch));
+    if (n == 0) {
+      // Check AFTER a failed pop so a queue filled before stop() is drained.
+      if (stop_.load(std::memory_order_acquire)) return;
+      backoff(spins);
+      continue;
+    }
+    spins = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Item item = batch[i];
+      if (item.count == 0) {
+        // Epoch marker: flip to the other generation and publish the flip.
+        // The mutex makes every replica write above happen-before the
+        // coordinator's reads once it observes the new flip count.
+        {
+          std::lock_guard lock(mutex_);
+          shard.active ^= 1;
+          ++shard.flips;
+        }
+        cv_.notify_all();
+        continue;
+      }
+      framework::FcmFramework& replica = shard.replicas[shard.active];
+      if (byte_mode) {
+        replica.process(flow::Packet{item.key, item.count, 0});
+      } else {
+        replica.process(item.key);
+      }
+      ++shard.packets_in_generation[shard.active];
+    }
+  }
+}
+
+// --- coordinator ------------------------------------------------------------
+
+void ShardedFcmFramework::coordinator_loop() {
+  for (;;) {
+    std::size_t epoch;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        return coordinator_stop_ || rotations_requested_ > epochs_merged_;
+      });
+      if (coordinator_stop_ && rotations_requested_ == epochs_merged_) return;
+      epoch = epochs_merged_;
+      // Wait until every worker has flipped past this epoch's marker; the
+      // drained generation is then exclusively ours (the workers write the
+      // other one until the NEXT marker, which rotate_async() refuses to
+      // push before we finish).
+      cv_.wait(lock, [&] {
+        return std::all_of(shards_.begin(), shards_.end(),
+                           [&](const auto& s) { return s->flips > epoch; });
+      });
+    }
+    // Drained generation index: workers start on 0 and flip once per epoch.
+    const std::size_t gen = epoch % 2;
+
+    // Merge off the ingest path. Shard replicas share identical options
+    // (including the per-shard threshold), so FcmFramework::merge applies;
+    // re-qualify the heavy-hitter union at the global threshold afterwards.
+    framework::FcmFramework merged = shards_[0]->replicas[gen];
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      merged.merge(shards_[s]->replicas[gen]);
+    }
+    const std::uint64_t global_t = options_.framework.heavy_hitter_threshold;
+    if (global_t > 0) merged.requalify_heavy_hitters(global_t);
+    FCM_CHECKED_ONLY(merged.check_invariants());
+
+    EpochReport report;
+    report.index = epoch;
+    for (auto& shard : shards_) {
+      report.packets += shard->packets_in_generation[gen];
+      shard->packets_in_generation[gen] = 0;
+      shard->replicas[gen].reset();  // ready for the epoch after next
+    }
+    report.cardinality = merged.cardinality();
+    report.heavy_hitters = merged.heavy_hitters();
+    if (options_.heavy_change_threshold > 0) {
+      std::unique_lock lock(mutex_);
+      if (!history_.empty()) {
+        const framework::FcmFramework& previous = history_.back();
+        lock.unlock();  // history_ only mutates on this thread
+        report.heavy_changes = framework::FcmFramework::heavy_changes(
+            previous, merged, options_.heavy_change_threshold);
+      }
+    }
+    if (options_.analyze_on_rotate) report.analysis = merged.analyze();
+
+    {
+      std::lock_guard lock(mutex_);
+      history_.push_back(std::move(merged));
+      reports_.push_back(std::move(report));
+      while (history_.size() > options_.retained_epochs) {
+        history_.pop_front();
+        reports_.pop_front();
+        ++history_base_;
+      }
+      ++epochs_merged_;
+    }
+    cv_.notify_all();
+  }
+}
+
+// --- shutdown ---------------------------------------------------------------
+
+void ShardedFcmFramework::stop() {
+  if (stopped_) return;
+  flush_all();
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  {
+    std::unique_lock lock(mutex_);
+    // Workers have drained every ring (markers included), so all requested
+    // epochs will be merged; wait for the coordinator to catch up, then
+    // release it.
+    cv_.wait(lock, [&] { return epochs_merged_ == rotations_requested_; });
+    coordinator_stop_ = true;
+  }
+  cv_.notify_all();
+  if (coordinator_.joinable()) coordinator_.join();
+  stopped_ = true;
+}
+
+// --- results ----------------------------------------------------------------
+
+framework::FcmFramework ShardedFcmFramework::merged_epoch(
+    std::size_t back) const {
+  std::lock_guard lock(mutex_);
+  FCM_REQUIRE(back < history_.size(),
+              "ShardedFcmFramework: no merged epoch " + std::to_string(back) +
+                  " epochs back (retained: " + std::to_string(history_.size()) +
+                  ")");
+  return history_[history_.size() - 1 - back];
+}
+
+std::uint64_t ShardedFcmFramework::flow_size(flow::FlowKey key) const {
+  std::lock_guard lock(mutex_);
+  FCM_REQUIRE(!history_.empty(),
+              "ShardedFcmFramework: flow_size before the first rotation");
+  return history_.back().flow_size(key);
+}
+
+std::size_t ShardedFcmFramework::epochs_completed() const {
+  std::lock_guard lock(mutex_);
+  return epochs_merged_;
+}
+
+void ShardedFcmFramework::check_invariants() const {
+  std::lock_guard lock(mutex_);
+  FCM_ASSERT(epochs_merged_ <= rotations_requested_,
+             "ShardedFcmFramework: merged more epochs than were requested");
+  FCM_ASSERT(history_.size() == reports_.size(),
+             "ShardedFcmFramework: history/report deques diverged");
+  FCM_ASSERT(history_.size() <= options_.retained_epochs,
+             "ShardedFcmFramework: retained more epochs than configured");
+  for (const auto& merged : history_) merged.check_invariants();
+  if (stopped_) {
+    for (const auto& shard : shards_) {
+      for (const auto& replica : shard->replicas) replica.check_invariants();
+    }
+  }
+}
+
+}  // namespace fcm::runtime

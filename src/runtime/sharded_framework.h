@@ -1,0 +1,186 @@
+// Sharded ingestion runtime (DESIGN.md §7).
+//
+// The paper's data plane sustains line rate because every FCM update is an
+// independent O(1) register op; this runtime recovers that parallelism in
+// software. A single driver thread fans packets out to N shard workers over
+// lock-free SPSC rings (common/spsc_queue.h); each worker owns a private
+// FcmFramework replica (plain FCM or FCM+TopK), so the hot path is entirely
+// unsynchronized. FCM counters are linear, so at each epoch boundary the N
+// shard replicas are merged into ONE logical sketch — bit-exact equal, for
+// the plain-FCM plane, to the sketch a serial run would hold (FcmTree::merge)
+// — and handed to the existing control plane (EM/FSD, entropy, heavy change)
+// unchanged.
+//
+// Epoch double-buffering: each worker holds TWO replica generations, active
+// and draining. rotate_async() pushes an in-band epoch marker into every
+// ring; a worker that pops the marker flips to the other generation and
+// keeps consuming — ingest never stalls on a rotation. A background epoch
+// coordinator waits until every worker has flipped, merges the drained
+// generation (off the ingest path), derives the epoch report (cardinality,
+// re-qualified heavy hitters, heavy changes vs. the previous epoch, optional
+// EM analysis), clears the drained replicas for reuse, and publishes the
+// merged framework into a bounded history.
+//
+// Heavy hitters under sharding: a flow split across shards can cross the
+// global threshold T only in aggregate, so shard replicas record candidates
+// at ceil(T / N) (pigeonhole: a flow with true count >= T has >= ceil(T/N)
+// packets in some shard, and FCM never underestimates, so some shard records
+// it). After the merge the coordinator re-qualifies the union against the
+// merged counters at T — flows below T globally are dropped, flows that
+// cross T only after merging are kept.
+//
+// Thread discipline (contract, unchecked): ingest(), rotate_async(),
+// rotate() and stop() must all be called from ONE driver thread (the SPSC
+// producer). wait_epoch()/merged_epoch()/last_report() are safe from any
+// thread. The destructor stops and joins all threads; workers are
+// std::jthread, so teardown is exception-safe (tools/fcm_lint.py bans plain
+// std::thread in src/ for exactly this reason).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "framework/fcm_framework.h"
+
+namespace fcm::runtime {
+
+class ShardedFcmFramework {
+ public:
+  // How packets are routed to shards.
+  enum class Fanout {
+    // Same flow -> same shard (hash of the key). Flows are never split, so
+    // per-shard heavy-hitter detection sees whole flows; load balance
+    // follows the flow-size distribution.
+    kHashByKey,
+    // Strict round-robin. Perfect load balance; flows are split across
+    // shards (merge keeps counts exact; heavy hitters rely on the ceil(T/N)
+    // per-shard threshold + post-merge re-qualification).
+    kRoundRobin,
+  };
+
+  struct Options {
+    // Per-logical-sketch configuration; each shard replica is built from it
+    // (with the heavy-hitter threshold lowered to ceil(T / shard_count)).
+    framework::FcmFramework::Options framework;
+    std::size_t shard_count = 4;
+    // SPSC ring slots per shard; must be a power of two >= 2. Ingest applies
+    // backpressure (spins) when a ring is full.
+    std::size_t queue_capacity = 1 << 14;
+    // Producer-side staging: items are buffered per shard and published in
+    // batches of this size so one release store covers many packets.
+    std::size_t flush_batch = 64;
+    Fanout fanout = Fanout::kHashByKey;
+    // Merged epoch snapshots retained for cross-epoch queries (>= 1).
+    std::size_t retained_epochs = 4;
+    // 0: reuse framework.heavy_hitter_threshold for heavy-change detection.
+    std::uint64_t heavy_change_threshold = 0;
+    // Run the (expensive) EM analysis on the merged sketch at each rotation.
+    bool analyze_on_rotate = false;
+  };
+
+  // What one epoch boundary produces, computed on the MERGED sketch — the
+  // same quantities EpochManager::EpochSummary reports for the serial path.
+  struct EpochReport {
+    std::size_t index = 0;
+    std::uint64_t packets = 0;
+    double cardinality = 0.0;
+    std::vector<flow::FlowKey> heavy_hitters;   // re-qualified at global T
+    std::vector<flow::FlowKey> heavy_changes;   // vs. previous merged epoch
+    std::optional<framework::FcmFramework::Report> analysis;
+  };
+
+  explicit ShardedFcmFramework(Options options);
+  ~ShardedFcmFramework();
+
+  ShardedFcmFramework(const ShardedFcmFramework&) = delete;
+  ShardedFcmFramework& operator=(const ShardedFcmFramework&) = delete;
+
+  // --- data plane (driver thread only) -----------------------------------
+  void ingest(flow::FlowKey key);
+  void ingest(const flow::Packet& packet);
+  void ingest(std::span<const flow::Packet> packets);
+
+  // Closes the current epoch without stalling ingest: pushes epoch markers
+  // and returns immediately; the coordinator thread drains, merges, and
+  // publishes in the background while workers fill the other generation.
+  // At most one rotation is in flight: if the previous epoch is still
+  // merging, this call first waits for it (ingest from this thread pauses,
+  // but the workers keep draining their rings meanwhile).
+  // Returns the epoch index to pass to wait_epoch().
+  std::size_t rotate_async();
+
+  // rotate_async() + wait_epoch(): the blocking, EpochManager-like rotation.
+  EpochReport rotate();
+
+  // Flushes staged items, drains and joins all threads. Implicit un-rotated
+  // tail traffic is discarded with the active generation (rotate first if it
+  // matters). Idempotent; called by the destructor.
+  void stop();
+
+  // --- results (any thread) ----------------------------------------------
+  // Blocks until epoch `index` (a rotate_async() return value) is merged.
+  EpochReport wait_epoch(std::size_t index);
+
+  // Copy of the merged framework for a completed epoch, `back` epochs before
+  // the most recent one (0 = latest). Throws ContractViolation when no such
+  // epoch is retained. The copy is a full serial-equivalent FcmFramework:
+  // flow_size()/cardinality()/analyze() behave exactly as if one framework
+  // had ingested the whole epoch.
+  framework::FcmFramework merged_epoch(std::size_t back = 0) const;
+
+  // Merged count-query against the most recent completed epoch.
+  std::uint64_t flow_size(flow::FlowKey key) const;
+
+  std::size_t epochs_completed() const;
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  const Options& options() const noexcept { return options_; }
+
+  // Structural invariants of all shard replicas and retained merged epochs.
+  // Only meaningful from the driver thread while no rotation is in flight,
+  // or after stop().
+  void check_invariants() const;
+
+ private:
+  struct Shard;
+
+  void flush_shard(Shard& shard);
+  void flush_all();
+  void route(flow::FlowKey key, std::uint32_t count);
+  void worker_loop(Shard& shard);
+  void coordinator_loop();
+
+  Options options_;
+  std::uint64_t per_shard_hh_threshold_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Round-robin cursor (driver thread only).
+  std::size_t rr_next_ = 0;
+  // Producer-visible flag only; workers/coordinator use it for shutdown.
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  // driver thread only
+
+  // Epoch machinery. All cross-thread state below is guarded by mutex_;
+  // worker-side per-shard state is published via the shard's flip counter
+  // (written under mutex_, so mutex acquire/release orders replica access).
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t rotations_requested_ = 0;  // epochs whose markers are pushed
+  std::size_t epochs_merged_ = 0;        // epochs fully merged & published
+  bool coordinator_stop_ = false;
+  std::deque<framework::FcmFramework> history_;  // merged epochs, oldest first
+  std::deque<EpochReport> reports_;              // parallel to history_
+  std::size_t history_base_ = 0;  // epoch index of history_/reports_ front
+
+  // Threads last: their loops touch everything above.
+  std::jthread coordinator_;
+};
+
+}  // namespace fcm::runtime

@@ -23,6 +23,15 @@ class CmSketch : public FrequencyEstimator {
   void update(flow::FlowKey key) override { add(key, 1); }
   void add(flow::FlowKey key, std::uint64_t count);
   std::uint64_t query(flow::FlowKey key) const override;
+
+  // Element-wise counter sum: CM is linear, so the merged state is bit-exact
+  // the state one sketch would hold after absorbing both streams (counters
+  // saturate at 2^32 - 1 exactly as serial add() does). Requires identical
+  // geometry and per-row hash seeds (ContractViolation otherwise). For the
+  // conservative-update subclass the merged counters remain a valid
+  // overestimate of every flow, but are not bit-exact with a serial CU run
+  // (conservative update is not linear).
+  void merge(const CmSketch& other);
   std::size_t memory_bytes() const override;
   std::string name() const override { return "CM"; }
   void clear() override;

@@ -40,6 +40,25 @@ class TopKFilter {
 
   Offer offer(flow::FlowKey key);
 
+  // One flow displaced while merging two filters; its heavy-part count must
+  // be flushed into the backing sketch by the caller (FcmTopK::merge does).
+  struct MergeEviction {
+    flow::FlowKey key{};
+    std::uint64_t count = 0;
+  };
+
+  // Merges `other` bucket by bucket (requires identical entry count, lambda
+  // and hash seed; ContractViolation otherwise). Same-key buckets sum their
+  // counts and OR their light-part flags; when two different flows contend
+  // for a bucket the larger count wins (ties keep the incumbent), the loser
+  // is returned for flushing into the backing sketch, and the winner's
+  // light-part flag is set — its pass-through traffic in the other shard
+  // lives in that shard's sketch. The heavy part is not linear, so this is
+  // an approximation (unlike FcmTree/CmSketch merges); queries on the merged
+  // FcmTopK still never underestimate. Vote counters are clamped so
+  // check_invariants() ordering properties keep holding.
+  std::vector<MergeEviction> merge(const TopKFilter& other);
+
   // Heavy-part lookup; nullopt when the flow holds no entry.
   std::optional<QueryResult> query(flow::FlowKey key) const;
 

@@ -1,0 +1,564 @@
+// Tests for the sharded ingestion runtime (src/runtime/) and its SPSC ring.
+//
+// The headline property (ISSUE acceptance criterion): merged N-shard count
+// queries are bit-exact equal to a serial FcmSketch fed the same fixed-seed
+// trace, for N in {1, 2, 4, 8}. Also covered: the lock-free SpscQueue in
+// isolation and across threads, epoch double-buffering (two back-to-back
+// windows each serial-equivalent), non-stalling rotate_async, heavy-hitter
+// re-qualification across shards at runtime level, byte mode, TopK mode,
+// backpressure under a tiny ring, teardown discipline, and option
+// validation via contracts.
+//
+// CI runs this binary under TSan (FCM_SANITIZE=thread): every cross-thread
+// handoff in the runtime is exercised here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/spsc_queue.h"
+#include "flow/flow_key.h"
+#include "flow/packet.h"
+#include "framework/fcm_framework.h"
+#include "runtime/sharded_framework.h"
+
+namespace {
+
+using fcm::common::ContractViolation;
+using fcm::common::SpscQueue;
+using fcm::core::FcmConfig;
+using fcm::flow::FlowKey;
+using fcm::flow::Packet;
+using fcm::framework::FcmFramework;
+using fcm::runtime::ShardedFcmFramework;
+
+// --- shared fixtures --------------------------------------------------------
+
+// Small but multi-level FCM geometry: cheap enough for TSan, deep enough
+// that the fixed traces push counters through stage-1 and stage-2 overflow.
+FcmConfig small_config() {
+  FcmConfig config;
+  config.tree_count = 2;
+  config.k = 8;
+  config.stage_bits = {8, 16, 32};
+  config.leaf_count = 4096;
+  config.seed = 0x5555aaaa;
+  return config;
+}
+
+FcmFramework::Options small_framework_options() {
+  FcmFramework::Options options;
+  options.fcm = small_config();
+  options.em.max_iterations = 3;  // keep analyze() affordable in tests
+  return options;
+}
+
+// Deterministic skewed trace: `flows` flows, geometric-ish sizes, plus one
+// jumbo flow that overflows the 8-bit stage thousands of times over.
+std::vector<Packet> fixed_trace(std::uint64_t seed, std::size_t packets = 40000,
+                                std::size_t flows = 2000) {
+  std::mt19937_64 rng(seed);
+  std::vector<FlowKey> keys;
+  keys.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    keys.push_back(FlowKey{static_cast<std::uint32_t>(rng())});
+  }
+  std::vector<Packet> trace;
+  trace.reserve(packets + 500);
+  // Zipf-ish: flow i gets weight ~ 1/(i+1).
+  std::vector<double> weights(flows);
+  for (std::size_t i = 0; i < flows; ++i) weights[i] = 1.0 / static_cast<double>(i + 1);
+  std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+  std::uniform_int_distribution<std::uint32_t> bytes(40, 1500);
+  for (std::size_t p = 0; p < packets; ++p) {
+    trace.push_back(Packet{keys[pick(rng)], bytes(rng), p});
+  }
+  // Jumbo flow: 500 extra packets for a key guaranteed present.
+  for (std::size_t p = 0; p < 500; ++p) {
+    trace.push_back(Packet{keys[0], 1500, packets + p});
+  }
+  return trace;
+}
+
+std::vector<FlowKey> distinct_keys(const std::vector<Packet>& trace) {
+  std::vector<FlowKey> keys;
+  keys.reserve(trace.size());
+  for (const Packet& packet : trace) keys.push_back(packet.key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+// --- SpscQueue: single-threaded semantics -----------------------------------
+
+TEST(SpscQueue, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(SpscQueue<int>(0), ContractViolation);
+  EXPECT_THROW(SpscQueue<int>(1), ContractViolation);
+  EXPECT_THROW(SpscQueue<int>(3), ContractViolation);
+  EXPECT_THROW(SpscQueue<int>(100), ContractViolation);
+  EXPECT_NO_THROW(SpscQueue<int>(2));
+  EXPECT_NO_THROW(SpscQueue<int>(1 << 10));
+}
+
+TEST(SpscQueue, FifoOrderAndCapacityBound) {
+  SpscQueue<int> queue(8);
+  EXPECT_EQ(queue.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(99)) << "push into a full ring must fail";
+  EXPECT_EQ(queue.size_approx(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(queue.try_pop(out)) << "pop from an empty ring must fail";
+  EXPECT_EQ(queue.size_approx(), 0u);
+}
+
+TEST(SpscQueue, BulkPushTakesWhatFitsAndBulkPopReturnsInOrder) {
+  SpscQueue<int> queue(8);
+  std::vector<int> in(12);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_EQ(queue.try_push_bulk(std::span<const int>(in)), 8u);
+
+  std::vector<int> out(5);
+  EXPECT_EQ(queue.try_pop_bulk(std::span<int>(out)), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+
+  // Room for 5 more; wrap-around path.
+  std::span<const int> rest(in.data() + 8, 4);
+  EXPECT_EQ(queue.try_push_bulk(rest), 4u);
+  std::vector<int> out2(16);
+  EXPECT_EQ(queue.try_pop_bulk(std::span<int>(out2)), 7u);
+  const int expect[] = {5, 6, 7, 8, 9, 10, 11};
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(out2[i], expect[i]);
+}
+
+TEST(SpscQueue, WrapsManyTimesWithoutCorruption) {
+  SpscQueue<std::uint64_t> queue(4);
+  std::uint64_t next_in = 0;
+  std::uint64_t next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (queue.try_push(next_in)) ++next_in;
+    std::uint64_t v;
+    while (queue.try_pop(v)) {
+      ASSERT_EQ(v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+  EXPECT_EQ(next_in, 4000u);
+}
+
+// --- SpscQueue: cross-thread handoff (TSan target) --------------------------
+
+TEST(SpscQueue, ThreadedHandoffDeliversEveryItemInOrder) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscQueue<std::uint64_t> queue(1 << 8);
+
+  std::jthread consumer([&queue] {
+    std::uint64_t expected = 0;
+    std::vector<std::uint64_t> batch(64);
+    while (expected < kItems) {
+      const std::size_t n = queue.try_pop_bulk(std::span<std::uint64_t>(batch));
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(batch[i], expected) << "items reordered or corrupted";
+        ++expected;
+      }
+    }
+  });
+
+  std::vector<std::uint64_t> staged(32);
+  std::uint64_t next = 0;
+  while (next < kItems) {
+    const std::uint64_t n = std::min<std::uint64_t>(32, kItems - next);
+    for (std::uint64_t i = 0; i < n; ++i) staged[i] = next + i;
+    std::span<const std::uint64_t> pending(staged.data(), n);
+    while (!pending.empty()) {
+      const std::size_t pushed = queue.try_push_bulk(pending);
+      pending = pending.subspan(pushed);
+      if (!pending.empty()) std::this_thread::yield();
+    }
+    next += n;
+  }
+}
+
+// --- ShardedFcmFramework: serial equivalence --------------------------------
+
+// The acceptance criterion: for N in {1,2,4,8}, ingesting a fixed-seed trace
+// through N shards and merging yields count queries bit-exact equal to one
+// serial framework. Round-robin fanout splits individual flows across
+// shards, which is the adversarial case for merge correctness.
+TEST(ShardedRuntime, MergedCountsBitExactVersusSerialForAllShardCounts) {
+  const std::vector<Packet> trace = fixed_trace(0xfcf1ed);
+  const std::vector<FlowKey> keys = distinct_keys(trace);
+
+  FcmFramework serial(small_framework_options());
+  for (const Packet& packet : trace) serial.process(packet.key);
+
+  for (std::size_t shard_count : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shard_count=" + std::to_string(shard_count));
+    ShardedFcmFramework::Options options;
+    options.framework = small_framework_options();
+    options.shard_count = shard_count;
+    options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+
+    ShardedFcmFramework sharded(options);
+    for (const Packet& packet : trace) sharded.ingest(packet.key);
+    const ShardedFcmFramework::EpochReport report = sharded.rotate();
+
+    EXPECT_EQ(report.packets, trace.size());
+    const FcmFramework merged = sharded.merged_epoch();
+    for (const FlowKey key : keys) {
+      ASSERT_EQ(merged.flow_size(key), serial.flow_size(key))
+          << "count query diverged for key " << key.value;
+    }
+    // Never-seen keys agree too (shared hash family).
+    for (std::uint32_t probe = 1; probe <= 64; ++probe) {
+      const FlowKey key{0xdead0000u + probe};
+      ASSERT_EQ(merged.flow_size(key), serial.flow_size(key));
+    }
+    EXPECT_DOUBLE_EQ(report.cardinality, serial.cardinality());
+    EXPECT_DOUBLE_EQ(merged.cardinality(), serial.cardinality());
+    sharded.check_invariants();
+  }
+}
+
+TEST(ShardedRuntime, HashFanoutIsAlsoSerialEquivalent) {
+  const std::vector<Packet> trace = fixed_trace(0xabcdef, 20000, 1000);
+  const std::vector<FlowKey> keys = distinct_keys(trace);
+
+  FcmFramework serial(small_framework_options());
+  for (const Packet& packet : trace) serial.process(packet.key);
+
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 4;
+  options.fanout = ShardedFcmFramework::Fanout::kHashByKey;
+  ShardedFcmFramework sharded(options);
+  for (const Packet& packet : trace) sharded.ingest(packet.key);
+  sharded.rotate();
+  const FcmFramework merged = sharded.merged_epoch();
+  for (const FlowKey key : keys) {
+    ASSERT_EQ(merged.flow_size(key), serial.flow_size(key));
+  }
+}
+
+TEST(ShardedRuntime, ByteModeCountsBytesExactly) {
+  const std::vector<Packet> trace = fixed_trace(0xbeef, 8000, 400);
+  std::unordered_map<std::uint32_t, std::uint64_t> true_bytes;
+  for (const Packet& packet : trace) true_bytes[packet.key.value] += packet.bytes;
+
+  FcmFramework::Options fw = small_framework_options();
+  fw.count_mode = FcmFramework::CountMode::kBytes;
+  FcmFramework serial(fw);
+  for (const Packet& packet : trace) serial.process(packet);
+
+  ShardedFcmFramework::Options options;
+  options.framework = fw;
+  options.shard_count = 4;
+  options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+  ShardedFcmFramework sharded(options);
+  sharded.ingest(std::span<const Packet>(trace));
+  sharded.rotate();
+
+  const FcmFramework merged = sharded.merged_epoch();
+  for (const auto& [key_value, bytes] : true_bytes) {
+    const FlowKey key{key_value};
+    ASSERT_EQ(merged.flow_size(key), serial.flow_size(key));
+    // FCM never underestimates.
+    ASSERT_GE(merged.flow_size(key), bytes);
+  }
+}
+
+TEST(ShardedRuntime, TopKModeNeverUnderestimatesAndMatchesSerialHeavyFlows) {
+  const std::vector<Packet> trace = fixed_trace(0x70b, 30000, 1500);
+  std::unordered_map<std::uint32_t, std::uint64_t> truth;
+  for (const Packet& packet : trace) ++truth[packet.key.value];
+
+  FcmFramework::Options fw = small_framework_options();
+  fw.topk_entries = 512;
+  fw.heavy_hitter_threshold = 200;
+
+  ShardedFcmFramework::Options options;
+  options.framework = fw;
+  options.shard_count = 4;
+  options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+  ShardedFcmFramework sharded(options);
+  for (const Packet& packet : trace) sharded.ingest(packet.key);
+  const auto report = sharded.rotate();
+
+  const FcmFramework merged = sharded.merged_epoch();
+  merged.check_invariants();
+  for (const auto& [key_value, count] : truth) {
+    ASSERT_GE(merged.flow_size(FlowKey{key_value}), count)
+        << "TopK merge underestimated flow " << key_value;
+  }
+  // Every flow at >= 2x threshold must be reported (estimates only inflate).
+  for (const auto& [key_value, count] : truth) {
+    if (count < 2 * fw.heavy_hitter_threshold) continue;
+    EXPECT_TRUE(std::find(report.heavy_hitters.begin(),
+                          report.heavy_hitters.end(),
+                          FlowKey{key_value}) != report.heavy_hitters.end())
+        << "missed heavy hitter " << key_value << " (count " << count << ")";
+  }
+}
+
+// --- heavy hitters across shards --------------------------------------------
+
+// Runtime-level regression for the satellite: a flow that crosses the global
+// threshold only in aggregate (each shard sees < T) must still be reported,
+// and flows below T globally must not be (candidates are re-qualified
+// against the merged sketch, deduplicated).
+TEST(ShardedRuntime, HeavyHitterCrossesThresholdOnlyAfterMerge) {
+  constexpr std::uint64_t kThreshold = 400;
+  FcmFramework::Options fw = small_framework_options();
+  fw.heavy_hitter_threshold = kThreshold;
+
+  ShardedFcmFramework::Options options;
+  options.framework = fw;
+  options.shard_count = 4;
+  options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+  ShardedFcmFramework sharded(options);
+
+  const FlowKey split_flow{0x0a000001};   // 600 packets, 150 per shard < 400
+  const FlowKey small_flow{0x0a000002};   // 200 packets: below T globally
+  const FlowKey tiny_flow{0x0a000003};    // 80 packets: below even ceil(T/N)
+  for (int i = 0; i < 600; ++i) sharded.ingest(split_flow);
+  for (int i = 0; i < 200; ++i) sharded.ingest(small_flow);
+  for (int i = 0; i < 80; ++i) sharded.ingest(tiny_flow);
+
+  const auto report = sharded.rotate();
+  const auto& hh = report.heavy_hitters;
+  EXPECT_TRUE(std::find(hh.begin(), hh.end(), split_flow) != hh.end())
+      << "flow crossing T only after merging was dropped";
+  EXPECT_TRUE(std::find(hh.begin(), hh.end(), tiny_flow) == hh.end());
+  // No duplicates even though several shards recorded the same candidate.
+  auto sorted = hh;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+      << "heavy-hitter report contains duplicates";
+  // Every reported flow really is >= T on the merged counters.
+  const FcmFramework merged = sharded.merged_epoch();
+  for (const FlowKey key : hh) {
+    EXPECT_GE(merged.flow_size(key), kThreshold);
+  }
+}
+
+// --- epoch double-buffering --------------------------------------------------
+
+TEST(ShardedRuntime, BackToBackEpochsEachMatchTheirSerialWindow) {
+  const std::vector<Packet> window_a = fixed_trace(11, 15000, 800);
+  const std::vector<Packet> window_b = fixed_trace(22, 15000, 800);
+
+  FcmFramework serial_a(small_framework_options());
+  for (const Packet& packet : window_a) serial_a.process(packet.key);
+  FcmFramework serial_b(small_framework_options());
+  for (const Packet& packet : window_b) serial_b.process(packet.key);
+
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 4;
+  options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+  options.retained_epochs = 2;
+  ShardedFcmFramework sharded(options);
+
+  for (const Packet& packet : window_a) sharded.ingest(packet.key);
+  const auto report_a = sharded.rotate();
+  for (const Packet& packet : window_b) sharded.ingest(packet.key);
+  const auto report_b = sharded.rotate();
+
+  EXPECT_EQ(report_a.index, 0u);
+  EXPECT_EQ(report_b.index, 1u);
+  EXPECT_EQ(report_a.packets, window_a.size());
+  EXPECT_EQ(report_b.packets, window_b.size())
+      << "second epoch leaked packets from the first (generation not cleared)";
+  EXPECT_EQ(sharded.epochs_completed(), 2u);
+
+  const FcmFramework merged_b = sharded.merged_epoch(0);
+  const FcmFramework merged_a = sharded.merged_epoch(1);
+  for (const FlowKey key : distinct_keys(window_a)) {
+    ASSERT_EQ(merged_a.flow_size(key), serial_a.flow_size(key));
+  }
+  for (const FlowKey key : distinct_keys(window_b)) {
+    ASSERT_EQ(merged_b.flow_size(key), serial_b.flow_size(key));
+  }
+  sharded.check_invariants();
+}
+
+TEST(ShardedRuntime, HeavyChangesReportedAcrossEpochs) {
+  constexpr std::uint64_t kThreshold = 300;
+  FcmFramework::Options fw = small_framework_options();
+  fw.heavy_hitter_threshold = kThreshold;
+
+  ShardedFcmFramework::Options options;
+  options.framework = fw;
+  options.shard_count = 2;
+  options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+  ShardedFcmFramework sharded(options);
+
+  const FlowKey surging{0xc0ffee01};
+  const FlowKey steady{0xc0ffee02};
+  // Epoch 0: steady is heavy, surging absent.
+  for (int i = 0; i < 500; ++i) sharded.ingest(steady);
+  const auto report0 = sharded.rotate();
+  EXPECT_TRUE(report0.heavy_changes.empty()) << "no previous epoch to diff";
+  // Epoch 1: surging appears at 600, steady stays at ~500 (delta below T).
+  for (int i = 0; i < 600; ++i) sharded.ingest(surging);
+  for (int i = 0; i < 500; ++i) sharded.ingest(steady);
+  const auto report1 = sharded.rotate();
+
+  const auto& hc = report1.heavy_changes;
+  EXPECT_TRUE(std::find(hc.begin(), hc.end(), surging) != hc.end())
+      << "flow surging by 600 (> T=300) across epochs not flagged";
+  EXPECT_TRUE(std::find(hc.begin(), hc.end(), steady) == hc.end())
+      << "steady flow (delta ~0) wrongly flagged as heavy change";
+}
+
+TEST(ShardedRuntime, RotateAsyncDoesNotStallIngest) {
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 2;
+  // analyze_on_rotate makes the background merge slow enough that ingest
+  // provably overlaps it on any scheduler.
+  options.analyze_on_rotate = true;
+  ShardedFcmFramework sharded(options);
+
+  const std::vector<Packet> window_a = fixed_trace(7, 10000, 500);
+  for (const Packet& packet : window_a) sharded.ingest(packet.key);
+  const std::size_t epoch = sharded.rotate_async();
+  // Ingest the next window immediately — before the merge completed.
+  const std::vector<Packet> window_b = fixed_trace(8, 10000, 500);
+  for (const Packet& packet : window_b) sharded.ingest(packet.key);
+
+  const auto report_a = sharded.wait_epoch(epoch);
+  EXPECT_EQ(report_a.packets, window_a.size());
+  ASSERT_TRUE(report_a.analysis.has_value());
+  EXPECT_GT(report_a.analysis->cardinality, 0.0);
+
+  const auto report_b = sharded.rotate();
+  EXPECT_EQ(report_b.packets, window_b.size())
+      << "packets ingested during the async merge were lost or double-counted";
+}
+
+TEST(ShardedRuntime, RetainedEpochWindowSlidesAndExpiredEpochsThrow) {
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 2;
+  options.retained_epochs = 2;
+  ShardedFcmFramework sharded(options);
+
+  for (std::size_t epoch = 0; epoch < 4; ++epoch) {
+    sharded.ingest(FlowKey{static_cast<std::uint32_t>(epoch + 1)});
+    sharded.rotate();
+  }
+  EXPECT_EQ(sharded.epochs_completed(), 4u);
+  EXPECT_NO_THROW(sharded.merged_epoch(0));
+  EXPECT_NO_THROW(sharded.merged_epoch(1));
+  EXPECT_THROW(sharded.merged_epoch(2), ContractViolation);
+  // wait_epoch on an already-merged, still-retained epoch returns instantly.
+  EXPECT_EQ(sharded.wait_epoch(3).index, 3u);
+  // Expired epoch: merged but evicted from the history window.
+  EXPECT_THROW(sharded.wait_epoch(0), ContractViolation);
+  // flow_size queries the latest epoch.
+  EXPECT_EQ(sharded.flow_size(FlowKey{4}), 1u);
+}
+
+// --- backpressure and teardown ----------------------------------------------
+
+TEST(ShardedRuntime, TinyQueueBackpressureLosesNothing) {
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 4;
+  options.queue_capacity = 64;  // force constant ring-full backpressure
+  options.flush_batch = 16;
+  options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+  ShardedFcmFramework sharded(options);
+
+  const std::vector<Packet> trace = fixed_trace(0x7e57, 30000, 1000);
+  FcmFramework serial(small_framework_options());
+  for (const Packet& packet : trace) serial.process(packet.key);
+  for (const Packet& packet : trace) sharded.ingest(packet.key);
+  const auto report = sharded.rotate();
+
+  EXPECT_EQ(report.packets, trace.size());
+  const FcmFramework merged = sharded.merged_epoch();
+  for (const FlowKey key : distinct_keys(trace)) {
+    ASSERT_EQ(merged.flow_size(key), serial.flow_size(key));
+  }
+}
+
+TEST(ShardedRuntime, StopIsIdempotentAndDestructorIsSafeWithoutRotation) {
+  {
+    ShardedFcmFramework::Options options;
+    options.framework = small_framework_options();
+    options.shard_count = 2;
+    ShardedFcmFramework sharded(options);
+    for (int i = 0; i < 1000; ++i) {
+      sharded.ingest(FlowKey{static_cast<std::uint32_t>(i)});
+    }
+    // No rotation: destructor must still drain and join cleanly.
+  }
+  {
+    ShardedFcmFramework::Options options;
+    options.framework = small_framework_options();
+    options.shard_count = 2;
+    ShardedFcmFramework sharded(options);
+    sharded.ingest(FlowKey{1});
+    sharded.rotate();
+    sharded.stop();
+    sharded.stop();  // idempotent
+    sharded.check_invariants();
+    // Results remain queryable after stop().
+    EXPECT_EQ(sharded.flow_size(FlowKey{1}), 1u);
+    EXPECT_EQ(sharded.epochs_completed(), 1u);
+  }
+}
+
+// --- option validation --------------------------------------------------------
+
+TEST(ShardedRuntime, RejectsInvalidOptions) {
+  const auto make = [](auto mutate) {
+    ShardedFcmFramework::Options options;
+    options.framework = small_framework_options();
+    mutate(options);
+    return ShardedFcmFramework(options);
+  };
+  EXPECT_THROW(make([](auto& o) { o.shard_count = 0; }), ContractViolation);
+  EXPECT_THROW(make([](auto& o) { o.shard_count = 1000; }), ContractViolation);
+  EXPECT_THROW(make([](auto& o) { o.queue_capacity = 100; }), ContractViolation);
+  EXPECT_THROW(make([](auto& o) { o.queue_capacity = 1; }), ContractViolation);
+  EXPECT_THROW(make([](auto& o) { o.flush_batch = 0; }), ContractViolation);
+  EXPECT_THROW(make([](auto& o) {
+                 o.queue_capacity = 64;
+                 o.flush_batch = 128;
+               }),
+               ContractViolation);
+  EXPECT_THROW(make([](auto& o) { o.retained_epochs = 0; }), ContractViolation);
+}
+
+TEST(ShardedRuntime, ByteModeRejectsZeroBytePackets) {
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.framework.count_mode = FcmFramework::CountMode::kBytes;
+  options.shard_count = 2;
+  ShardedFcmFramework sharded(options);
+  EXPECT_THROW(sharded.ingest(Packet{FlowKey{1}, 0, 0}), ContractViolation);
+  sharded.ingest(Packet{FlowKey{1}, 100, 0});
+  sharded.rotate();
+  EXPECT_EQ(sharded.flow_size(FlowKey{1}), 100u);
+}
+
+}  // namespace

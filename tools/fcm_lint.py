@@ -23,6 +23,14 @@ Rules (see DESIGN.md "Correctness & static analysis"):
                    indexing is banned (it bypasses the contract that names
                    the offending array on out-of-range access).
 
+  thread-join      No plain ``std::thread`` inside ``src/``: a joinable
+                   ``std::thread`` whose destructor runs (stack unwinding,
+                   early return, a throwing emplace loop) calls
+                   ``std::terminate``. Use ``std::jthread``, which joins on
+                   destruction — the sharded runtime's worker/coordinator
+                   threads rely on this for exception-safe teardown.
+                   (``std::this_thread`` and ``std::jthread`` do not match.)
+
 Suppression: append ``// fcm-lint: allow(<rule>)`` to the offending line.
 
 Usage:  tools/fcm_lint.py [paths...]       (default: src tests bench examples)
@@ -40,7 +48,7 @@ HEADER_SUFFIXES = {".h", ".hpp", ".hh"}
 SOURCE_SUFFIXES = HEADER_SUFFIXES | {".cc", ".cpp", ".cxx"}
 
 # Rule: narrowing-cast — only inside these top-level directories.
-NARROWING_DIRS = ("src/fcm", "src/pisa")
+NARROWING_DIRS = ("src/fcm", "src/pisa", "src/runtime")
 NARROWING_RE = re.compile(
     r"static_cast<\s*(?:std::)?u?int(?:8|16|32)_t\s*>"
 )
@@ -53,6 +61,12 @@ TIME_SEED_RE = re.compile(
 )
 
 CELLS_INDEX_RE = re.compile(r"\.cells\s*\[")
+
+# Rule: thread-join — only inside src/ (tests/benches may query
+# std::thread::hardware_concurrency or build scratch threads). Matches the
+# exact token std::thread; std::jthread and std::this_thread do not match.
+THREAD_DIRS = ("src",)
+THREAD_RE = re.compile(r"(?<![\w:])std::thread\b")
 
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 
@@ -152,6 +166,7 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
         )
 
     check_narrowing = any(rel.startswith(d + "/") for d in NARROWING_DIRS)
+    check_threads = any(rel.startswith(d + "/") for d in THREAD_DIRS)
 
     raw_lines = raw.splitlines()
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -188,6 +203,19 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
                         "register-access",
                         "direct RegisterArray cell indexing; use the "
                         "bounds-checked .at(...) accessor",
+                    )
+                )
+        if check_threads and THREAD_RE.search(line):
+            if not line_allows(raw_line, "thread-join"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "thread-join",
+                        "plain std::thread in src/; a joinable std::thread "
+                        "destructor calls std::terminate — use std::jthread "
+                        "(joins on destruction) "
+                        "(or '// fcm-lint: allow(thread-join)')",
                     )
                 )
     return findings
