@@ -22,9 +22,10 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   bench::print_preamble("Ablation: FCM design choices", workload, memory);
   const auto& truth = workload.truth;
@@ -69,5 +70,6 @@ int main() {
   std::puts("expectation: the paper's marker encoding beats the flag-bit\n"
             "variant at identical storage; 3 stages of 8/16/32 is the sweet\n"
             "spot for this trace profile.");
+  cli.finish();
   return 0;
 }

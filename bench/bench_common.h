@@ -8,15 +8,76 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "fcm/fcm_estimator.h"
 #include "flow/synthetic.h"
 #include "flow/trace_io.h"
 #include "metrics/evaluator.h"
 #include "metrics/table.h"
+#include "obs/metrics_registry.h"
 
 namespace fcm::bench {
+
+// Shared CLI for every bench harness. All bench randomness flows through
+// common/random.h (Xoshiro256 inside SyntheticTraceGenerator), keyed by one
+// --seed so any figure can be reproduced bit-for-bit:
+//   --seed=N             workload RNG seed (default 1)
+//   --metrics-json=PATH  on exit, write a fcm.metrics.v1 snapshot of the
+//                        global obs::MetricsRegistry to PATH
+struct BenchCli {
+  std::uint64_t seed = 1;
+  std::string metrics_json;
+  std::vector<char*> forwarded;  // argv[0] plus unrecognized arguments
+
+  // Parses known flags, collecting unknown ones into `forwarded` for
+  // harnesses (bench_throughput) that layer their own flags on top.
+  static BenchCli parse(int argc, char** argv) {
+    BenchCli cli;
+    if (argc > 0) cli.forwarded.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--seed=", 0) == 0) {
+        cli.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else if (arg.rfind("--metrics-json=", 0) == 0) {
+        cli.metrics_json = arg.substr(15);
+      } else {
+        cli.forwarded.push_back(argv[i]);
+      }
+    }
+    return cli;
+  }
+
+  // Strict variant for single-purpose harnesses: unknown flags are an error.
+  static BenchCli parse_or_exit(int argc, char** argv) {
+    BenchCli cli = parse(argc, argv);
+    if (cli.forwarded.size() > 1) {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: %s [--seed=N] [--metrics-json=PATH]\n",
+                   cli.forwarded[1], argc > 0 ? argv[0] : "bench");
+      std::exit(2);
+    }
+    return cli;
+  }
+
+  // Call once at the end of main(): exports the process-wide metrics
+  // snapshot if --metrics-json was requested.
+  void finish() const {
+    if (metrics_json.empty()) return;
+    std::ofstream out(metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", metrics_json.c_str());
+      return;
+    }
+    out << obs::MetricsRegistry::global().snapshot().to_json();
+    std::printf("wrote metrics snapshot to %s\n", metrics_json.c_str());
+  }
+};
 
 struct Workload {
   flow::Trace trace;

@@ -11,7 +11,8 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   std::printf("Figures 10/11: k vs traffic skewness (memory %zu bytes)\n\n", memory);
@@ -29,7 +30,7 @@ int main() {
   em.max_iterations = 6;
 
   for (const double alpha : {1.1, 1.3, 1.5, 1.7}) {
-    bench::Workload workload = bench::zipf_workload(alpha, scale);
+    bench::Workload workload = bench::zipf_workload(alpha, scale, cli.seed);
     const auto& truth = workload.truth;
     const auto true_fsd = truth.flow_size_distribution();
 
@@ -91,5 +92,6 @@ int main() {
   wmre_table.print(std::cout);
   std::puts("expectation: all entries < 1 (FCM variants beat CM / MRAC);\n"
             "for plain FCM, k=32 degrades at mid skews; FCM+TopK stays flat.");
+  cli.finish();
   return 0;
 }

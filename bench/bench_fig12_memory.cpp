@@ -15,9 +15,10 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   bench::print_preamble("Figure 12: five tasks vs memory", workload, 0);
   const auto& truth = workload.truth;
   const auto true_fsd = truth.flow_size_distribution();
@@ -158,5 +159,6 @@ int main() {
   entropy_table.print(std::cout);
   std::puts("expectation: FCM+TopK best overall; FCM beats Elastic on flow\n"
             "size and cardinality; UnivMon trails on every task.");
+  cli.finish();
   return 0;
 }

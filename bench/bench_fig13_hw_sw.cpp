@@ -14,9 +14,10 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'300'000, scale);
   bench::print_preamble("Figure 13: software vs hardware implementation",
                         workload, memory);
@@ -84,5 +85,6 @@ int main() {
               divergences);
   std::puts("expectation: FCM identical in both columns; FCM+TopK hardware\n"
             "slightly worse than software (approximated TopK eviction).");
+  cli.finish();
   return 0;
 }

@@ -17,9 +17,10 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'300'000, scale);
   bench::print_preamble("Figure 14: hardware variants at 1.3 MB", workload, memory);
   const auto& truth = workload.truth;
@@ -130,5 +131,6 @@ int main() {
   std::puts("expectation: FCM/FCM+TopK at least ~50% lower AAE/WMRE than any\n"
             "CM(d)+TopK at comparable modeled resources; CM+TopK errors come\n"
             "from heavy flows saturating the 8-bit registers.");
+  cli.finish();
   return 0;
 }

@@ -13,9 +13,10 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   bench::print_preamble("Figure 6: data-plane query accuracy vs k", workload, memory);
   const auto& truth = workload.truth;
@@ -122,5 +123,6 @@ int main() {
   size_table.print(std::cout);
   hh_table.print(std::cout);
   card_table.print(std::cout);
+  cli.finish();
   return 0;
 }

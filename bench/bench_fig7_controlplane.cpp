@@ -25,9 +25,10 @@ control::FlowSizeDistribution topk_fsd(const core::FcmTopK& topk,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   bench::print_preamble("Figure 7: control-plane accuracy vs k", workload, memory);
 
@@ -76,5 +77,6 @@ int main() {
 
   fsd_table.print(std::cout);
   entropy_table.print(std::cout);
+  cli.finish();
   return 0;
 }

@@ -67,9 +67,10 @@ void print_variant(const char* title, const bench::Workload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale(0.05);  // 5 seeds x 5 k's: keep it light
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   bench::print_preamble("Figure 8: non-empty virtual counters per degree",
                         workload, memory);
@@ -77,5 +78,6 @@ int main() {
   print_variant("fig8_fcm_topk_degree_histogram", workload, memory, true);
   std::puts("expectation: counts decay roughly exponentially with degree;\n"
             "FCM+TopK has fewer high-degree counters than FCM.");
+  cli.finish();
   return 0;
 }

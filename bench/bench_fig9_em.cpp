@@ -10,9 +10,10 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   bench::print_preamble("Figure 9: EM runtime and convergence", workload, memory);
   const auto true_fsd = workload.truth.flow_size_distribution();
@@ -72,5 +73,6 @@ int main() {
   convergence_table.print(std::cout);
   std::puts("expectation: FCM stabilizes within ~5 iterations at lower WMRE\n"
             "than MRAC; on a single core FCM(m) ~= FCM(s) (thread overhead).");
+  cli.finish();
   return 0;
 }

@@ -10,9 +10,10 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   bench::print_preamble("Motivation: sampling vs sketching at equal memory",
                         workload, memory);
@@ -50,5 +51,6 @@ int main() {
   std::puts("expectation: sampling misses most flows outright (tiny\n"
             "flows_visible) and has orders-of-magnitude worse ARE; heavy\n"
             "hitters survive sampling but with noisy counts.");
+  cli.finish();
   return 0;
 }

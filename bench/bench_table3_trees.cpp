@@ -51,9 +51,10 @@ Row evaluate(const bench::Workload& workload, std::size_t memory,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   const std::size_t memory = bench::scaled_memory(1'500'000, scale);
   bench::print_preamble("Table 3: number of trees", workload, memory);
 
@@ -83,5 +84,6 @@ int main() {
   table.print(std::cout);
   std::puts("expectation: more trees help flow-size accuracy but hurt\n"
             "FSD/entropy (fewer counters per tree), as in Table 3.");
+  cli.finish();
   return 0;
 }

@@ -6,13 +6,15 @@
 //            QPipe and SpreadSketch.
 #include <iostream>
 
+#include "bench_common.h"
 #include "metrics/table.h"
 #include "pisa/resources.h"
 #include "pisa/tcam_cardinality.h"
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const pisa::PipelineBudget budget;
   const core::FcmConfig config =
       core::FcmConfig::for_memory(1'300'000, 2, 8, {8, 16, 32});
@@ -66,5 +68,6 @@ int main() {
       static_cast<double>(tcam.full_table_size()) / tcam.entry_count(), 1) + "x"});
   extra.add_row({"additional error bound", "0.2%"});
   extra.print(std::cout);
+  cli.finish();
   return 0;
 }

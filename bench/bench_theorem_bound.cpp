@@ -10,9 +10,10 @@
 
 using namespace fcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchCli cli = bench::BenchCli::parse_or_exit(argc, argv);
   const double scale = metrics::bench_scale();
-  bench::Workload workload = bench::caida_workload(scale);
+  bench::Workload workload = bench::caida_workload(scale, cli.seed);
   bench::print_preamble("Theorem 5.1: empirical error-bound validation",
                         workload, 0);
   const auto& truth = workload.truth;
@@ -64,5 +65,6 @@ int main() {
   table.print(std::cout);
   std::puts("expectation: every row holds (violation rate <= delta); the\n"
             "bound is loose in practice, so most rows show zero violations.");
+  cli.finish();
   return 0;
 }

@@ -8,9 +8,16 @@
 // at N in {1, 2, 4, 8}, with machine-readable results in
 // BENCH_throughput.json.
 //
+// The scaling study doubles as the observability overhead gate: every
+// sharded configuration is timed twice, once with Options::metrics == nullptr
+// (uninstrumented) and once against the global registry, and the JSON
+// records the relative cost (DESIGN.md §8 budgets it at < 2%).
+//
 // Flags: --scaling-only        run just the scaling study (skip micro-benches)
 //        --json=PATH           where to write the JSON (default
 //                              BENCH_throughput.json in the CWD)
+//        --seed=N              trace seed (default 1; common/random.h PRNG)
+//        --metrics-json=PATH   export a fcm.metrics.v1 snapshot on exit
 // Remaining arguments are forwarded to google-benchmark.
 #include <benchmark/benchmark.h>
 
@@ -23,9 +30,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "fcm/fcm_estimator.h"
 #include "flow/synthetic.h"
 #include "framework/fcm_framework.h"
+#include "obs/metrics_registry.h"
 #include "runtime/sharded_framework.h"
 #include "sketch/cm_sketch.h"
 #include "sketch/elastic_sketch.h"
@@ -40,11 +49,15 @@ using namespace fcm;
 
 constexpr std::size_t kMemory = 600'000;
 
+// Set from --seed before the first shared_trace() call.
+std::uint64_t g_trace_seed = 1;
+
 const flow::Trace& shared_trace() {
   static const flow::Trace trace = [] {
     flow::SyntheticTraceConfig config;
     config.packet_count = 1 << 18;
     config.flow_count = 20000;
+    config.seed = g_trace_seed;
     return flow::SyntheticTraceGenerator(config).generate();
   }();
   return trace;
@@ -140,8 +153,12 @@ BENCHMARK(BM_QueryElastic);
 
 struct ScalingPoint {
   std::size_t shards = 0;       // 0 = serial baseline
-  double packets_per_sec = 0.0;
+  double packets_per_sec = 0.0; // uninstrumented (Options::metrics = nullptr)
   double speedup = 1.0;         // vs. the serial baseline
+  double packets_per_sec_metrics = 0.0;  // same config, global registry wired
+  // (pps - pps_metrics) / pps; negative values are timer noise, meaning the
+  // instrumented run happened to be faster.
+  double metrics_overhead_pct = 0.0;
 };
 
 double time_packets_per_sec(const flow::Trace& trace,
@@ -160,7 +177,9 @@ std::vector<ScalingPoint> run_scaling_study(const flow::Trace& trace) {
   constexpr int kRepeats = 3;  // best-of to shave scheduler noise
   std::vector<ScalingPoint> points;
 
-  // Serial baseline: one framework, driver thread does everything.
+  // Serial baseline: one framework, driver thread does everything. The
+  // serial ingest path carries no instrumentation (analyze()-only), so one
+  // timing covers both columns.
   ScalingPoint serial;
   serial.shards = 0;
   for (int r = 0; r < kRepeats; ++r) {
@@ -172,29 +191,46 @@ std::vector<ScalingPoint> run_scaling_study(const flow::Trace& trace) {
     });
     serial.packets_per_sec = std::max(serial.packets_per_sec, pps);
   }
+  serial.packets_per_sec_metrics = serial.packets_per_sec;
   points.push_back(serial);
 
+  const auto run_once = [&](std::size_t shards, bool with_metrics) {
+    runtime::ShardedFcmFramework::Options options;
+    options.framework = fw;
+    options.shard_count = shards;
+    options.fanout = runtime::ShardedFcmFramework::Fanout::kHashByKey;
+    options.metrics = with_metrics ? &obs::MetricsRegistry::global() : nullptr;
+    runtime::ShardedFcmFramework sharded(options);
+    // Ingest + rotate: the honest end-to-end cost of one epoch, including
+    // the final merge (which the runtime overlaps with the NEXT epoch's
+    // ingest in steady state; a single epoch pays it at the end).
+    return time_packets_per_sec(trace, [&] {
+      for (const flow::Packet& packet : trace.packets()) {
+        sharded.ingest(packet.key);
+      }
+      sharded.rotate();
+    });
+  };
+
+  // The instrumented/uninstrumented pair is interleaved repeat-by-repeat so
+  // scheduler and frequency drift hit both columns equally; best-of-N on
+  // each side then isolates the instrumentation cost itself (the quantity
+  // DESIGN.md §8 budgets at < 2%).
+  constexpr int kOverheadRepeats = 3 * kRepeats;
   for (std::size_t shards : {1u, 2u, 4u, 8u}) {
     ScalingPoint point;
     point.shards = shards;
-    for (int r = 0; r < kRepeats; ++r) {
-      runtime::ShardedFcmFramework::Options options;
-      options.framework = fw;
-      options.shard_count = shards;
-      options.fanout = runtime::ShardedFcmFramework::Fanout::kHashByKey;
-      runtime::ShardedFcmFramework sharded(options);
-      // Ingest + rotate: the honest end-to-end cost of one epoch, including
-      // the final merge (which the runtime overlaps with the NEXT epoch's
-      // ingest in steady state; a single epoch pays it at the end).
-      const double pps = time_packets_per_sec(trace, [&] {
-        for (const flow::Packet& packet : trace.packets()) {
-          sharded.ingest(packet.key);
-        }
-        sharded.rotate();
-      });
-      point.packets_per_sec = std::max(point.packets_per_sec, pps);
+    for (int r = 0; r < kOverheadRepeats; ++r) {
+      point.packets_per_sec =
+          std::max(point.packets_per_sec, run_once(shards, false));
+      point.packets_per_sec_metrics =
+          std::max(point.packets_per_sec_metrics, run_once(shards, true));
     }
     point.speedup = point.packets_per_sec / serial.packets_per_sec;
+    point.metrics_overhead_pct =
+        100.0 *
+        (point.packets_per_sec - point.packets_per_sec_metrics) /
+        point.packets_per_sec;
     points.push_back(point);
   }
   return points;
@@ -226,7 +262,9 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
     first = false;
     out << "    {\"shards\": " << p.shards
         << ", \"packets_per_sec\": " << p.packets_per_sec
-        << ", \"speedup_vs_serial\": " << p.speedup << "}";
+        << ", \"speedup_vs_serial\": " << p.speedup
+        << ", \"packets_per_sec_metrics\": " << p.packets_per_sec_metrics
+        << ", \"metrics_overhead_pct\": " << p.metrics_overhead_pct << "}";
   }
   out << "\n  ]\n}\n";
 }
@@ -234,32 +272,41 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
 void print_scaling(const std::vector<ScalingPoint>& points) {
   std::printf("\nsharded-runtime scaling (hash fanout, %u hardware threads)\n",
               std::thread::hardware_concurrency());
-  std::printf("%-10s %16s %10s\n", "config", "pkts/sec", "speedup");
+  std::printf("%-10s %16s %10s %16s %10s\n", "config", "pkts/sec", "speedup",
+              "w/metrics", "overhead");
   for (const ScalingPoint& p : points) {
     if (p.shards == 0) {
-      std::printf("%-10s %16.0f %10s\n", "serial", p.packets_per_sec, "1.00x");
+      std::printf("%-10s %16.0f %10s %16s %10s\n", "serial", p.packets_per_sec,
+                  "1.00x", "-", "-");
     } else {
-      std::printf("%zu %-8s %16.0f %9.2fx\n", p.shards, "shards",
-                  p.packets_per_sec, p.speedup);
+      std::printf("%zu %-8s %16.0f %9.2fx %16.0f %9.2f%%\n", p.shards,
+                  "shards", p.packets_per_sec, p.speedup,
+                  p.packets_per_sec_metrics, p.metrics_overhead_pct);
     }
   }
+  std::printf("observability budget: metrics overhead must stay < 2%% "
+              "(DESIGN.md §8)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  fcm::bench::BenchCli cli = fcm::bench::BenchCli::parse(argc, argv);
+  g_trace_seed = cli.seed;
+
   bool scaling_only = false;
   std::string json_path = "BENCH_throughput.json";
   std::vector<char*> forwarded;
-  forwarded.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--scaling-only") {
+  for (std::size_t i = 0; i < cli.forwarded.size(); ++i) {
+    const std::string arg = cli.forwarded[i];
+    if (i == 0) {
+      forwarded.push_back(cli.forwarded[i]);  // argv[0]
+    } else if (arg == "--scaling-only") {
       scaling_only = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else {
-      forwarded.push_back(argv[i]);
+      forwarded.push_back(cli.forwarded[i]);
     }
   }
 
@@ -269,7 +316,10 @@ int main(int argc, char** argv) {
   write_scaling_json(json_path, trace, points);
   std::printf("wrote %s\n", json_path.c_str());
 
-  if (scaling_only) return 0;
+  if (scaling_only) {
+    cli.finish();
+    return 0;
+  }
 
   int forwarded_argc = static_cast<int>(forwarded.size());
   benchmark::Initialize(&forwarded_argc, forwarded.data());
@@ -278,5 +328,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  cli.finish();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/contracts.h"
+#include "obs/metrics_registry.h"
 
 namespace fcm::control {
 namespace {
@@ -262,14 +263,46 @@ void EmFsdEstimator::check_invariants() const {
 }
 
 FlowSizeDistribution EmFsdEstimator::run(const IterationCallback& callback) {
+  // Control-plane telemetry (DESIGN.md §8): iteration count/latency plus a
+  // convergence signal — the L1 distance between successive estimates,
+  // normalized by total flows, which EM drives toward zero. EM runs off the
+  // ingest path, so registry writes here are free relative to the E-step.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& em_runs =
+      registry.counter("fcm_em_runs_total", {}, "EM estimator runs completed");
+  obs::Counter& em_iterations = registry.counter(
+      "fcm_em_iterations_total", {}, "EM iterations across all runs");
+  obs::Histogram& em_iteration_seconds = registry.histogram(
+      "fcm_em_iteration_seconds", obs::Histogram::latency_bounds(), {},
+      "Wall time per EM iteration");
+  obs::Gauge& em_delta = registry.gauge(
+      "fcm_em_convergence_delta", {},
+      "Normalized L1 change of the FSD estimate in the last EM iteration");
+
+  double last_delta = 0.0;
   for (std::size_t i = 0; i < config_.max_iterations; ++i) {
     const auto start = std::chrono::steady_clock::now();
+    const std::vector<double> previous = current_.counts();
     iterate();
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    em_iterations.inc();
+    em_iteration_seconds.observe(seconds);
+    const auto& counts = current_.counts();
+    double l1 = 0.0;
+    const std::size_t overlap = std::min(previous.size(), counts.size());
+    for (std::size_t j = 0; j < overlap; ++j) {
+      l1 += std::abs(counts[j] - previous[j]);
+    }
+    for (std::size_t j = overlap; j < previous.size(); ++j) l1 += previous[j];
+    for (std::size_t j = overlap; j < counts.size(); ++j) l1 += counts[j];
+    const double total = current_.total_flows();
+    last_delta = total > 0.0 ? l1 / total : l1;
     if (callback) callback(i, seconds, current_);
   }
+  em_delta.set(last_delta);
+  em_runs.inc();
   return current_;
 }
 

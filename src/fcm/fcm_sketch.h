@@ -72,6 +72,15 @@ class FcmSketch {
     return cardinality_saturations_;
   }
 
+  // Observability: total overflow-promotion events across all trees (see
+  // FcmTree::overflow_promotion_count). Scraped into obs::MetricsRegistry by
+  // the framework/runtime layers at epoch boundaries.
+  std::uint64_t overflow_promotion_count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& tree : trees_) total += tree.overflow_promotion_count();
+    return total;
+  }
+
   // --- heavy hitters (data-plane query) ---
   void set_heavy_hitter_threshold(std::uint64_t threshold) {
     hh_threshold_ = threshold;

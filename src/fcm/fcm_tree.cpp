@@ -49,6 +49,7 @@ std::uint64_t FcmTree::add(flow::FlowKey key, std::uint64_t count) {
       carry -= room;
       node = common::checked_narrow<std::uint32_t>(mark);
       estimate += cap;
+      ++promotions_;  // observability: a fresh overflow promotion
     }
     if (l + 1 == levels) {
       // Final stage has no parent; counts beyond its range are lost
@@ -86,6 +87,9 @@ void FcmTree::merge(const FcmTree& other) {
   // level l receives the excess of its k children at level l-1.
   std::vector<std::uint64_t> promoted(stages_[0].size(), 0);
   std::vector<std::uint64_t> next_promoted;
+  // Fold the other tree's promotion history into ours (monotone telemetry;
+  // merge-induced fresh trips are counted in the loop below).
+  promotions_ += other.promotions_;
   for (std::size_t l = 0; l < levels; ++l) {
     const std::uint64_t cap = counting_max_[l];
     const std::uint32_t mark = marker_[l];
@@ -109,6 +113,10 @@ void FcmTree::merge(const FcmTree& other) {
         if (l + 1 < levels) next_promoted[i / config_.k] += sum - cap;
         // Beyond the root the serial tree drops the excess too.
         stages_[l][i] = mark;
+        // Observability: a node neither input had tripped overflows only
+        // now, in the merge — count the fresh promotion (trips either input
+        // already performed arrive via the promotions_ sum below).
+        if (!shard_overflowed) ++promotions_;
       } else {
         stages_[l][i] = common::checked_narrow<std::uint32_t>(sum);
       }
@@ -192,6 +200,7 @@ void FcmTree::check_invariants() const {
 
 void FcmTree::clear() noexcept {
   for (auto& stage : stages_) std::fill(stage.begin(), stage.end(), 0u);
+  promotions_ = 0;
 }
 
 }  // namespace fcm::core

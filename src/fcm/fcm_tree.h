@@ -66,6 +66,16 @@ class FcmTree {
   // exactly by the virtual-counter conversion; used as an invariant check.
   std::uint64_t total_count() const noexcept;
 
+  // Observability: how many nodes this tree has tripped into the overflow
+  // state (a counter saturating and carrying to its parent — Figure 3's
+  // promotion event) since construction / clear(). Monotone; merge() folds
+  // the other tree's history in plus any trips the merge itself causes.
+  // Scraped into the obs::MetricsRegistry by the layers above (the tree
+  // itself stays free of atomics so the single-shard hot path is untouched).
+  std::uint64_t overflow_promotion_count() const noexcept {
+    return promotions_;
+  }
+
   const FcmConfig& config() const noexcept { return config_; }
 
   // Deep structural invariants (§3.1/Figure 3 semantics); throws/aborts per
@@ -92,6 +102,8 @@ class FcmTree {
   // Per-stage cached limits, so the hot path avoids recomputing shifts.
   std::vector<std::uint32_t> counting_max_;
   std::vector<std::uint32_t> marker_;
+  // Overflow-promotion events (see overflow_promotion_count()).
+  std::uint64_t promotions_ = 0;
 };
 
 }  // namespace fcm::core

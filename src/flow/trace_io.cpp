@@ -62,6 +62,23 @@ Trace load_trace(const std::string& path) {
   }
   std::uint64_t count = 0;
   read_value(in, count);
+  // Validate the header count against the actual file size BEFORE reserving:
+  // a corrupt/hostile count (e.g. 2^60) would otherwise turn into a
+  // multi-exabyte reserve() — std::bad_alloc at best, an OOM-killed process
+  // at worst (found by test_trace_io's corrupt-header suite).
+  const std::streampos body_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos file_end = in.tellg();
+  if (body_start == std::streampos(-1) || file_end == std::streampos(-1)) {
+    throw std::runtime_error("cannot determine trace file size: " + path);
+  }
+  const auto body_bytes =
+      static_cast<std::uint64_t>(file_end - body_start);
+  if (count > body_bytes / sizeof(Record)) {
+    throw std::runtime_error("trace file truncated or corrupt header: " + path +
+                             " declares more records than the file holds");
+  }
+  in.seekg(body_start);
   std::vector<Packet> packets;
   packets.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

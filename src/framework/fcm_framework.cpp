@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/contracts.h"
+#include "obs/metrics_registry.h"
 
 namespace fcm::framework {
 
@@ -68,6 +69,15 @@ std::vector<flow::FlowKey> FcmFramework::heavy_hitters() const {
 }
 
 FcmFramework::Report FcmFramework::analyze() const {
+  // Per-epoch control-plane collection cost (DESIGN.md §8); analyze() runs
+  // once per measurement window, so the registry lookups are negligible.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("fcm_framework_analyze_total", {},
+                   "Control-plane analyze() collections")
+      .inc();
+  const obs::ScopedTimer timer(&registry.histogram(
+      "fcm_framework_analyze_seconds", obs::Histogram::latency_bounds(), {},
+      "Wall time of one control-plane analyze() collection"));
   Report report;
   control::EmFsdEstimator em(control::convert_sketch(active_sketch()),
                              options_.em);

@@ -90,6 +90,18 @@ class FcmFramework {
   const Options& options() const noexcept { return options_; }
   std::size_t memory_bytes() const;
 
+  // --- observability (DESIGN.md §8) ---------------------------------------
+  // Overflow-promotion events in the active sketch's trees and how often
+  // linear counting hit its full-table guard. Plain counters inside the data
+  // plane (no atomics on the hot path); the sharded runtime and the benches
+  // scrape them into the obs::MetricsRegistry at epoch boundaries.
+  std::uint64_t overflow_promotion_count() const {
+    return active_sketch().overflow_promotion_count();
+  }
+  std::uint64_t cardinality_saturation_count() const {
+    return active_sketch().cardinality_saturation_count();
+  }
+
   // Deep invariants of the active data plane (sketch trees, and the vote
   // table when the Top-K filter is enabled).
   void check_invariants() const;

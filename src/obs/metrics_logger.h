@@ -1,0 +1,59 @@
+// Periodic metrics export for long-running ingest (DESIGN.md §8).
+//
+// A background jthread scrapes a MetricsRegistry every `interval` and
+// appends the snapshot to a file (JSON-lines: one compacted "fcm.metrics.v1"
+// object per line) or the Prometheus text format. stop() / destruction is
+// prompt: the sleep is a stop_token-aware condition wait, not a plain
+// sleep_for.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics_registry.h"
+
+namespace fcm::obs {
+
+class MetricsLogger {
+ public:
+  enum class Format { kJsonLines, kPrometheus };
+
+  struct Options {
+    std::string path;  // appended to; must be non-empty
+    std::chrono::milliseconds interval{1000};
+    Format format = Format::kJsonLines;
+    // Also write one final snapshot on stop(), so short runs still record.
+    bool flush_on_stop = true;
+  };
+
+  MetricsLogger(MetricsRegistry& registry, Options options);
+  ~MetricsLogger();
+
+  MetricsLogger(const MetricsLogger&) = delete;
+  MetricsLogger& operator=(const MetricsLogger&) = delete;
+
+  // Idempotent; joins the logger thread.
+  void stop();
+
+  std::size_t snapshots_written() const;
+
+ private:
+  void write_snapshot();
+  void run(const std::stop_token& token);
+
+  MetricsRegistry& registry_;
+  Options options_;
+  std::ofstream out_;
+  mutable std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::size_t snapshots_written_ = 0;
+  bool stopped_ = false;
+  std::jthread thread_;
+};
+
+}  // namespace fcm::obs

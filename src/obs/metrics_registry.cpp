@@ -1,0 +1,383 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace fcm::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+// Shortest round-trippable double formatting (so bucket edges render as
+// "0.1", not "0.10000000000000001"); JSON has no Inf/NaN, so clamp those to
+// string-safe spellings (they only arise from pathological gauge callbacks).
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buffer[64];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    if (std::strtod(buffer, nullptr) == v) break;
+  }
+  return buffer;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_labels_json(const std::vector<MetricLabel>& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricLabel& label : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(label.key) + "\": \"" + json_escape(label.value) +
+           "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Prometheus label block, optionally with an extra `le` pair (histograms).
+std::string render_labels_prom(const std::vector<MetricLabel>& labels,
+                               const std::string& extra_key = "",
+                               const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const MetricLabel& label : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += label.key + "=\"" + label.value + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string series_key(const std::string& name,
+                       const std::vector<MetricLabel>& labels) {
+  std::string key = name;
+  for (const MetricLabel& label : labels) {
+    key += '\x1f';
+    key += label.key;
+    key += '\x1e';
+    key += label.value;
+  }
+  return key;
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i - 1] >= bounds_[i]) {
+      throw std::logic_error(
+          "obs::Histogram: bucket bounds must be strictly ascending");
+    }
+  }
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::logic_error(
+        "obs::Histogram::exponential_bounds: need start > 0, factor > 1, "
+        "count >= 1");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+// --- MetricsSnapshot exporters ----------------------------------------------
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"fcm.metrics.v1\",\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out << "    {\"name\": \"" << json_escape(s.name) << "\", \"kind\": \""
+        << kind_name(s.kind) << "\", \"labels\": "
+        << render_labels_json(s.labels);
+    if (s.kind == MetricKind::kHistogram && s.histogram.has_value()) {
+      const HistogramData& h = *s.histogram;
+      out << ", \"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
+          << ", \"buckets\": [";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+        cumulative += h.bucket_counts[b];
+        if (b > 0) out << ", ";
+        out << "{\"le\": ";
+        if (b < h.bounds.size()) {
+          out << "\"" << fmt_double(h.bounds[b]) << "\"";
+        } else {
+          out << "\"+Inf\"";
+        }
+        out << ", \"count\": " << cumulative << "}";
+      }
+      out << "]";
+    } else {
+      out << ", \"value\": " << fmt_double(s.value);
+    }
+    out << "}";
+    if (i + 1 < samples.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream out;
+  std::string last_name;
+  for (const Sample& s : samples) {
+    if (s.name != last_name) {
+      if (!s.help.empty()) out << "# HELP " << s.name << " " << s.help << "\n";
+      out << "# TYPE " << s.name << " " << kind_name(s.kind) << "\n";
+      last_name = s.name;
+    }
+    if (s.kind == MetricKind::kHistogram && s.histogram.has_value()) {
+      const HistogramData& h = *s.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+        cumulative += h.bucket_counts[b];
+        const std::string le =
+            b < h.bounds.size() ? fmt_double(h.bounds[b]) : "+Inf";
+        out << s.name << "_bucket" << render_labels_prom(s.labels, "le", le)
+            << " " << cumulative << "\n";
+      }
+      out << s.name << "_sum" << render_labels_prom(s.labels) << " "
+          << fmt_double(h.sum) << "\n";
+      out << s.name << "_count" << render_labels_prom(s.labels) << " "
+          << h.count << "\n";
+    } else {
+      out << s.name << render_labels_prom(s.labels) << " "
+          << fmt_double(s.value) << "\n";
+    }
+  }
+  return out.str();
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, std::vector<MetricLabel> labels, MetricKind kind,
+    const std::string& help) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->name == name && series_key(entry->name, entry->labels) == key) {
+      if (entry->kind != kind) {
+        throw std::logic_error("obs::MetricsRegistry: metric '" + name +
+                               "' re-registered as a different kind");
+      }
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  entry->labels = std::move(labels);
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  std::vector<MetricLabel> labels,
+                                  const std::string& help) {
+  Entry& entry =
+      find_or_create(name, std::move(labels), MetricKind::kCounter, help);
+  if (!entry.counter) entry.counter.reset(new Counter());
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              std::vector<MetricLabel> labels,
+                              const std::string& help) {
+  Entry& entry =
+      find_or_create(name, std::move(labels), MetricKind::kGauge, help);
+  if (entry.callback) {
+    throw std::logic_error("obs::MetricsRegistry: gauge '" + name +
+                           "' is already a callback gauge");
+  }
+  if (!entry.gauge) entry.gauge.reset(new Gauge());
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      std::vector<MetricLabel> labels,
+                                      const std::string& help) {
+  Entry& entry =
+      find_or_create(name, std::move(labels), MetricKind::kHistogram, help);
+  if (!entry.histogram) {
+    entry.histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return *entry.histogram;
+}
+
+MetricsRegistry::CallbackHandle MetricsRegistry::gauge_callback(
+    const std::string& name, std::vector<MetricLabel> labels,
+    std::function<double()> fn, const std::string& help) {
+  Entry& entry =
+      find_or_create(name, std::move(labels), MetricKind::kGauge, help);
+  std::size_t index = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (entry.gauge || entry.callback) {
+      throw std::logic_error("obs::MetricsRegistry: gauge '" + name +
+                             "' already registered");
+    }
+    entry.callback = std::move(fn);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].get() == &entry) {
+        index = i;
+        break;
+      }
+    }
+  }
+  return CallbackHandle(this, index);
+}
+
+void MetricsRegistry::CallbackHandle::release() {
+  if (registry_ == nullptr) return;
+  std::lock_guard lock(registry_->mutex_);
+  registry_->entries_[index_]->callback = nullptr;
+  registry_ = nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricsSnapshot::Sample sample;
+    sample.name = entry->name;
+    sample.help = entry->help;
+    sample.kind = entry->kind;
+    sample.labels = entry->labels;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(entry->counter->value());
+        break;
+      case MetricKind::kGauge:
+        if (entry->callback) {
+          sample.value = entry->callback();
+        } else if (entry->gauge) {
+          sample.value = entry->gauge->value();
+        } else {
+          continue;  // callback gauge whose handle was released
+        }
+        break;
+      case MetricKind::kHistogram: {
+        MetricsSnapshot::HistogramData data;
+        data.bounds = entry->histogram->bounds();
+        data.bucket_counts = entry->histogram->bucket_counts();
+        data.count = 0;
+        for (const std::uint64_t c : data.bucket_counts) data.count += c;
+        data.sum = entry->histogram->sum();
+        sample.histogram = std::move(data);
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->counter) entry->counter->reset();
+    if (entry->gauge) entry->gauge->reset();
+    if (entry->histogram) entry->histogram->reset();
+  }
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+// --- ScopedTimer -------------------------------------------------------------
+
+namespace {
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ScopedTimer::ScopedTimer(Histogram* histogram) noexcept
+    : histogram_(histogram), start_ns_(histogram ? now_ns() : 0) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->observe(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+}
+
+}  // namespace fcm::obs

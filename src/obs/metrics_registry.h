@@ -1,0 +1,328 @@
+// Observability layer (DESIGN.md §8): a lock-free, header-light metrics
+// subsystem for the whole stack.
+//
+// Hot-path discipline: instrumented code holds raw Counter/Gauge/Histogram
+// handles (stable addresses inside the registry) and touches ONLY
+// relaxed-order atomics — no locks, no allocation, no shared cache line
+// between writer threads. Counters are striped across cache-line-aligned
+// cells (one writer thread ~ one cell), so N shard workers incrementing the
+// same logical counter never contend. Aggregation happens on scrape:
+// snapshot() sums the cells under the registry mutex, which only writers of
+// NEW metrics ever take. That makes scrape-while-ingest data-race-free by
+// construction (CI's FCM_SANITIZE=thread job covers it in test_obs).
+//
+// The registry is the ONLY sanctioned home for cross-thread telemetry state:
+// tools/fcm_lint.py bans raw std::atomic outside src/common/ and src/obs/ so
+// ad-hoc counters cannot creep back into the sketch layers.
+//
+// Exporters: snapshot() returns a plain-data Snapshot with to_json()
+// ("fcm.metrics.v1" schema, consumed by the benches' --metrics-json flag and
+// the golden-schema test) and to_prometheus() (text exposition format 0.0.4).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fcm::obs {
+
+// Cache-line size; matches common::kCacheLineBytes (not included to keep
+// this header dependency-free for the layers below common/).
+inline constexpr std::size_t kObsCacheLineBytes = 64;
+
+// Writer stripes per counter. Power of two; 16 covers the runtime's maximum
+// useful shard fan-out on one socket without bloating each counter past 1KB.
+inline constexpr std::size_t kMetricStripes = 16;
+
+namespace detail {
+
+struct alignas(kObsCacheLineBytes) Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+// Stable per-thread stripe index, so unpinned callers (tests, examples)
+// still spread across cells.
+inline std::size_t this_thread_stripe() noexcept {
+  static thread_local const std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      (kMetricStripes - 1);
+  return stripe;
+}
+
+// fetch_add for doubles via CAS (std::atomic<double>::fetch_add is C++20 but
+// a CAS loop is portable across the toolchains CI builds with). Relaxed is
+// correct: metric values are monotone telemetry, not synchronization.
+inline void atomic_add_double(std::atomic<std::uint64_t>& bits,
+                              double delta) noexcept {
+  std::uint64_t observed = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = std::bit_cast<double>(observed);
+    const std::uint64_t desired = std::bit_cast<std::uint64_t>(current + delta);
+    if (bits.compare_exchange_weak(observed, desired,
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+// Monotone event counter. inc() is wait-free: one relaxed fetch_add on a
+// cache-line-private cell.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    inc_at(detail::this_thread_stripe(), n);
+  }
+  // Explicit stripe for pinned writers (the runtime passes its shard index
+  // so each worker owns one cell outright).
+  void inc_at(std::size_t stripe, std::uint64_t n = 1) noexcept {
+    cells_[stripe & (kMetricStripes - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::array<detail::Cell, kMetricStripes> cells_;
+};
+
+// Last-write-wins instantaneous value. Single cell: gauges are set from one
+// site at a time (scrape reads are relaxed atomic loads either way).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept { detail::atomic_add_double(bits_, delta); }
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending upper edges; observations
+// above the last bound land in the implicit +Inf bucket. observe() is one
+// linear scan over <= 16 doubles plus two relaxed atomic adds — used for
+// merge/EM/analyze latencies (per-event, never per-packet).
+class Histogram {
+ public:
+  void observe(double v) noexcept {
+    std::size_t bucket = bounds_.size();
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (v <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    counts_[bucket].value.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add_double(sum_bits_, v);
+  }
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // Per-bucket (non-cumulative) counts; size() == bounds().size() + 1, the
+  // final entry being the +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const {
+    std::vector<std::uint64_t> out(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      out[i] = counts_[i].value.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& cell : counts_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  double sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept {
+    for (auto& cell : counts_) cell.value.store(0, std::memory_order_relaxed);
+    sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                    std::memory_order_relaxed);
+  }
+
+  // Exponential bucket edges: start, start*factor, ... (`count` edges).
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+  // The default latency ladder: 1us .. ~67s in x4 steps.
+  static std::vector<double> latency_bounds() {
+    return exponential_bounds(1e-6, 4.0, 13);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;
+  std::vector<detail::Cell> counts_;  // bounds_.size() + 1 (+Inf last)
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One (key, value) label pair; a metric series is identified by
+// (name, labels). Example: {"shard", "3"}.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+// Plain-data scrape result; see to_json()/to_prometheus().
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucket_counts;  // non-cumulative, +Inf last
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Sample {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<MetricLabel> labels;
+    double value = 0.0;  // counter / gauge
+    std::optional<HistogramData> histogram;
+  };
+
+  std::vector<Sample> samples;
+
+  // {"schema": "fcm.metrics.v1", "metrics": [...]}.
+  std::string to_json() const;
+  // Prometheus text exposition format (cumulative _bucket/_sum/_count for
+  // histograms).
+  std::string to_prometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-global default registry; every built-in instrumentation site
+  // writes here unless handed an explicit registry.
+  static MetricsRegistry& global();
+
+  // Get-or-create; the returned reference is stable for the registry's
+  // lifetime. Re-registering the same (name, labels) returns the same
+  // object; re-registering under a different kind is a logic error and
+  // throws std::logic_error.
+  Counter& counter(const std::string& name,
+                   std::vector<MetricLabel> labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, std::vector<MetricLabel> labels = {},
+               const std::string& help = "");
+  // `bounds` must be ascending; only consulted on first registration.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       std::vector<MetricLabel> labels = {},
+                       const std::string& help = "");
+
+  // A gauge whose value is pulled at scrape time (e.g. SPSC queue
+  // occupancy). The callback runs under the registry mutex and must be
+  // cheap and thread-safe. The returned handle unregisters on destruction —
+  // destroy it before anything the callback reads.
+  class CallbackHandle {
+   public:
+    CallbackHandle() = default;
+    CallbackHandle(CallbackHandle&& other) noexcept { swap(other); }
+    CallbackHandle& operator=(CallbackHandle&& other) noexcept {
+      release();
+      swap(other);
+      return *this;
+    }
+    CallbackHandle(const CallbackHandle&) = delete;
+    CallbackHandle& operator=(const CallbackHandle&) = delete;
+    ~CallbackHandle() { release(); }
+    void release();
+
+   private:
+    friend class MetricsRegistry;
+    CallbackHandle(MetricsRegistry* registry, std::size_t index)
+        : registry_(registry), index_(index) {}
+    void swap(CallbackHandle& other) noexcept {
+      std::swap(registry_, other.registry_);
+      std::swap(index_, other.index_);
+    }
+    MetricsRegistry* registry_ = nullptr;
+    std::size_t index_ = 0;
+  };
+  [[nodiscard]] CallbackHandle gauge_callback(const std::string& name,
+                                              std::vector<MetricLabel> labels,
+                                              std::function<double()> fn,
+                                              const std::string& help = "");
+
+  // Aggregates every registered series. Safe to call from any thread while
+  // writers are hot (the acceptance gate for the sharded runtime).
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes every counter/gauge/histogram (callback gauges are pull-only and
+  // unaffected). For tests and bench warm-up isolation; concurrent writers
+  // simply land in the fresh epoch.
+  void reset_values();
+
+  std::size_t series_count() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::vector<MetricLabel> labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;  // callback gauges only
+  };
+
+  Entry& find_or_create(const std::string& name,
+                        std::vector<MetricLabel> labels, MetricKind kind,
+                        const std::string& help);
+
+  mutable std::mutex mutex_;
+  // Deque-like stability: entries are never moved after creation.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+// Scoped wall-clock timer feeding a histogram in seconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace fcm::obs

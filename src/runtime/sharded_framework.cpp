@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <string>
 
 #include "common/contracts.h"
@@ -37,16 +38,37 @@ struct Item {
   std::uint32_t count = 0;
 };
 
+// Registry series the runtime writes (DESIGN.md §8). Handles are resolved
+// once at construction; every hot-path touch is a relaxed atomic on a
+// cache-line-private cell. Queue-depth gauges are pull-style callbacks
+// (sampled at scrape from SpscQueue::size_approx, itself acquire-ordered),
+// so idle periods cost nothing.
+struct ShardedFcmFramework::Instruments {
+  obs::Counter* backpressure_spins = nullptr;   // producer spins on full rings
+  obs::Counter* rotations = nullptr;            // rotate_async() calls
+  obs::Counter* epochs_merged = nullptr;        // epochs published
+  obs::Counter* overflow_promotions = nullptr;  // FCM overflow trips (merged)
+  obs::Counter* cardinality_saturations = nullptr;
+  obs::Histogram* merge_seconds = nullptr;          // coordinator merge time
+  obs::Histogram* rotation_wait_seconds = nullptr;  // driver stall per rotate
+  obs::Gauge* epoch_packets = nullptr;          // last epoch's packet count
+  obs::Gauge* fanout_imbalance = nullptr;       // last epoch max/mean ratio
+  std::vector<obs::Counter*> shard_packets;     // one series per shard
+  std::vector<obs::MetricsRegistry::CallbackHandle> queue_depth_gauges;
+};
+
 struct ShardedFcmFramework::Shard {
-  Shard(const framework::FcmFramework::Options& replica_options,
+  Shard(std::size_t shard_index,
+        const framework::FcmFramework::Options& replica_options,
         std::size_t queue_capacity, std::size_t flush_batch)
-      : queue(queue_capacity) {
+      : index(shard_index), queue(queue_capacity) {
     replicas.reserve(2);
     replicas.emplace_back(replica_options);
     replicas.emplace_back(replica_options);
     staging.reserve(flush_batch);
   }
 
+  const std::size_t index;  // shard number (stripe + label value)
   common::SpscQueue<Item> queue;
   // Double-buffered generations: `active` is worker-local; the coordinator
   // only touches replicas[g] after every worker has flipped away from g
@@ -96,14 +118,81 @@ ShardedFcmFramework::ShardedFcmFramework(Options options)
   shards_.reserve(options_.shard_count);
   for (std::size_t s = 0; s < options_.shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(
-        replica_options, options_.queue_capacity, options_.flush_batch));
+        s, replica_options, options_.queue_capacity, options_.flush_batch));
   }
-  // Start threads only after every shard exists.
+  init_instruments();
+  // Start threads only after every shard (and the instruments the worker
+  // loops read) exists.
   for (auto& shard : shards_) {
     Shard* raw = shard.get();
     raw->worker = std::jthread([this, raw] { worker_loop(*raw); });
   }
   coordinator_ = std::jthread([this] { coordinator_loop(); });
+}
+
+void ShardedFcmFramework::init_instruments() {
+  obs::MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr) return;
+  auto base_labels = [&]() -> std::vector<obs::MetricLabel> {
+    if (options_.metrics_instance.empty()) return {};
+    return {{"instance", options_.metrics_instance}};
+  };
+  auto shard_labels = [&](std::size_t s) {
+    std::vector<obs::MetricLabel> labels = base_labels();
+    labels.push_back({"shard", std::to_string(s)});
+    return labels;
+  };
+
+  auto instruments = std::make_unique<Instruments>();
+  instruments->backpressure_spins = &registry->counter(
+      "fcm_runtime_backpressure_spins_total", base_labels(),
+      "Producer spin iterations while a shard ring was full");
+  instruments->rotations = &registry->counter(
+      "fcm_runtime_rotations_total", base_labels(),
+      "Epoch rotations requested (rotate_async calls)");
+  instruments->epochs_merged = &registry->counter(
+      "fcm_runtime_epochs_merged_total", base_labels(),
+      "Epochs fully merged and published by the coordinator");
+  instruments->overflow_promotions = &registry->counter(
+      "fcm_sketch_overflow_promotions_total", base_labels(),
+      "FCM tree nodes tripped into overflow (promotion to parent stage)");
+  instruments->cardinality_saturations = &registry->counter(
+      "fcm_sketch_cardinality_saturations_total", base_labels(),
+      "Linear-counting cardinality estimates that hit the full-table guard");
+  instruments->merge_seconds = &registry->histogram(
+      "fcm_runtime_merge_seconds", obs::Histogram::latency_bounds(),
+      base_labels(), "Coordinator N-way merge + requalify wall time");
+  instruments->rotation_wait_seconds = &registry->histogram(
+      "fcm_runtime_rotation_wait_seconds", obs::Histogram::latency_bounds(),
+      base_labels(),
+      "Driver stall in rotate_async waiting for the previous epoch's merge");
+  instruments->epoch_packets = &registry->gauge(
+      "fcm_runtime_epoch_packets", base_labels(),
+      "Packets absorbed by the most recently merged epoch");
+  instruments->fanout_imbalance = &registry->gauge(
+      "fcm_runtime_fanout_imbalance", base_labels(),
+      "Max-shard over mean-shard packets in the last epoch (1.0 = balanced)");
+  instruments->shard_packets.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    instruments->shard_packets.push_back(&registry->counter(
+        "fcm_runtime_shard_packets_total", shard_labels(shard->index),
+        "Packets ingested per shard worker"));
+  }
+  // Pull-style occupancy gauges. Two live instances sharing one registry
+  // without distinct metrics_instance labels would collide here; the later
+  // instance simply runs without queue-depth gauges.
+  try {
+    for (const auto& shard : shards_) {
+      Shard* raw = shard.get();
+      instruments->queue_depth_gauges.push_back(registry->gauge_callback(
+          "fcm_runtime_queue_depth", shard_labels(raw->index),
+          [raw] { return static_cast<double>(raw->queue.size_approx()); },
+          "SPSC ring occupancy (sampled at scrape)"));
+    }
+  } catch (const std::logic_error&) {
+    instruments->queue_depth_gauges.clear();
+  }
+  instruments_ = std::move(instruments);
 }
 
 ShardedFcmFramework::~ShardedFcmFramework() { stop(); }
@@ -131,6 +220,11 @@ void ShardedFcmFramework::flush_shard(Shard& shard) {
     const std::size_t pushed = shard.queue.try_push_bulk(pending);
     pending = pending.subspan(pushed);
     if (!pending.empty()) backoff(spins);  // ring full: backpressure
+  }
+  if (spins > 0 && instruments_ != nullptr) {
+    // One relaxed add per *stalled* flush — the uncontended path records
+    // nothing.
+    instruments_->backpressure_spins->inc_at(shard.index, spins);
   }
   shard.staging.clear();
 }
@@ -168,11 +262,16 @@ void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
 std::size_t ShardedFcmFramework::rotate_async() {
   FCM_REQUIRE(!stopped_, "ShardedFcmFramework: rotate after stop()");
   // At most one rotation in flight: the generation we are about to expose to
-  // the workers must be fully merged and cleared first.
+  // the workers must be fully merged and cleared first. The stall (zero in
+  // steady state, positive when merging cannot keep up with rotation
+  // frequency) is exported as fcm_runtime_rotation_wait_seconds.
   {
+    const obs::ScopedTimer wait_timer(
+        instruments_ ? instruments_->rotation_wait_seconds : nullptr);
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [&] { return epochs_merged_ == rotations_requested_; });
   }
+  if (instruments_ != nullptr) instruments_->rotations->inc();
   flush_all();
   const Item marker{};  // count == 0
   for (auto& shard : shards_) {
@@ -218,6 +317,7 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
       continue;
     }
     spins = 0;
+    std::uint64_t data_items = 0;  // batched into one relaxed add below
     for (std::size_t i = 0; i < n; ++i) {
       const Item item = batch[i];
       if (item.count == 0) {
@@ -239,6 +339,12 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
         replica.process(item.key);
       }
       ++shard.packets_in_generation[shard.active];
+      ++data_items;
+    }
+    if (data_items > 0 && instruments_ != nullptr) {
+      // Per-batch, not per-packet: one relaxed fetch_add on this worker's
+      // own cache-line-aligned cell covers up to kPopBatch packets.
+      instruments_->shard_packets[shard.index]->inc_at(shard.index, data_items);
     }
   }
 }
@@ -270,23 +376,48 @@ void ShardedFcmFramework::coordinator_loop() {
     // Merge off the ingest path. Shard replicas share identical options
     // (including the per-shard threshold), so FcmFramework::merge applies;
     // re-qualify the heavy-hitter union at the global threshold afterwards.
+    const auto merge_start = std::chrono::steady_clock::now();
     framework::FcmFramework merged = shards_[0]->replicas[gen];
     for (std::size_t s = 1; s < shards_.size(); ++s) {
       merged.merge(shards_[s]->replicas[gen]);
     }
     const std::uint64_t global_t = options_.framework.heavy_hitter_threshold;
     if (global_t > 0) merged.requalify_heavy_hitters(global_t);
+    const double merge_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      merge_start)
+            .count();
     FCM_CHECKED_ONLY(merged.check_invariants());
 
     EpochReport report;
     report.index = epoch;
+    report.merge_seconds = merge_seconds;
+    std::uint64_t max_shard_packets = 0;
     for (auto& shard : shards_) {
       report.packets += shard->packets_in_generation[gen];
+      max_shard_packets =
+          std::max(max_shard_packets, shard->packets_in_generation[gen]);
       shard->packets_in_generation[gen] = 0;
       shard->replicas[gen].reset();  // ready for the epoch after next
     }
+    if (report.packets > 0) {
+      const double mean = static_cast<double>(report.packets) /
+                          static_cast<double>(shards_.size());
+      report.fanout_imbalance = static_cast<double>(max_shard_packets) / mean;
+    }
+    // The merged replica's counters are per-epoch (shard replicas reset
+    // above), so they are exactly this epoch's deltas.
+    report.overflow_promotions = merged.overflow_promotion_count();
     report.cardinality = merged.cardinality();
     report.heavy_hitters = merged.heavy_hitters();
+    if (instruments_ != nullptr) {
+      instruments_->merge_seconds->observe(merge_seconds);
+      instruments_->overflow_promotions->inc(report.overflow_promotions);
+      instruments_->cardinality_saturations->inc(
+          merged.cardinality_saturation_count());
+      instruments_->epoch_packets->set(static_cast<double>(report.packets));
+      instruments_->fanout_imbalance->set(report.fanout_imbalance);
+    }
     if (options_.heavy_change_threshold > 0) {
       std::unique_lock lock(mutex_);
       if (!history_.empty()) {
@@ -309,6 +440,7 @@ void ShardedFcmFramework::coordinator_loop() {
       }
       ++epochs_merged_;
     }
+    if (instruments_ != nullptr) instruments_->epochs_merged->inc();
     cv_.notify_all();
   }
 }

@@ -32,6 +32,9 @@ void CmSketch::add(flow::FlowKey key, std::uint64_t count) {
   for (std::size_t d = 0; d < rows_.size(); ++d) {
     auto& counter = rows_[d][row_index(d, key)];
     const std::uint64_t next = counter + count;
+    if (next > std::numeric_limits<std::uint32_t>::max()) {
+      ++saturations_;  // observability: the counter clamped (undersized sketch)
+    }
     counter = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(next, std::numeric_limits<std::uint32_t>::max()));
   }
@@ -56,12 +59,14 @@ void CmSketch::merge(const CmSketch& other) {
                 "CmSketch::merge: row " + std::to_string(d) +
                     " uses a different hash function");
   }
+  saturations_ += other.saturations_;  // monotone telemetry, see header
   for (std::size_t d = 0; d < rows_.size(); ++d) {
     for (std::size_t c = 0; c < width_; ++c) {
       // Saturating sum, exactly mirroring add()'s per-increment saturation:
       // min(a, M) + min(b, M) clamped at M equals min(a + b, M).
       const std::uint64_t sum =
           static_cast<std::uint64_t>(rows_[d][c]) + other.rows_[d][c];
+      if (sum > std::numeric_limits<std::uint32_t>::max()) ++saturations_;
       rows_[d][c] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
           sum, std::numeric_limits<std::uint32_t>::max()));
     }
@@ -86,6 +91,7 @@ void CmSketch::check_invariants() const {
 
 void CmSketch::clear() {
   for (auto& row : rows_) std::fill(row.begin(), row.end(), 0u);
+  saturations_ = 0;
 }
 
 CuSketch CuSketch::for_memory(std::size_t memory_bytes, std::size_t depth,

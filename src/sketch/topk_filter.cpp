@@ -18,8 +18,18 @@ TopKFilter::TopKFilter(std::size_t entry_count, std::uint32_t eviction_lambda,
 }
 
 TopKFilter::Offer TopKFilter::offer(flow::FlowKey key) {
-  Entry& entry = table_[hash_.index(key, table_.size())];
   Offer result;
+  if (key.value == 0) {
+    // FlowKey{0} doubles as the empty-bucket sentinel (mirroring the
+    // data-plane register encoding, where an all-zero entry means "free").
+    // Installing it would make the bucket indistinguishable from empty:
+    // query() would miss it and the sketch never saw its packets — an
+    // underestimate (caught by test_properties' never-underestimate
+    // property). Route flow 0 to the backing sketch instead.
+    result.outcome = Offer::Outcome::kPassThrough;
+    return result;
+  }
+  Entry& entry = table_[hash_.index(key, table_.size())];
 
   if (entry.key.value == 0) {
     entry = Entry{key, 1, 0, false};

@@ -1,0 +1,182 @@
+// Golden-snapshot regression tests (DESIGN.md §8, testing).
+//
+// One fixed-seed synthetic trace runs through the full stack
+// (FcmFramework ingest -> EM -> entropy/cardinality) and the resulting
+// accuracy metrics are pinned against golden values with tolerance bands.
+// The bands are wide enough for cross-platform libm noise (a few percent)
+// but tight enough that an accuracy regression — a broken hash, a botched
+// EM update, a miscounted stage — trips immediately.
+//
+// The second half pins the observability pipeline: the fcm.metrics.v1 JSON
+// snapshot schema and the Prometheus text exposition, so downstream
+// dashboards can rely on the exporter formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/synthetic.h"
+#include "framework/fcm_framework.h"
+#include "obs/metrics_registry.h"
+
+namespace fcm {
+namespace {
+
+// Everything fixed: trace seed, sketch seed, geometry, EM iterations.
+constexpr std::uint64_t kTraceSeed = 20201204;
+constexpr std::size_t kPackets = 1 << 16;
+constexpr std::size_t kFlows = 8'000;
+constexpr std::uint64_t kSketchSeed = 0x5555aaaa;
+
+// Golden values measured from the pinned configuration above (single run,
+// fully deterministic; see EXPERIMENTS.md "Observability" for the recording
+// procedure). Bands are relative; "worse" means larger error.
+constexpr double kGoldenWmre = 0.01410525633;
+constexpr double kGoldenAre = 0.00918397921;
+constexpr double kGoldenEntropyRelErr = 0.00024057858;
+constexpr double kGoldenCardinalityRelErr = 0.00238160527;
+
+flow::Trace golden_trace() {
+  flow::SyntheticTraceConfig config;
+  config.packet_count = kPackets;
+  config.flow_count = kFlows;
+  config.seed = kTraceSeed;
+  return flow::SyntheticTraceGenerator(config).generate();
+}
+
+framework::FcmFramework golden_framework() {
+  framework::FcmFramework::Options options;
+  options.fcm =
+      core::FcmConfig::for_memory(150'000, 2, 8, {8, 16, 32}, kSketchSeed);
+  options.em.max_iterations = 5;
+  return framework::FcmFramework(options);
+}
+
+struct GoldenRun {
+  double wmre = 0.0;
+  double are = 0.0;
+  double entropy_rel_error = 0.0;
+  double cardinality_rel_error = 0.0;
+};
+
+GoldenRun run_golden_pipeline() {
+  const flow::Trace trace = golden_trace();
+  const flow::GroundTruth truth(trace);
+
+  framework::FcmFramework framework = golden_framework();
+  for (const flow::Packet& packet : trace.packets()) {
+    framework.process(packet.key);
+  }
+  const framework::FcmFramework::Report report = framework.analyze();
+
+  GoldenRun run;
+  run.wmre = report.fsd.wmre(truth.flow_size_distribution());
+  double are = 0.0;
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    const double estimate = static_cast<double>(framework.flow_size(key));
+    are += std::abs(estimate - static_cast<double>(size)) /
+           static_cast<double>(size);
+  }
+  run.are = are / static_cast<double>(truth.flow_count());
+  run.entropy_rel_error =
+      std::abs(report.entropy - truth.entropy()) / truth.entropy();
+  run.cardinality_rel_error =
+      std::abs(report.cardinality - static_cast<double>(truth.flow_count())) /
+      static_cast<double>(truth.flow_count());
+  return run;
+}
+
+// The pipeline is deterministic, so one shared run feeds every golden check
+// (and seeds the registry for the exporter-schema tests below).
+const GoldenRun& golden_run() {
+  static const GoldenRun run = run_golden_pipeline();
+  return run;
+}
+
+void expect_band(double value, double golden, double rel_band,
+                 const char* what) {
+  ASSERT_TRUE(std::isfinite(value)) << what;
+  ASSERT_GT(golden, 0.0) << what << ": golden value not recorded yet; actual "
+                         << value;
+  EXPECT_LE(value, golden * (1.0 + rel_band))
+      << what << " regressed: got " << value << ", golden " << golden;
+  // Dramatic improvement is suspicious too (usually a broken evaluator, not
+  // a better sketch): flag anything below a tenth of the golden.
+  EXPECT_GE(value, golden * 0.1)
+      << what << " implausibly small: got " << value << ", golden " << golden
+      << " (update the golden if this is a real accuracy win)";
+}
+
+// --- accuracy goldens --------------------------------------------------------
+
+TEST(GoldenMetrics, FlowSizeWmre) {
+  expect_band(golden_run().wmre, kGoldenWmre, 0.15, "FSD WMRE");
+}
+
+TEST(GoldenMetrics, FlowSizeAre) {
+  expect_band(golden_run().are, kGoldenAre, 0.15, "flow-size ARE");
+}
+
+TEST(GoldenMetrics, EntropyRelativeError) {
+  expect_band(golden_run().entropy_rel_error, kGoldenEntropyRelErr, 0.25,
+              "entropy relative error");
+}
+
+TEST(GoldenMetrics, CardinalityRelativeError) {
+  expect_band(golden_run().cardinality_rel_error, kGoldenCardinalityRelErr,
+              0.25, "cardinality relative error");
+}
+
+// --- metrics exporter schema -------------------------------------------------
+
+TEST(GoldenMetrics, JsonSnapshotSchema) {
+  golden_run();  // populate the registry via analyze()
+  const std::string json = obs::MetricsRegistry::global().snapshot().to_json();
+
+  // Versioned schema header.
+  EXPECT_NE(json.find("\"schema\": \"fcm.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": ["), std::string::npos);
+
+  // Control-plane series written by analyze() and the EM loop.
+  for (const char* series :
+       {"fcm_framework_analyze_total", "fcm_framework_analyze_seconds",
+        "fcm_em_runs_total", "fcm_em_iterations_total",
+        "fcm_em_iteration_seconds", "fcm_em_convergence_delta"}) {
+    EXPECT_NE(json.find(std::string("\"name\": \"") + series + "\""),
+              std::string::npos)
+        << "missing series " << series;
+  }
+
+  // Histogram samples expose cumulative buckets with le edges.
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
+}
+
+TEST(GoldenMetrics, PrometheusExposition) {
+  golden_run();
+  const std::string text =
+      obs::MetricsRegistry::global().snapshot().to_prometheus();
+
+  EXPECT_NE(text.find("# TYPE fcm_framework_analyze_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fcm_framework_analyze_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("fcm_framework_analyze_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("fcm_framework_analyze_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("fcm_em_runs_total"), std::string::npos);
+}
+
+TEST(GoldenMetrics, AnalyzeCountsRuns) {
+  golden_run();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  // The shared golden run called analyze() exactly once in this process.
+  EXPECT_GE(registry.counter("fcm_framework_analyze_total", {}).value(), 1u);
+  EXPECT_GE(registry.counter("fcm_em_iterations_total", {}).value(), 1u);
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,325 @@
+// Unit and concurrency tests for the observability layer (DESIGN.md §8).
+//
+// The concurrency suites are the acceptance gate for scrape-while-ingest:
+// CI's FCM_SANITIZE=thread job runs this binary, so every snapshot() racing
+// hot relaxed-atomic writers is exercised under TSan.
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/synthetic.h"
+#include "obs/metrics_logger.h"
+#include "runtime/sharded_framework.h"
+
+namespace fcm::obs {
+namespace {
+
+// --- Counter -----------------------------------------------------------------
+
+TEST(Counter, SumsAcrossStripes) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("events_total");
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  // Explicit stripes land in distinct cells but one logical value.
+  for (std::size_t stripe = 0; stripe < kMetricStripes; ++stripe) {
+    counter.inc_at(stripe, 1);
+  }
+  EXPECT_EQ(counter.value(), 42u + kMetricStripes);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, StripeIndexWrapsModuloStripes) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("wrap_total");
+  counter.inc_at(kMetricStripes + 3, 5);  // same cell as stripe 3
+  counter.inc_at(3, 5);
+  EXPECT_EQ(counter.value(), 10u);
+}
+
+// --- Gauge -------------------------------------------------------------------
+
+TEST(Gauge, SetAddValue) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("depth");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_EQ(gauge.value(), 1.5);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BucketsObservationsAtUpperEdges) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (upper edge inclusive)
+  h.observe(7.0);    // <= 10
+  h.observe(1000.0); // +Inf
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 1000.0);
+}
+
+TEST(Histogram, ExponentialBoundsLadder) {
+  const std::vector<double> bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+  EXPECT_THROW(Histogram::exponential_bounds(0.0, 2.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram::exponential_bounds(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram::exponential_bounds(1.0, 2.0, 0), std::logic_error);
+}
+
+TEST(Histogram, RejectsNonAscendingBounds) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("bad", {1.0, 1.0}), std::logic_error);
+  EXPECT_THROW(registry.histogram("bad2", {2.0, 1.0}), std::logic_error);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, GetOrCreateReturnsStableSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("hits_total", {{"shard", "0"}});
+  Counter& b = registry.counter("hits_total", {{"shard", "0"}});
+  Counter& c = registry.counter("hits_total", {{"shard", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x", {1.0}), std::logic_error);
+}
+
+TEST(Registry, ResetValuesZeroesEverySeries) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(9);
+  registry.gauge("g").set(3.0);
+  registry.histogram("h", {1.0}).observe(0.5);
+  registry.reset_values();
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+  EXPECT_EQ(registry.gauge("g").value(), 0.0);
+  EXPECT_EQ(registry.histogram("h", {1.0}).count(), 0u);
+}
+
+TEST(Registry, CallbackGaugeLifecycle) {
+  MetricsRegistry registry;
+  double depth = 7.0;
+  {
+    const auto handle =
+        registry.gauge_callback("queue_depth", {}, [&] { return depth; });
+    // Registering a plain gauge over a live callback is a logic error.
+    EXPECT_THROW(registry.gauge("queue_depth"), std::logic_error);
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.samples.size(), 1u);
+    EXPECT_EQ(snap.samples[0].value, 7.0);
+  }
+  // Handle released: the series is skipped, and the name is reusable.
+  EXPECT_TRUE(registry.snapshot().samples.empty());
+  const auto handle =
+      registry.gauge_callback("queue_depth", {}, [] { return 1.0; });
+  ASSERT_EQ(registry.snapshot().samples.size(), 1u);
+}
+
+TEST(Registry, SnapshotRendersJsonAndPrometheus) {
+  MetricsRegistry registry;
+  registry.counter("req_total", {{"code", "200"}}, "requests").inc(3);
+  registry.histogram("lat_seconds", {0.1, 1.0}, {}, "latency").observe(0.05);
+  const MetricsSnapshot snap = registry.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"schema\": \"fcm.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"req_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"200\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 3"), std::string::npos);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("# HELP req_total requests"), std::string::npos);
+  EXPECT_NE(prom.find("req_total{code=\"200\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"0.1\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("lat_seconds_count 1"), std::string::npos);
+}
+
+TEST(Registry, ScopedTimerObservesOnceAndToleratesNull) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t_seconds", Histogram::latency_bounds());
+  {
+    const ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    const ScopedTimer timer(nullptr);  // must be a no-op
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --- MetricsLogger -----------------------------------------------------------
+
+TEST(MetricsLogger, WritesJsonLinesAndStopsPromptly) {
+  const std::string path = ::testing::TempDir() + "obs_logger.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry registry;
+  registry.counter("ticks_total").inc(5);
+  {
+    MetricsLogger::Options options;
+    options.path = path;
+    options.interval = std::chrono::milliseconds(5);
+    MetricsLogger logger(registry, options);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    logger.stop();
+    logger.stop();  // idempotent
+    EXPECT_GE(logger.snapshots_written(), 1u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_NE(line.find("fcm.metrics.v1"), std::string::npos);
+    EXPECT_NE(line.find("ticks_total"), std::string::npos);
+  }
+  EXPECT_GE(lines, 1u);
+  std::remove(path.c_str());
+}
+
+// --- scrape-while-ingest (the TSan gate) -------------------------------------
+
+TEST(Concurrency, SnapshotWhileWritersAreHot) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hot_total");
+  Gauge& gauge = registry.gauge("hot_gauge");
+  Histogram& histogram = registry.histogram("hot_seconds", {1e-3, 1e-2, 1e-1});
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  std::vector<std::jthread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.inc_at(static_cast<std::size_t>(w));
+        gauge.set(static_cast<double>(i));
+        histogram.observe(static_cast<double>(i % 100) * 1e-3);
+      }
+    });
+  }
+  // Scrape continuously while the writers hammer the series.
+  std::uint64_t last_counter = 0;
+  for (int s = 0; s < 200; ++s) {
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.samples.size(), 3u);
+    for (const auto& sample : snap.samples) {
+      if (sample.name == "hot_total") {
+        const auto value = static_cast<std::uint64_t>(sample.value);
+        EXPECT_GE(value, last_counter) << "counter went backwards";
+        last_counter = value;
+      }
+    }
+  }
+  writers.clear();  // join
+  EXPECT_EQ(counter.value(), kWriters * kPerWriter);
+  EXPECT_EQ(histogram.count(), kWriters * kPerWriter);
+}
+
+TEST(Concurrency, ShardedIngestScrapedConcurrently) {
+  // The end-to-end gate: a sharded runtime instrumented against a local
+  // registry, scraped from another thread mid-ingest.
+  MetricsRegistry registry;
+
+  flow::SyntheticTraceConfig config;
+  config.packet_count = 1 << 16;
+  config.flow_count = 4'000;
+  config.seed = 99;
+  const flow::Trace trace = flow::SyntheticTraceGenerator(config).generate();
+
+  runtime::ShardedFcmFramework::Options options;
+  options.framework.fcm = core::FcmConfig::for_memory(64 * 1024, 2, 8, {8, 16, 32});
+  options.shard_count = 2;
+  options.metrics = &registry;
+  options.metrics_instance = "test";
+  runtime::ShardedFcmFramework sharded(options);
+  ASSERT_TRUE(sharded.metrics_enabled());
+
+  std::jthread scraper([&](const std::stop_token& token) {
+    while (!token.stop_requested()) {
+      const MetricsSnapshot snap = registry.snapshot();
+      EXPECT_GE(snap.samples.size(), 5u);
+    }
+  });
+
+  for (const flow::Packet& packet : trace.packets()) {
+    sharded.ingest(packet.key);
+  }
+  const auto report = sharded.rotate();
+  scraper.request_stop();
+  scraper = {};  // join before the framework (and its gauges) go away
+
+  EXPECT_EQ(report.packets, trace.size());
+  // Every packet must be attributed to exactly one shard counter.
+  std::uint64_t shard_packets = 0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    shard_packets +=
+        registry
+            .counter("fcm_runtime_shard_packets_total",
+                     {{"instance", "test"}, {"shard", std::to_string(s)}})
+            .value();
+  }
+  EXPECT_EQ(shard_packets, trace.size());
+  EXPECT_GE(
+      registry.counter("fcm_runtime_epochs_merged_total", {{"instance", "test"}})
+          .value(),
+      1u);
+  EXPECT_GE(registry
+                .histogram("fcm_runtime_merge_seconds",
+                           Histogram::latency_bounds(), {{"instance", "test"}})
+                .count(),
+            1u);
+}
+
+TEST(Concurrency, SequentialInstrumentedInstancesReuseQueueGauges) {
+  // Non-overlapping instances must be able to re-register the same
+  // callback-gauge series (handles release on destruction).
+  MetricsRegistry registry;
+  for (int round = 0; round < 2; ++round) {
+    runtime::ShardedFcmFramework::Options options;
+    options.framework.fcm =
+        core::FcmConfig::for_memory(32 * 1024, 2, 8, {8, 16, 32});
+    options.shard_count = 2;
+    options.metrics = &registry;
+    runtime::ShardedFcmFramework sharded(options);
+    sharded.ingest(flow::FlowKey{7});
+    sharded.rotate();
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fcm::obs

@@ -1,0 +1,290 @@
+// Property-based tests over randomized traces (DESIGN.md §8, testing).
+//
+// A tiny in-repo property harness: key sequences are generated from the
+// deterministic common/random.h PRNG (so every failure is reproducible from
+// the seed printed in the assertion message), properties are pure predicates
+// over a key sequence, and failing sequences are minimized with a
+// ddmin-style chunk-removal shrinker before being reported.
+//
+// Properties:
+//   * never-underestimate: for FcmSketch, CmSketch, CuSketch and FcmTopK,
+//     query(k) >= true count of k after any update sequence;
+//   * monotonicity: query(k) never decreases while updates of other flows
+//     are interleaved (counters only grow);
+//   * the shrinker itself is exercised against a deliberately lossy sketch
+//     to prove it reduces counterexamples to the minimal trigger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "fcm/fcm_sketch.h"
+#include "fcm/fcm_topk.h"
+#include "flow/flow_key.h"
+#include "sketch/cm_sketch.h"
+
+namespace fcm {
+namespace {
+
+// Small geometry so 40k packets over 2k flows actually exercises overflow
+// promotion through all three stages.
+core::FcmConfig small_fcm_config(std::uint64_t seed) {
+  core::FcmConfig config;
+  config.tree_count = 2;
+  config.k = 8;
+  config.stage_bits = {8, 16, 32};
+  config.leaf_count = 8 * 8 * 64;  // 4096 leaves
+  config.seed = seed;
+  return config;
+}
+
+core::FcmTopK::Config small_topk_config(std::uint64_t seed) {
+  core::FcmTopK::Config config;
+  config.fcm = small_fcm_config(seed);
+  config.topk_entries = 64;
+  return config;
+}
+
+// Skewed random key sequence: cubing the uniform draw concentrates mass on
+// low key ids, giving a few heavy flows (stage-overflow pressure) and a
+// long tail (leaf-collision pressure).
+std::vector<flow::FlowKey> random_keys(std::uint64_t seed, std::size_t length,
+                                       std::uint32_t universe) {
+  common::Xoshiro256 rng(seed);
+  std::vector<flow::FlowKey> keys;
+  keys.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double u = rng.next_double();
+    const auto id = static_cast<std::uint32_t>(u * u * u * universe);
+    keys.push_back(flow::FlowKey{id});
+  }
+  return keys;
+}
+
+struct Counterexample {
+  flow::FlowKey key{};
+  std::uint64_t estimate = 0;
+  std::uint64_t expected = 0;
+};
+
+// A property maps a key sequence to nullopt (holds) or a counterexample.
+using Property =
+    std::function<std::optional<Counterexample>(const std::vector<flow::FlowKey>&)>;
+
+// query(k) must dominate the exact count of k for every flow in the trace.
+template <typename MakeSketch>
+Property never_underestimate(MakeSketch make) {
+  return [make](const std::vector<flow::FlowKey>& keys)
+             -> std::optional<Counterexample> {
+    auto sketch = make();
+    std::unordered_map<flow::FlowKey, std::uint64_t> truth;
+    for (const flow::FlowKey key : keys) {
+      sketch.update(key);
+      ++truth[key];
+    }
+    for (const auto& [key, count] : truth) {
+      const std::uint64_t estimate = sketch.query(key);
+      if (estimate < count) return Counterexample{key, estimate, count};
+    }
+    return std::nullopt;
+  };
+}
+
+// Interleaved insert/query: the estimate of the first key in the sequence
+// must never shrink as other flows stream in (counters are monotone).
+template <typename MakeSketch>
+Property monotone_estimates(MakeSketch make) {
+  return [make](const std::vector<flow::FlowKey>& keys)
+             -> std::optional<Counterexample> {
+    if (keys.empty()) return std::nullopt;
+    auto sketch = make();
+    const flow::FlowKey tracked = keys.front();
+    std::uint64_t last = 0;
+    for (const flow::FlowKey key : keys) {
+      sketch.update(key);
+      const std::uint64_t now = sketch.query(tracked);
+      if (now < last) return Counterexample{tracked, now, last};
+      last = now;
+    }
+    return std::nullopt;
+  };
+}
+
+// ddmin-style shrinker: repeatedly delete chunks (halving the chunk size)
+// while the property still fails. Deterministic and O(n log n) checks.
+std::vector<flow::FlowKey> shrink(std::vector<flow::FlowKey> keys,
+                                  const Property& property) {
+  for (std::size_t chunk = keys.size() / 2; chunk > 0; chunk /= 2) {
+    std::size_t start = 0;
+    while (start + chunk <= keys.size()) {
+      std::vector<flow::FlowKey> candidate;
+      candidate.reserve(keys.size() - chunk);
+      candidate.insert(candidate.end(), keys.begin(),
+                       keys.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       keys.begin() + static_cast<std::ptrdiff_t>(start + chunk),
+                       keys.end());
+      if (!candidate.empty() && property(candidate).has_value()) {
+        keys = std::move(candidate);  // keep the removal, retry same offset
+      } else {
+        start += chunk;
+      }
+    }
+  }
+  return keys;
+}
+
+std::string render_keys(const std::vector<flow::FlowKey>& keys) {
+  std::ostringstream out;
+  const std::size_t shown = std::min<std::size_t>(keys.size(), 24);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    out << keys[i].value;
+  }
+  if (shown < keys.size()) out << ", ... (" << keys.size() << " total)";
+  return out.str();
+}
+
+// Runs `property` on a generated sequence; on failure, shrinks and reports
+// the minimal reproducer together with the generator seed.
+void expect_property(const Property& property, std::uint64_t seed,
+                     std::size_t length, std::uint32_t universe,
+                     const char* name) {
+  const std::vector<flow::FlowKey> keys = random_keys(seed, length, universe);
+  const std::optional<Counterexample> failure = property(keys);
+  if (!failure) return;
+  const std::vector<flow::FlowKey> minimal = shrink(keys, property);
+  const std::optional<Counterexample> min_failure = property(minimal);
+  const Counterexample& report = min_failure ? *min_failure : *failure;
+  FAIL() << name << " violated (seed " << seed << "): key " << report.key.value
+         << " estimated " << report.estimate << " < expected "
+         << report.expected << "\nminimal reproducer (" << minimal.size()
+         << " updates): " << render_keys(minimal);
+}
+
+class SketchPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+constexpr std::size_t kUpdates = 40'000;
+constexpr std::uint32_t kUniverse = 2'000;
+
+TEST_P(SketchPropertyTest, FcmSketchNeverUnderestimates) {
+  const std::uint64_t seed = GetParam();
+  expect_property(never_underestimate([seed] {
+                    return core::FcmSketch(small_fcm_config(seed));
+                  }),
+                  seed, kUpdates, kUniverse, "FcmSketch never-underestimate");
+}
+
+TEST_P(SketchPropertyTest, CmSketchNeverUnderestimates) {
+  const std::uint64_t seed = GetParam();
+  expect_property(never_underestimate([] {
+                    return sketch::CmSketch::for_memory(64 * 1024);
+                  }),
+                  seed, kUpdates, kUniverse, "CmSketch never-underestimate");
+}
+
+TEST_P(SketchPropertyTest, CuSketchNeverUnderestimates) {
+  const std::uint64_t seed = GetParam();
+  expect_property(never_underestimate([] {
+                    return sketch::CuSketch::for_memory(64 * 1024);
+                  }),
+                  seed, kUpdates, kUniverse, "CuSketch never-underestimate");
+}
+
+TEST_P(SketchPropertyTest, FcmTopKNeverUnderestimates) {
+  const std::uint64_t seed = GetParam();
+  expect_property(never_underestimate([seed] {
+                    return core::FcmTopK(small_topk_config(seed));
+                  }),
+                  seed, kUpdates, kUniverse, "FcmTopK never-underestimate");
+}
+
+TEST_P(SketchPropertyTest, FcmSketchEstimatesMonotone) {
+  const std::uint64_t seed = GetParam();
+  expect_property(monotone_estimates([seed] {
+                    return core::FcmSketch(small_fcm_config(seed));
+                  }),
+                  seed, kUpdates / 4, kUniverse, "FcmSketch monotonicity");
+}
+
+TEST_P(SketchPropertyTest, CmSketchEstimatesMonotone) {
+  const std::uint64_t seed = GetParam();
+  expect_property(monotone_estimates([] {
+                    return sketch::CmSketch::for_memory(64 * 1024);
+                  }),
+                  seed, kUpdates / 4, kUniverse, "CmSketch monotonicity");
+}
+
+TEST_P(SketchPropertyTest, FcmTopKEstimatesMonotone) {
+  const std::uint64_t seed = GetParam();
+  expect_property(monotone_estimates([seed] {
+                    return core::FcmTopK(small_topk_config(seed));
+                  }),
+                  seed, kUpdates / 4, kUniverse, "FcmTopK monotonicity");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SketchPropertyTest,
+                         ::testing::Values(1ull, 42ull, 0xfca1ull,
+                                           0xdecafbadull));
+
+// --- the harness itself ------------------------------------------------------
+
+// A sketch that silently saturates at a cap: the canonical underestimating
+// bug. The shrinker must reduce any failing trace to exactly cap+1 updates
+// of a single key.
+class SaturatingSketch {
+ public:
+  explicit SaturatingSketch(std::uint64_t cap) : cap_(cap) {}
+
+  void update(flow::FlowKey key) {
+    std::uint64_t& cell = counts_[key];
+    if (cell < cap_) ++cell;
+  }
+  std::uint64_t query(flow::FlowKey key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::uint64_t cap_;
+  std::unordered_map<flow::FlowKey, std::uint64_t> counts_;
+};
+
+TEST(PropertyHarness, ShrinkerFindsMinimalCounterexample) {
+  constexpr std::uint64_t kCap = 7;
+  const Property property =
+      never_underestimate([] { return SaturatingSketch(kCap); });
+  const std::vector<flow::FlowKey> keys = random_keys(3, 4'000, 40);
+  ASSERT_TRUE(property(keys).has_value())
+      << "generator must overflow the saturating cap";
+  const std::vector<flow::FlowKey> minimal = shrink(keys, property);
+  // Minimal failing trace: one key updated cap+1 times.
+  EXPECT_EQ(minimal.size(), kCap + 1);
+  ASSERT_TRUE(property(minimal).has_value());
+  const Counterexample failure = *property(minimal);
+  for (const flow::FlowKey key : minimal) EXPECT_EQ(key, failure.key);
+  EXPECT_EQ(failure.estimate, kCap);
+  EXPECT_EQ(failure.expected, kCap + 1);
+}
+
+TEST(PropertyHarness, ShrinkerPreservesFailureUnderChunkRemoval) {
+  // Two independent saturation bugs: shrinking must keep at least one.
+  constexpr std::uint64_t kCap = 3;
+  const Property property =
+      never_underestimate([] { return SaturatingSketch(kCap); });
+  std::vector<flow::FlowKey> keys;
+  for (int i = 0; i < 10; ++i) keys.push_back(flow::FlowKey{1});
+  for (int i = 0; i < 10; ++i) keys.push_back(flow::FlowKey{2});
+  const std::vector<flow::FlowKey> minimal = shrink(keys, property);
+  EXPECT_EQ(minimal.size(), kCap + 1);
+  ASSERT_TRUE(property(minimal).has_value());
+}
+
+}  // namespace
+}  // namespace fcm

@@ -29,7 +29,19 @@ Rules (see DESIGN.md "Correctness & static analysis"):
                    ``std::terminate``. Use ``std::jthread``, which joins on
                    destruction — the sharded runtime's worker/coordinator
                    threads rely on this for exception-safe teardown.
-                   (``std::this_thread`` and ``std::jthread`` do not match.)
+                   (``std::this_thread``, ``std::jthread`` and nested names
+                   like ``std::thread::id``/``hardware_concurrency`` do not
+                   match.)
+
+  raw-atomic       No ``std::atomic`` inside ``src/`` outside
+                   ``src/common/`` and ``src/obs/``. Cross-thread telemetry
+                   belongs in the ``obs::MetricsRegistry`` (striped,
+                   relaxed-order, scrape-aggregated); ad-hoc atomics in the
+                   sketch/runtime layers either pessimize the single-shard
+                   hot path or reintroduce the data races the registry was
+                   built to eliminate. Control-plane state that is genuinely
+                   not telemetry (e.g. a stop flag) carries an explicit
+                   ``allow`` marker with a justification.
 
 Suppression: append ``// fcm-lint: allow(<rule>)`` to the offending line.
 
@@ -66,9 +78,14 @@ CELLS_INDEX_RE = re.compile(r"\.cells\s*\[")
 # std::thread::hardware_concurrency or build scratch threads). Matches the
 # exact token std::thread; std::jthread and std::this_thread do not match.
 THREAD_DIRS = ("src",)
-THREAD_RE = re.compile(r"(?<![\w:])std::thread\b")
+THREAD_RE = re.compile(r"(?<![\w:])std::thread\b(?!::)")
 
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+
+# Rule: raw-atomic — src/ only, with the two sanctioned homes exempt.
+ATOMIC_DIRS = ("src",)
+ATOMIC_EXEMPT_DIRS = ("src/common", "src/obs")
+ATOMIC_RE = re.compile(r"(?<![\w:])std::atomic\b")
 
 ALLOW_RE = re.compile(r"//\s*fcm-lint:\s*allow\(([a-z-]+)\)")
 
@@ -167,6 +184,9 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
 
     check_narrowing = any(rel.startswith(d + "/") for d in NARROWING_DIRS)
     check_threads = any(rel.startswith(d + "/") for d in THREAD_DIRS)
+    check_atomics = any(rel.startswith(d + "/") for d in ATOMIC_DIRS) and not any(
+        rel.startswith(d + "/") for d in ATOMIC_EXEMPT_DIRS
+    )
 
     raw_lines = raw.splitlines()
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -203,6 +223,19 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
                         "register-access",
                         "direct RegisterArray cell indexing; use the "
                         "bounds-checked .at(...) accessor",
+                    )
+                )
+        if check_atomics and ATOMIC_RE.search(line):
+            if not line_allows(raw_line, "raw-atomic"):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "raw-atomic",
+                        "raw std::atomic outside src/common/ and src/obs/; "
+                        "route telemetry through obs::MetricsRegistry, or "
+                        "justify control state with "
+                        "'// fcm-lint: allow(raw-atomic)'",
                     )
                 )
         if check_threads and THREAD_RE.search(line):
