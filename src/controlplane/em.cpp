@@ -267,17 +267,28 @@ FlowSizeDistribution EmFsdEstimator::run(const IterationCallback& callback) {
   // convergence signal — the L1 distance between successive estimates,
   // normalized by total flows, which EM drives toward zero. EM runs off the
   // ingest path, so registry writes here are free relative to the E-step.
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  obs::Counter& em_runs =
-      registry.counter("fcm_em_runs_total", {}, "EM estimator runs completed");
-  obs::Counter& em_iterations = registry.counter(
-      "fcm_em_iterations_total", {}, "EM iterations across all runs");
-  obs::Histogram& em_iteration_seconds = registry.histogram(
-      "fcm_em_iteration_seconds", obs::Histogram::latency_bounds(), {},
-      "Wall time per EM iteration");
-  obs::Gauge& em_delta = registry.gauge(
-      "fcm_em_convergence_delta", {},
-      "Normalized L1 change of the FSD estimate in the last EM iteration");
+  // config_.metrics == nullptr runs fully uninstrumented (the throughput
+  // bench's overhead baseline; threaded down from FcmFramework::analyze()).
+  obs::MetricsRegistry* registry = config_.metrics;
+  obs::Counter* em_runs =
+      registry ? &registry->counter("fcm_em_runs_total", {},
+                                    "EM estimator runs completed")
+               : nullptr;
+  obs::Counter* em_iterations =
+      registry ? &registry->counter("fcm_em_iterations_total", {},
+                                    "EM iterations across all runs")
+               : nullptr;
+  obs::Histogram* em_iteration_seconds =
+      registry ? &registry->histogram("fcm_em_iteration_seconds",
+                                      obs::Histogram::latency_bounds(), {},
+                                      "Wall time per EM iteration")
+               : nullptr;
+  obs::Gauge* em_delta =
+      registry
+          ? &registry->gauge("fcm_em_convergence_delta", {},
+                             "Normalized L1 change of the FSD estimate in the "
+                             "last EM iteration")
+          : nullptr;
 
   double last_delta = 0.0;
   for (std::size_t i = 0; i < config_.max_iterations; ++i) {
@@ -287,8 +298,8 @@ FlowSizeDistribution EmFsdEstimator::run(const IterationCallback& callback) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
-    em_iterations.inc();
-    em_iteration_seconds.observe(seconds);
+    if (em_iterations != nullptr) em_iterations->inc();
+    if (em_iteration_seconds != nullptr) em_iteration_seconds->observe(seconds);
     const auto& counts = current_.counts();
     double l1 = 0.0;
     const std::size_t overlap = std::min(previous.size(), counts.size());
@@ -301,8 +312,8 @@ FlowSizeDistribution EmFsdEstimator::run(const IterationCallback& callback) {
     last_delta = total > 0.0 ? l1 / total : l1;
     if (callback) callback(i, seconds, current_);
   }
-  em_delta.set(last_delta);
-  em_runs.inc();
+  if (em_delta != nullptr) em_delta->set(last_delta);
+  if (em_runs != nullptr) em_runs->inc();
   return current_;
 }
 

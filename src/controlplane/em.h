@@ -15,11 +15,18 @@
 
 #include "controlplane/fsd.h"
 #include "controlplane/virtual_counter.h"
+#include "obs/metrics_registry.h"
 
 namespace fcm::control {
 
 struct EmConfig {
   std::size_t max_iterations = 10;
+
+  // Telemetry sink for run() (iteration count/latency, convergence delta).
+  // Defaults to the process-global registry; nullptr runs the estimator
+  // fully uninstrumented. FcmFramework::analyze() overwrites this with its
+  // own Options::metrics so one knob controls the whole pipeline.
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
 
   // Combinations are enumerated only when the value left after subtracting
   // each path's mandatory minimum is <= this cap (paper §4.3: "truncate the

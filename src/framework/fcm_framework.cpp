@@ -11,6 +11,10 @@ FcmFramework::FcmFramework(Options options) : options_(std::move(options)) {
   FCM_REQUIRE(
       !(options_.count_mode == CountMode::kBytes && options_.topk_entries > 0),
       "FcmFramework: byte counting requires the plain-FCM data plane");
+  // Options::metrics is the single telemetry knob for the whole control
+  // plane: thread it into the EM config so analyze()'s estimator honors it
+  // (nullptr == fully uninstrumented, no global-registry fallback).
+  options_.em.metrics = options_.metrics;
   if (options_.topk_entries > 0) {
     core::FcmTopK::Config config;
     config.fcm = options_.fcm;
@@ -71,13 +75,23 @@ std::vector<flow::FlowKey> FcmFramework::heavy_hitters() const {
 FcmFramework::Report FcmFramework::analyze() const {
   // Per-epoch control-plane collection cost (DESIGN.md §8); analyze() runs
   // once per measurement window, so the registry lookups are negligible.
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  registry.counter("fcm_framework_analyze_total", {},
-                   "Control-plane analyze() collections")
-      .inc();
-  const obs::ScopedTimer timer(&registry.histogram(
-      "fcm_framework_analyze_seconds", obs::Histogram::latency_bounds(), {},
-      "Wall time of one control-plane analyze() collection"));
+  // The configured sink (not the global singleton) is used so that
+  // Options::metrics == nullptr really is uninstrumented — the throughput
+  // bench's overhead baseline depends on that.
+  obs::MetricsRegistry* registry = options_.metrics;
+  if (registry != nullptr) {
+    registry
+        ->counter("fcm_framework_analyze_total", {},
+                  "Control-plane analyze() collections")
+        .inc();
+  }
+  const obs::ScopedTimer timer(
+      registry != nullptr
+          ? &registry->histogram("fcm_framework_analyze_seconds",
+                                 obs::Histogram::latency_bounds(), {},
+                                 "Wall time of one control-plane analyze() "
+                                 "collection")
+          : nullptr);
   Report report;
   control::EmFsdEstimator em(control::convert_sketch(active_sketch()),
                              options_.em);

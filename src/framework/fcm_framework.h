@@ -13,6 +13,7 @@
 #include "controlplane/heavy_change.h"
 #include "fcm/fcm_topk.h"
 #include "flow/packet.h"
+#include "obs/metrics_registry.h"
 
 namespace fcm::framework {
 
@@ -33,6 +34,14 @@ class FcmFramework {
     // vote counters are per-packet); the constructor rejects the combination.
     CountMode count_mode = CountMode::kPackets;
     control::EmConfig em;
+    // Telemetry sink for the control plane (analyze() counters/latency and,
+    // threaded into em.metrics, the EM estimator's series). Defaults to the
+    // process-global registry; nullptr runs fully uninstrumented — this is
+    // the single knob: it OVERRIDES em.metrics, and the sharded runtime
+    // propagates its own Options::metrics here so `metrics = nullptr` means
+    // no registry is touched anywhere in the pipeline. Must outlive the
+    // framework when non-null.
+    obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
   };
 
   explicit FcmFramework(Options options);

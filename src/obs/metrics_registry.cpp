@@ -25,17 +25,31 @@ const char* kind_name(MetricKind kind) {
 }
 
 // Shortest round-trippable double formatting (so bucket edges render as
-// "0.1", not "0.10000000000000001"); JSON has no Inf/NaN, so clamp those to
-// string-safe spellings (they only arise from pathological gauge callbacks).
+// "0.1", not "0.10000000000000001"). Finite values only; non-finite handling
+// is exporter-specific — see fmt_double_json / fmt_double_prom.
 std::string fmt_double(double v) {
-  if (std::isnan(v)) return "0";
-  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
   char buffer[64];
   for (const int precision : {15, 16, 17}) {
     std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
     if (std::strtod(buffer, nullptr) == v) break;
   }
   return buffer;
+}
+
+// JSON has no NaN/Inf literal, so a non-finite value (a pathological gauge
+// callback, say) is emitted as null — visibly broken in scraped data rather
+// than silently rewritten to a legitimate-looking number.
+std::string fmt_double_json(double v) {
+  if (!std::isfinite(v)) return "null";
+  return fmt_double(v);
+}
+
+// The Prometheus text exposition format supports NaN/+Inf/-Inf spellings;
+// pass them through so bad gauges stay distinguishable from real zeros.
+std::string fmt_double_prom(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return fmt_double(v);
 }
 
 std::string json_escape(const std::string& s) {
@@ -82,6 +96,30 @@ std::string render_labels_json(const std::vector<MetricLabel>& labels) {
   return out;
 }
 
+// Label-VALUE escaping per the Prometheus text exposition format 0.0.4:
+// backslash, double-quote and newline must be escaped or the line is
+// unparseable (e.g. a metrics_instance containing '"').
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 // Prometheus label block, optionally with an extra `le` pair (histograms).
 std::string render_labels_prom(const std::vector<MetricLabel>& labels,
                                const std::string& extra_key = "",
@@ -92,11 +130,11 @@ std::string render_labels_prom(const std::vector<MetricLabel>& labels,
   for (const MetricLabel& label : labels) {
     if (!first) out += ",";
     first = false;
-    out += label.key + "=\"" + label.value + "\"";
+    out += label.key + "=\"" + prom_escape_label(label.value) + "\"";
   }
   if (!extra_key.empty()) {
     if (!first) out += ",";
-    out += extra_key + "=\"" + extra_value + "\"";
+    out += extra_key + "=\"" + prom_escape_label(extra_value) + "\"";
   }
   out += "}";
   return out;
@@ -157,15 +195,17 @@ std::string MetricsSnapshot::to_json() const {
         << render_labels_json(s.labels);
     if (s.kind == MetricKind::kHistogram && s.histogram.has_value()) {
       const HistogramData& h = *s.histogram;
-      out << ", \"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
-          << ", \"buckets\": [";
+      out << ", \"count\": " << h.count
+          << ", \"sum\": " << fmt_double_json(h.sum) << ", \"buckets\": [";
       std::uint64_t cumulative = 0;
       for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
         cumulative += h.bucket_counts[b];
         if (b > 0) out << ", ";
         out << "{\"le\": ";
         if (b < h.bounds.size()) {
-          out << "\"" << fmt_double(h.bounds[b]) << "\"";
+          // `le` is a quoted string, so the Prometheus spellings (including
+          // "+Inf" for an infinite edge) are safe here too.
+          out << "\"" << fmt_double_prom(h.bounds[b]) << "\"";
         } else {
           out << "\"+Inf\"";
         }
@@ -173,7 +213,7 @@ std::string MetricsSnapshot::to_json() const {
       }
       out << "]";
     } else {
-      out << ", \"value\": " << fmt_double(s.value);
+      out << ", \"value\": " << fmt_double_json(s.value);
     }
     out << "}";
     if (i + 1 < samples.size()) out << ",";
@@ -198,17 +238,17 @@ std::string MetricsSnapshot::to_prometheus() const {
       for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
         cumulative += h.bucket_counts[b];
         const std::string le =
-            b < h.bounds.size() ? fmt_double(h.bounds[b]) : "+Inf";
+            b < h.bounds.size() ? fmt_double_prom(h.bounds[b]) : "+Inf";
         out << s.name << "_bucket" << render_labels_prom(s.labels, "le", le)
             << " " << cumulative << "\n";
       }
       out << s.name << "_sum" << render_labels_prom(s.labels) << " "
-          << fmt_double(h.sum) << "\n";
+          << fmt_double_prom(h.sum) << "\n";
       out << s.name << "_count" << render_labels_prom(s.labels) << " "
           << h.count << "\n";
     } else {
       out << s.name << render_labels_prom(s.labels) << " "
-          << fmt_double(s.value) << "\n";
+          << fmt_double_prom(s.value) << "\n";
     }
   }
   return out.str();
@@ -221,11 +261,16 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
-MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+// mutex_ must be held by the caller. The whole get-or-create — lookup, kind
+// check, AND construction of the Counter/Gauge/Histogram value object (via
+// `make_value`) — happens inside one critical section, so snapshot() and
+// concurrent registrations of the same series can never observe an Entry
+// whose value object is still being wired up (the registry's documented
+// snapshot-while-hot safety contract depends on this).
+MetricsRegistry::Entry& MetricsRegistry::find_or_create_locked(
     const std::string& name, std::vector<MetricLabel> labels, MetricKind kind,
     const std::string& help) {
   const std::string key = series_key(name, labels);
-  std::lock_guard lock(mutex_);
   for (const auto& entry : entries_) {
     if (entry->name == name && series_key(entry->name, entry->labels) == key) {
       if (entry->kind != kind) {
@@ -247,8 +292,9 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
 Counter& MetricsRegistry::counter(const std::string& name,
                                   std::vector<MetricLabel> labels,
                                   const std::string& help) {
+  std::lock_guard lock(mutex_);
   Entry& entry =
-      find_or_create(name, std::move(labels), MetricKind::kCounter, help);
+      find_or_create_locked(name, std::move(labels), MetricKind::kCounter, help);
   if (!entry.counter) entry.counter.reset(new Counter());
   return *entry.counter;
 }
@@ -256,8 +302,9 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               std::vector<MetricLabel> labels,
                               const std::string& help) {
+  std::lock_guard lock(mutex_);
   Entry& entry =
-      find_or_create(name, std::move(labels), MetricKind::kGauge, help);
+      find_or_create_locked(name, std::move(labels), MetricKind::kGauge, help);
   if (entry.callback) {
     throw std::logic_error("obs::MetricsRegistry: gauge '" + name +
                            "' is already a callback gauge");
@@ -270,8 +317,9 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       std::vector<MetricLabel> labels,
                                       const std::string& help) {
-  Entry& entry =
-      find_or_create(name, std::move(labels), MetricKind::kHistogram, help);
+  std::lock_guard lock(mutex_);
+  Entry& entry = find_or_create_locked(name, std::move(labels),
+                                       MetricKind::kHistogram, help);
   if (!entry.histogram) {
     entry.histogram.reset(new Histogram(std::move(bounds)));
   }
@@ -281,21 +329,23 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 MetricsRegistry::CallbackHandle MetricsRegistry::gauge_callback(
     const std::string& name, std::vector<MetricLabel> labels,
     std::function<double()> fn, const std::string& help) {
+  // Get-or-create and callback installation under ONE lock acquisition: a
+  // concurrent gauge()/gauge_callback() on the same name either runs fully
+  // before this (and the guard below throws) or fully after (and sees the
+  // installed callback) — no interleaving window.
+  std::lock_guard lock(mutex_);
   Entry& entry =
-      find_or_create(name, std::move(labels), MetricKind::kGauge, help);
+      find_or_create_locked(name, std::move(labels), MetricKind::kGauge, help);
+  if (entry.gauge || entry.callback) {
+    throw std::logic_error("obs::MetricsRegistry: gauge '" + name +
+                           "' already registered");
+  }
+  entry.callback = std::move(fn);
   std::size_t index = 0;
-  {
-    std::lock_guard lock(mutex_);
-    if (entry.gauge || entry.callback) {
-      throw std::logic_error("obs::MetricsRegistry: gauge '" + name +
-                             "' already registered");
-    }
-    entry.callback = std::move(fn);
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      if (entries_[i].get() == &entry) {
-        index = i;
-        break;
-      }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].get() == &entry) {
+      index = i;
+      break;
     }
   }
   return CallbackHandle(this, index);
@@ -320,6 +370,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     sample.labels = entry->labels;
     switch (entry->kind) {
       case MetricKind::kCounter:
+        if (!entry->counter) continue;  // defensive: never constructed
         sample.value = static_cast<double>(entry->counter->value());
         break;
       case MetricKind::kGauge:
@@ -332,6 +383,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         }
         break;
       case MetricKind::kHistogram: {
+        if (!entry->histogram) continue;  // defensive: never constructed
         MetricsSnapshot::HistogramData data;
         data.bounds = entry->histogram->bounds();
         data.bucket_counts = entry->histogram->bucket_counts();

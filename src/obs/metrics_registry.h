@@ -303,9 +303,12 @@ class MetricsRegistry {
     std::function<double()> callback;  // callback gauges only
   };
 
-  Entry& find_or_create(const std::string& name,
-                        std::vector<MetricLabel> labels, MetricKind kind,
-                        const std::string& help);
+  // Requires mutex_ held. Lookup, kind check, and (in the callers) value
+  // construction all happen inside one critical section so snapshot() and
+  // concurrent same-series registrations never see a half-built Entry.
+  Entry& find_or_create_locked(const std::string& name,
+                               std::vector<MetricLabel> labels,
+                               MetricKind kind, const std::string& help);
 
   mutable std::mutex mutex_;
   // Deque-like stability: entries are never moved after creation.

@@ -102,6 +102,11 @@ ShardedFcmFramework::ShardedFcmFramework(Options options)
   if (options_.heavy_change_threshold == 0) {
     options_.heavy_change_threshold = options_.framework.heavy_hitter_threshold;
   }
+  // Options::metrics is authoritative for the whole runtime: propagate it
+  // into the replica/merged framework options so analyze_on_rotate's EM run
+  // writes to the configured registry — and to NOTHING when metrics ==
+  // nullptr (the advertised fully-uninstrumented mode).
+  options_.framework.metrics = options_.metrics;
 
   // Shard replicas record heavy-hitter candidates at ceil(T / N): a flow
   // with true global count >= T has >= ceil(T/N) packets in some shard, and

@@ -88,9 +88,12 @@ class ShardedFcmFramework {
     bool analyze_on_rotate = false;
     // Telemetry sink (DESIGN.md §8). Defaults to the process-global
     // registry; set to nullptr to run fully uninstrumented (the throughput
-    // bench's overhead study uses that as its baseline). The registry must
-    // outlive this framework. Per-packet cost is one batched relaxed
-    // fetch_add per pop batch — measured < 1% on the 8-shard ingest path.
+    // bench's overhead study uses that as its baseline). Authoritative for
+    // the whole runtime: it is propagated into framework.metrics at
+    // construction, so the control plane (analyze_on_rotate / EM) follows
+    // the same knob. The registry must outlive this framework. Per-packet
+    // cost is one batched relaxed fetch_add per pop batch — measured < 1%
+    // on the 8-shard ingest path.
     obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
     // Label value distinguishing this instance's series when several
     // sharded frameworks share one registry ("" = unlabeled; two live

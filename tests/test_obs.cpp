@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -166,6 +167,33 @@ TEST(Registry, SnapshotRendersJsonAndPrometheus) {
   EXPECT_NE(prom.find("lat_seconds_count 1"), std::string::npos);
 }
 
+TEST(Registry, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("esc_total", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string prom = registry.snapshot().to_prometheus();
+  // Backslash, double-quote and newline must be escaped per the text
+  // exposition format or the line is unparseable.
+  EXPECT_NE(prom.find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Registry, NonFiniteValuesRenderVisibly) {
+  // A pathological callback gauge must stay distinguishable from a
+  // legitimate zero in scraped data: null in JSON, NaN/Inf in Prometheus.
+  MetricsRegistry registry;
+  const auto nan_handle = registry.gauge_callback(
+      "bad_gauge", {}, [] { return std::numeric_limits<double>::quiet_NaN(); });
+  const auto inf_handle = registry.gauge_callback(
+      "inf_gauge", {}, [] { return std::numeric_limits<double>::infinity(); });
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"value\": null"), std::string::npos);
+  EXPECT_EQ(json.find("1e308"), std::string::npos);
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("bad_gauge NaN"), std::string::npos);
+  EXPECT_NE(prom.find("inf_gauge +Inf"), std::string::npos);
+}
+
 TEST(Registry, ScopedTimerObservesOnceAndToleratesNull) {
   MetricsRegistry registry;
   Histogram& h = registry.histogram("t_seconds", Histogram::latency_bounds());
@@ -302,6 +330,84 @@ TEST(Concurrency, ShardedIngestScrapedConcurrently) {
                            Histogram::latency_bounds(), {{"instance", "test"}})
                 .count(),
             1u);
+}
+
+TEST(Concurrency, RegistrationRacesSnapshotSafely) {
+  // Regression: registration (including construction of the value object)
+  // must be one critical section — a scrape racing the FIRST registration
+  // of a series used to dereference a not-yet-constructed Counter.
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 500;
+  std::vector<std::jthread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        registry.counter("race_total", {{"i", std::to_string(i % 8)}}).inc();
+        registry
+            .histogram("race_seconds", {1.0}, {{"i", std::to_string(i % 8)}})
+            .observe(0.5);
+      }
+    });
+  }
+  for (int s = 0; s < 200; ++s) {
+    const MetricsSnapshot snap = registry.snapshot();
+    for (const auto& sample : snap.samples) {
+      EXPECT_FALSE(sample.name.empty());
+    }
+  }
+  writers.clear();  // join
+  std::uint64_t total = 0;
+  for (int i = 0; i < 8; ++i) {
+    total += registry.counter("race_total", {{"i", std::to_string(i)}}).value();
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+TEST(Registry, ConfiguredRegistryThreadedThroughAnalyze) {
+  // FcmFramework::Options::metrics is the single knob: analyze() and the EM
+  // estimator it spawns must write to the configured registry, not the
+  // global singleton.
+  MetricsRegistry local;
+  framework::FcmFramework::Options options;
+  options.fcm = core::FcmConfig::for_memory(32 * 1024, 2, 8, {8, 16, 32});
+  options.em.max_iterations = 2;
+  options.metrics = &local;
+  framework::FcmFramework fw(options);
+  for (std::uint32_t i = 0; i < 2'000; ++i) fw.process(flow::FlowKey{i % 50});
+  (void)fw.analyze();
+  EXPECT_GE(local.counter("fcm_framework_analyze_total").value(), 1u);
+  EXPECT_GE(local.counter("fcm_em_runs_total").value(), 1u);
+  EXPECT_GE(local.counter("fcm_em_iterations_total").value(), 2u);
+}
+
+TEST(Registry, NullMetricsIsFullyUninstrumented) {
+  // Regression: metrics == nullptr must not fall back to the global
+  // registry anywhere in the pipeline — including analyze_on_rotate's EM
+  // run in the sharded runtime (the overhead baseline depends on it).
+  const std::size_t global_before = MetricsRegistry::global().series_count();
+
+  framework::FcmFramework::Options fw_options;
+  fw_options.fcm = core::FcmConfig::for_memory(32 * 1024, 2, 8, {8, 16, 32});
+  fw_options.em.max_iterations = 2;
+  fw_options.metrics = nullptr;
+  framework::FcmFramework fw(fw_options);
+  for (std::uint32_t i = 0; i < 2'000; ++i) fw.process(flow::FlowKey{i % 50});
+  (void)fw.analyze();
+  EXPECT_EQ(MetricsRegistry::global().series_count(), global_before);
+
+  runtime::ShardedFcmFramework::Options options;
+  options.framework = fw_options;
+  options.shard_count = 2;
+  options.metrics = nullptr;
+  options.analyze_on_rotate = true;
+  runtime::ShardedFcmFramework sharded(options);
+  EXPECT_FALSE(sharded.metrics_enabled());
+  for (std::uint32_t i = 0; i < 2'000; ++i) sharded.ingest(flow::FlowKey{i % 50});
+  const auto report = sharded.rotate();
+  EXPECT_TRUE(report.analysis.has_value());
+  EXPECT_EQ(MetricsRegistry::global().series_count(), global_before);
 }
 
 TEST(Concurrency, SequentialInstrumentedInstancesReuseQueueGauges) {
