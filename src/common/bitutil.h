@@ -4,6 +4,16 @@
 #include <bit>
 #include <cstdint>
 
+// Software prefetch for the batched ingest kernel (DESIGN.md §9): request a
+// cache line for writing with full temporal locality. A hint only — no
+// observable semantics — so the no-op fallback keeps non-GNU compilers
+// building bit-exact binaries.
+#if defined(__GNUC__) || defined(__clang__)
+#define FCM_PREFETCH_WRITE(addr) __builtin_prefetch((addr), 1, 3)
+#else
+#define FCM_PREFETCH_WRITE(addr) ((void)(addr))
+#endif
+
 namespace fcm::common {
 
 // Largest value representable in `bits` bits (bits in [1, 64]).

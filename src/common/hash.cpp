@@ -5,27 +5,21 @@
 namespace fcm::common {
 namespace {
 
-inline std::uint32_t rot(std::uint32_t x, int k) noexcept {
-  return (x << k) | (x >> (32 - k));
-}
+using detail::rot32;
 
 inline void mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) noexcept {
-  a -= c; a ^= rot(c, 4);  c += b;
-  b -= a; b ^= rot(a, 6);  a += c;
-  c -= b; c ^= rot(b, 8);  b += a;
-  a -= c; a ^= rot(c, 16); c += b;
-  b -= a; b ^= rot(a, 19); a += c;
-  c -= b; c ^= rot(b, 4);  b += a;
+  a -= c; a ^= rot32(c, 4);  c += b;
+  b -= a; b ^= rot32(a, 6);  a += c;
+  c -= b; c ^= rot32(b, 8);  b += a;
+  a -= c; a ^= rot32(c, 16); c += b;
+  b -= a; b ^= rot32(a, 19); a += c;
+  c -= b; c ^= rot32(b, 4);  b += a;
 }
 
+// The final mix lives in hash.h (detail::final_mix32) so the inline 4-byte
+// specialization and this general routine cannot drift apart.
 inline void final_mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) noexcept {
-  c ^= b; c -= rot(b, 14);
-  a ^= c; a -= rot(c, 11);
-  b ^= a; b -= rot(a, 25);
-  c ^= b; c -= rot(b, 16);
-  a ^= c; a -= rot(c, 4);
-  b ^= a; b -= rot(a, 14);
-  c ^= b; c -= rot(b, 24);
+  detail::final_mix32(a, b, c);
 }
 
 inline std::uint32_t load_u32(const std::byte* p, std::size_t n) noexcept {

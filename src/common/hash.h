@@ -3,28 +3,92 @@
 // The paper (§7.1) recommends BobHash [Henke et al., CCR 2008] for sketching;
 // we implement Bob Jenkins' lookup3 from scratch plus a cheap 64-bit mixer
 // used for seeding and for splitting one hash into independent sub-hashes.
+//
+// Table-index reduction uses Lemire's multiply-shift fast range
+// ("Fast random integer generation in an interval", 2019): for a uniform
+// 32-bit hash h and a width w < 2^32, (h * w) >> 32 is uniform over [0, w)
+// up to the same floor rounding a modulo has, but costs one multiply instead
+// of a division. See DESIGN.md §9 for the unbiasedness argument.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <type_traits>
 
 namespace fcm::common {
+
+// Block size of the batched ingest kernel (DESIGN.md §9): index_batch
+// consumers stage hashes/indices in stack arrays of this many entries, and
+// the prefetch distance of the batched sketch updates is exactly one block.
+inline constexpr std::size_t kBatchBlock = 64;
+
+namespace detail {
+
+inline constexpr std::uint32_t rot32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+// lookup3's final mix, shared by the out-of-line general hash (hash.cpp) and
+// the inline 4-byte specialization below — they must stay bit-identical.
+inline constexpr void final_mix32(std::uint32_t& a, std::uint32_t& b,
+                                  std::uint32_t& c) noexcept {
+  c ^= b; c -= rot32(b, 14);
+  a ^= c; a -= rot32(c, 11);
+  b ^= a; b -= rot32(a, 25);
+  c ^= b; c -= rot32(b, 16);
+  a ^= c; a -= rot32(c, 4);
+  b ^= a; b -= rot32(a, 14);
+  c ^= b; c -= rot32(b, 24);
+}
+
+}  // namespace detail
 
 // Bob Jenkins' lookup3 hash (public-domain algorithm, reimplemented).
 // Deterministic for a given (data, seed) pair across platforms.
 std::uint32_t bob_hash(std::span<const std::byte> data, std::uint32_t seed) noexcept;
 
+// Inline specialization of bob_hash for exactly-4-byte values, bit-identical
+// to the general routine (lookup3 with length 4 takes the single-block tail
+// path: a += word, final mix). The batched ingest kernel hashes flow keys
+// through this so the whole hash block inlines into one tight loop the
+// compiler can pipeline; test_hash pins the equivalence.
+inline constexpr std::uint32_t bob_hash_u32(std::uint32_t value,
+                                            std::uint32_t seed) noexcept {
+  std::uint32_t a = 0xdeadbeef + 4u + seed;
+  std::uint32_t b = a;
+  std::uint32_t c = a;
+  a += value;
+  detail::final_mix32(a, b, c);
+  return c;
+}
+
 // Convenience overload for trivially-copyable values (flow keys, integers).
 template <typename T>
 std::uint32_t bob_hash_value(const T& value, std::uint32_t seed) noexcept {
   static_assert(std::is_trivially_copyable_v<T>);
-  return bob_hash(std::as_bytes(std::span<const T, 1>{&value, 1}), seed);
+  if constexpr (sizeof(T) == sizeof(std::uint32_t)) {
+    // Same bytes, same native-endian load the general tail path performs.
+    return bob_hash_u32(std::bit_cast<std::uint32_t>(value), seed);
+  } else {
+    return bob_hash(std::as_bytes(std::span<const T, 1>{&value, 1}), seed);
+  }
 }
 
 // SplitMix64 finalizer: a strong 64-bit mixer. Used to derive independent
 // seeds and to fold 64-bit keys.
 std::uint64_t mix64(std::uint64_t x) noexcept;
+
+// Lemire multiply-shift reduction of a 32-bit hash onto [0, width).
+// Precondition: width <= 2^32 (every table in this tree is far smaller).
+inline constexpr std::size_t fast_range32(std::uint32_t hash,
+                                          std::size_t width) noexcept {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(hash) * static_cast<std::uint64_t>(width)) >>
+      32);
+}
 
 // A seeded hash function object: one member of a pairwise-independent family.
 // Instances with different `seed` values behave as independent hash functions
@@ -41,10 +105,62 @@ class SeededHash {
     return bob_hash_value(value, seed_);
   }
 
-  // Hash reduced to a table index in [0, width).
+  // Hash reduced to a table index in [0, width) via fast-range (see above).
   template <typename T>
   std::size_t index(const T& value, std::size_t width) const noexcept {
-    return static_cast<std::size_t>((*this)(value)) % width;
+    return fast_range32((*this)(value), width);
+  }
+
+  // Bulk interface of index(): hashes `keys` and writes the reduced indices
+  // into `out` (out.size() >= keys.size()). Bit-identical to calling index()
+  // per key; exists so the batched ingest kernel can hash a whole block in
+  // one tight inline loop — independent hashes pipeline across iterations
+  // instead of each serializing against its table load, and with FCM_NATIVE
+  // the compiler is free to vectorize the block.
+  template <typename T>
+  void index_batch(std::span<const T> keys, std::size_t width,
+                   std::span<std::size_t> out) const noexcept {
+    const std::size_t n = keys.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = fast_range32(bob_hash_value(keys[i], seed_), width);
+    }
+  }
+
+  // 32-bit-output variant of index_batch, used by the hot kernels. A
+  // fast-range index is always < width < 2^32, so narrowing loses nothing —
+  // but a uniform 32-bit loop (32-bit keys in, 32-bit indices out) is what
+  // the auto-vectorizer actually packs; the widening store of the size_t
+  // variant defeats it ("no vectype" under GCC 12). Bit-identical values to
+  // the span<size_t> overload (tests/test_batch_equivalence.cpp).
+  template <typename T>
+  void index_batch(std::span<const T> keys, std::size_t width,
+                   std::span<std::uint32_t> out) const noexcept {
+    const std::size_t n = keys.size();
+    // fast_range32 spelled with a u32 width so the multiply stays in the
+    // u32 x u32 -> u64 widening form the vectorizer maps onto pmuludq; the
+    // generic size_t multiply inside fast_range32 reads as an unsupported
+    // 64-bit operation and blocks packing. Identical results: width < 2^32
+    // is already fast_range32's precondition.
+    const auto w = static_cast<std::uint32_t>(width);
+    if constexpr (sizeof(T) == sizeof(std::uint32_t)) {
+      // Stage the key bytes into `out` first (same bytes bob_hash_value's
+      // bit_cast would read), then hash in place: the struct-typed key load
+      // is the one remaining statement GCC refuses to pack, and a uniform
+      // u32 -> u32 loop over a single array has no such load and no
+      // aliasing question. One 4n-byte copy is noise next to the hashing.
+      std::memcpy(out.data(), keys.data(), n * sizeof(std::uint32_t));
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t h = bob_hash_u32(out[i], seed_);
+        out[i] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(h) * w) >> 32);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t h = bob_hash_value(keys[i], seed_);
+        out[i] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(h) * w) >> 32);
+      }
+    }
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "fcm/fcm_sketch.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -28,15 +29,80 @@ std::uint64_t FcmSketch::add(flow::FlowKey key, std::uint64_t count) {
   return estimate;
 }
 
+void FcmSketch::add_batch(std::span<const flow::FlowKey> keys) {
+  const std::size_t total = keys.size();
+  if (total == 0) return;
+  // Cross-tree software pipeline (DESIGN.md §9): for each kBatchBlock block,
+  // EVERY tree hashes + prefetches before ANY tree applies, and block b+1 is
+  // staged before block b is applied (double-buffered index blocks). Two
+  // wins over running each tree across the whole span: the key block is
+  // read from L1 once instead of each tree re-streaming the span from the
+  // outer caches, and the outstanding prefetches of all trees overlap.
+  // Per-tree key order is exactly the scalar loop's (trees touch disjoint
+  // state, so interleaving trees between blocks is unobservable) — state
+  // stays bit-exact (tests/test_batch_equivalence.cpp).
+  constexpr std::size_t kMaxTrees = 8;
+  FCM_ASSERT(trees_.size() <= kMaxTrees,
+             "FcmSketch: tree count exceeds the batched kernel's stack buffers");
+  const std::size_t tree_count = trees_.size();
+  std::uint32_t idx_a[kMaxTrees][common::kBatchBlock];
+  std::uint32_t idx_b[kMaxTrees][common::kBatchBlock];
+  auto* cur = &idx_a;
+  auto* next = &idx_b;
+  const auto stage = [&](std::size_t base,
+                         std::uint32_t (*out)[kMaxTrees][common::kBatchBlock]) {
+    const std::size_t n = std::min(common::kBatchBlock, total - base);
+    const auto block = keys.subspan(base, n);
+    for (std::size_t t = 0; t < tree_count; ++t) {
+      trees_[t].index_block(block, std::span<std::uint32_t>((*out)[t], n));
+    }
+    return n;
+  };
+
+  std::uint64_t estimates[common::kBatchBlock];
+  std::size_t n = stage(0, cur);
+  for (std::size_t base = 0; base < total;) {
+    const std::size_t next_base = base + n;
+    std::size_t next_n = 0;
+    if (next_base < total) next_n = stage(next_base, next);
+    if (!hh_threshold_) {
+      // No heavy-hitter consumer: no estimate bookkeeping at all.
+      for (std::size_t t = 0; t < tree_count; ++t) {
+        trees_[t].apply_block(std::span<const std::uint32_t>((*cur)[t], n), {});
+      }
+    } else {
+      std::fill_n(estimates, n, std::numeric_limits<std::uint64_t>::max());
+      // apply_block lowers estimates[i] toward the per-tree minimum.
+      for (std::size_t t = 0; t < tree_count; ++t) {
+        trees_[t].apply_block(std::span<const std::uint32_t>((*cur)[t], n),
+                              std::span<std::uint64_t>(estimates, n));
+      }
+      const std::uint64_t threshold = *hh_threshold_;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (estimates[i] >= threshold) heavy_hitters_.insert(keys[base + i]);
+      }
+    }
+    std::swap(cur, next);
+    base = next_base;
+    n = next_n;
+  }
+}
+
 std::uint64_t FcmSketch::update_conservative(flow::FlowKey key) {
+  // One leaf hash per tree: the read pass and the write pass below reuse the
+  // same indices instead of rehashing the key three times.
+  std::size_t idx[common::kBatchBlock];
+  FCM_ASSERT(trees_.size() <= common::kBatchBlock,
+             "FcmSketch: tree count exceeds the stack index buffer");
   std::uint64_t minimum = std::numeric_limits<std::uint64_t>::max();
-  for (const auto& tree : trees_) {
-    minimum = std::min(minimum, tree.query(key));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    idx[t] = trees_[t].leaf_index(key);
+    minimum = std::min(minimum, trees_[t].query_at(idx[t]));
   }
   std::uint64_t estimate = minimum + 1;
-  for (auto& tree : trees_) {
-    if (tree.query(key) == minimum) {
-      estimate = std::min(estimate, tree.add(key, 1));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    if (trees_[t].query_at(idx[t]) == minimum) {
+      estimate = std::min(estimate, trees_[t].add_at(idx[t], 1));
     }
   }
   // Conservative updates are monotone and tight: the post-update minimum

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -35,6 +36,14 @@ class FcmSketch {
 
   // Bulk insert of `count` packets of the same flow.
   std::uint64_t add(flow::FlowKey key, std::uint64_t count);
+
+  // Batched per-packet update (DESIGN.md §9): equivalent to update(key) for
+  // each key in order, bit-exact — tree state, promotion counters, and the
+  // heavy-hitter set all match the scalar loop. Each tree consumes the whole
+  // block through FcmTree::add_batch (bulk hashing + level-1 prefetch +
+  // branch-light fast path); per-key min estimates accumulate across trees in
+  // a stack buffer so the heavy-hitter check runs once per key at the end.
+  void add_batch(std::span<const flow::FlowKey> keys);
 
   // Count-query (§3.2): min over trees. Never underestimates.
   std::uint64_t query(flow::FlowKey key) const noexcept;

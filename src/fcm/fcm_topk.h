@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 
 #include "fcm/fcm_sketch.h"
@@ -29,6 +30,16 @@ class FcmTopK {
                             std::uint64_t seed = 0x5555aaaa);
 
   void update(flow::FlowKey key);
+
+  // Batched per-packet update (DESIGN.md §9): equivalent to update(key) for
+  // each key in order, bit-exact in filter state, sketch state, and the
+  // sketch's heavy-hitter set. The filter consumes each block through
+  // offer_batch; the sketch-side operations the offers imply (pass-through
+  // updates and eviction flushes) are then applied in the scalar order —
+  // pending pass-through keys are drained through FcmSketch::add_batch
+  // before every eviction flush, so no sketch write is reordered.
+  void add_batch(std::span<const flow::FlowKey> keys);
+
   std::uint64_t query(flow::FlowKey key) const;
 
   // Merges `other` into this instance: the FCM sketches merge bit-exactly

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/bitutil.h"
 #include "common/contracts.h"
 
 namespace fcm::core {
@@ -22,8 +23,7 @@ FcmTree::FcmTree(const FcmConfig& config, common::SeededHash hash)
   }
 }
 
-std::uint64_t FcmTree::add(flow::FlowKey key, std::uint64_t count) {
-  std::size_t index = leaf_index(key);
+std::uint64_t FcmTree::add_at(std::size_t index, std::uint64_t count) {
   std::uint64_t estimate = 0;
   std::uint64_t carry = count;
   const std::size_t levels = stages_.size();
@@ -61,8 +61,94 @@ std::uint64_t FcmTree::add(flow::FlowKey key, std::uint64_t count) {
   return estimate;
 }
 
-std::uint64_t FcmTree::query(flow::FlowKey key) const noexcept {
-  std::size_t index = leaf_index(key);
+void FcmTree::index_block(std::span<const flow::FlowKey> keys,
+                          std::span<std::uint32_t> idx) const noexcept {
+  // One tight inline loop of hashes + fast-range reductions (32-bit in and
+  // out, so the compiler can pack it — see SeededHash::index_batch) ...
+  hash_.index_batch(keys, config_.leaf_count, idx);
+  // ... then request every level-1 counter line of the block up front, so
+  // the misses overlap each other and whatever work runs before the apply.
+  const std::uint32_t* const level1 = stages_[0].data();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    FCM_PREFETCH_WRITE(level1 + idx[i]);
+  }
+}
+
+void FcmTree::apply_block(std::span<const std::uint32_t> idx,
+                          std::span<std::uint64_t> min_estimates) {
+  std::uint32_t* const level1 = stages_[0].data();
+  const std::uint32_t cap = counting_max_[0];
+  const std::size_t n = idx.size();
+  // Apply in key order. Carries must not be reordered (a node's trip into
+  // overflow is observed by later duplicates in the block), so only the
+  // per-key *work* is specialized, never the sequence.
+  if (min_estimates.empty()) {
+    // No estimate consumer (heavy-hitter tracking off): the fast path is a
+    // bare increment with no value materialization or min bookkeeping.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t& node = level1[idx[i]];
+      if (node < cap) {
+        // Fast path: below the counting max, so a single increment neither
+        // saturates nor carries — the overwhelming common case (level 1
+        // holds most nodes and most of them never overflow).
+        ++node;
+      } else {
+        // Node at the counting max (this increment trips it) or already
+        // overflowed: take the scalar carry walk unchanged.
+        add_at(idx[i], 1);
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t& node = level1[idx[i]];
+    std::uint64_t estimate;
+    if (node < cap) {
+      estimate = ++node;
+    } else {
+      estimate = add_at(idx[i], 1);
+    }
+    std::uint64_t& slot = min_estimates[i];
+    slot = std::min(slot, estimate);
+  }
+}
+
+void FcmTree::add_batch(std::span<const flow::FlowKey> keys,
+                        std::span<std::uint64_t> min_estimates) {
+  const std::size_t total = keys.size();
+  if (total == 0) return;
+
+  // Software pipeline with double-buffered index blocks (DESIGN.md §9):
+  // block b+1 is hashed and its level-1 lines prefetched BEFORE block b is
+  // applied, so every prefetch has one full block of work (~kBatchBlock
+  // hashes + applies) to land — a just-prefetched line is never demanded on
+  // the very next instruction. Hashing block b+1 touches only the key span
+  // and the stack, so it cannot disturb block b's carries.
+  std::uint32_t idx_a[common::kBatchBlock];
+  std::uint32_t idx_b[common::kBatchBlock];
+  std::uint32_t* cur = idx_a;
+  std::uint32_t* next = idx_b;
+  const auto stage = [&](std::size_t base, std::uint32_t* out) {
+    const std::size_t n = std::min(common::kBatchBlock, total - base);
+    index_block(keys.subspan(base, n), std::span<std::uint32_t>(out, n));
+    return n;
+  };
+
+  std::size_t n = stage(0, cur);
+  for (std::size_t base = 0; base < total;) {
+    const std::size_t next_base = base + n;
+    std::size_t next_n = 0;
+    if (next_base < total) next_n = stage(next_base, next);
+    apply_block(std::span<const std::uint32_t>(cur, n),
+                min_estimates.empty() ? min_estimates
+                                      : min_estimates.subspan(base, n));
+    std::swap(cur, next);
+    base = next_base;
+    n = next_n;
+  }
+}
+
+std::uint64_t FcmTree::query_at(std::size_t index) const noexcept {
   std::uint64_t estimate = 0;
   const std::size_t levels = stages_.size();
   for (std::size_t l = 0; l < levels; ++l) {

@@ -25,10 +25,56 @@ class FcmTree {
   // Adds `count` to the flow (Algorithm 1 generalized to bulk increments;
   // count = 1 is the per-packet update). Returns the post-update estimate
   // for the flow, mirroring the data plane's write-and-return sALU.
-  std::uint64_t add(flow::FlowKey key, std::uint64_t count = 1);
+  std::uint64_t add(flow::FlowKey key, std::uint64_t count = 1) {
+    return add_at(leaf_index(key), count);
+  }
+
+  // Leaf-index forms of add/query, for callers that already hold the leaf
+  // index (the batched kernel, and FcmSketch::update_conservative's
+  // read-then-write pass, which must not hash twice). `index` must come from
+  // leaf_index()/index_batch() on this tree's hash.
+  std::uint64_t add_at(std::size_t index, std::uint64_t count);
+  std::uint64_t query_at(std::size_t index) const noexcept;
+
+  // Batched per-packet update (DESIGN.md §9): hashes `keys` block by block
+  // (common::kBatchBlock) through SeededHash::index_batch, issues software
+  // prefetches on the level-1 counter lines one block ahead, then applies
+  // the updates in key order. The common no-overflow case (node below the
+  // counting max) is a single branch-light level-1 increment; nodes at the
+  // counting max or already overflowed fall back to the scalar carry walk
+  // (add_at), so the resulting tree state, promotion counter, and per-key
+  // estimates are bit-exact against per-key add() in the same order —
+  // duplicates within a batch included (tests/test_batch_equivalence.cpp).
+  //
+  // For each key i, min_estimates[i] is lowered to min(min_estimates[i],
+  // post-update estimate): FcmSketch::add_batch runs all trees over one
+  // block and reads off the min-query without a second pass. An EMPTY
+  // min_estimates span means "no estimate consumer" (heavy-hitter tracking
+  // off) and skips the bookkeeping entirely; otherwise it must cover
+  // keys.size() entries.
+  void add_batch(std::span<const flow::FlowKey> keys,
+                 std::span<std::uint64_t> min_estimates);
+
+  // The two halves of the batched kernel, exposed so FcmSketch can pipeline
+  // ACROSS trees: hash+prefetch one block for every tree, then apply every
+  // tree's block — the key block is read from L1 once instead of each tree
+  // re-streaming the whole key span, and the outstanding prefetches of all
+  // trees overlap. keys/idx must be at most kBatchBlock entries.
+  //
+  // index_block hashes `keys` into level-1 indices and issues a write
+  // prefetch for each touched counter line; apply_block applies +1 updates
+  // in key order (same fast/slow path split as add_batch) and, when
+  // `min_estimates` is non-empty, lowers min_estimates[i] toward the
+  // post-update estimate of keys[i].
+  void index_block(std::span<const flow::FlowKey> keys,
+                   std::span<std::uint32_t> idx) const noexcept;
+  void apply_block(std::span<const std::uint32_t> idx,
+                   std::span<std::uint64_t> min_estimates);
 
   // Count-query (paper §3.2): sum along the overflow path.
-  std::uint64_t query(flow::FlowKey key) const noexcept;
+  std::uint64_t query(flow::FlowKey key) const noexcept {
+    return query_at(leaf_index(key));
+  }
 
   // Merges `other` into this tree: counter-sum with overflow promotion to
   // the next tree level. FCM trees are linear in the per-leaf arrival totals,

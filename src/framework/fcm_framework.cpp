@@ -1,5 +1,6 @@
 #include "framework/fcm_framework.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/contracts.h"
@@ -52,7 +53,28 @@ void FcmFramework::process(const flow::Packet& packet) {
 }
 
 void FcmFramework::process(std::span<const flow::Packet> packets) {
-  for (const flow::Packet& packet : packets) process(packet);
+  if (options_.count_mode == CountMode::kBytes) {
+    // Byte counting adds a data-dependent increment per packet; the batched
+    // kernel is per-packet (+1) only.
+    for (const flow::Packet& packet : packets) process(packet);
+    return;
+  }
+  // Strip keys into a stack block and run the batched kernel on it; the
+  // copy is cheap next to the hashing it unlocks.
+  flow::FlowKey keys[common::kBatchBlock];
+  for (std::size_t base = 0; base < packets.size(); base += common::kBatchBlock) {
+    const std::size_t n = std::min(common::kBatchBlock, packets.size() - base);
+    for (std::size_t i = 0; i < n; ++i) keys[i] = packets[base + i].key;
+    process_batch(std::span<const flow::FlowKey>(keys, n));
+  }
+}
+
+void FcmFramework::process_batch(std::span<const flow::FlowKey> keys) {
+  if (with_topk_) {
+    with_topk_->add_batch(keys);
+  } else {
+    plain_->add_batch(keys);
+  }
 }
 
 std::uint64_t FcmFramework::flow_size(flow::FlowKey key) const {

@@ -52,6 +52,13 @@ class FcmFramework {
   void process(const flow::Packet& packet);
   void process(std::span<const flow::Packet> packets);
 
+  // Batched per-packet ingest (DESIGN.md §9): equivalent to process(key) for
+  // each key in order, bit-exact — routed to FcmSketch::add_batch or
+  // FcmTopK::add_batch (bulk hashing, level-1 prefetch, branch-light fast
+  // path). The span overload of process() feeds packet keys through this in
+  // kPackets mode; kBytes stays per-packet (the increment is data-dependent).
+  void process_batch(std::span<const flow::FlowKey> keys);
+
   // Data-plane queries (§3.3): available at line rate.
   std::uint64_t flow_size(flow::FlowKey key) const;
   double cardinality() const;

@@ -259,7 +259,23 @@ void ShardedFcmFramework::ingest(const flow::Packet& packet) {
 }
 
 void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
-  for (const flow::Packet& packet : packets) ingest(packet);
+  FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
+  if (options_.framework.count_mode ==
+      framework::FcmFramework::CountMode::kBytes) {
+    for (const flow::Packet& packet : packets) {
+      // count == 0 is reserved for the in-band epoch marker.
+      FCM_REQUIRE(packet.bytes > 0,
+                  "ShardedFcmFramework: zero-byte packet in byte-count mode");
+      route(packet.key, packet.bytes);
+    }
+  } else {
+    for (const flow::Packet& packet : packets) route(packet.key, 1);
+  }
+}
+
+void ShardedFcmFramework::ingest(std::span<const flow::FlowKey> keys) {
+  FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
+  for (const flow::FlowKey key : keys) route(key, 1);
 }
 
 // --- epoch rotation ---------------------------------------------------------
@@ -312,6 +328,20 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
   const bool byte_mode = options_.framework.count_mode ==
                          framework::FcmFramework::CountMode::kBytes;
   std::vector<Item> batch(kPopBatch);
+  // Packet-mode keys accumulated from the current pop batch, consumed through
+  // the batched ingest kernel (FcmFramework::process_batch). Must drain before
+  // a generation flip: the pending keys belong to the epoch being closed.
+  flow::FlowKey keys[kPopBatch];
+  std::size_t pending = 0;
+  std::uint64_t data_items = 0;  // batched into one relaxed add below
+  const auto drain = [&] {
+    if (pending == 0) return;
+    shard.replicas[shard.active].process_batch(
+        std::span<const flow::FlowKey>(keys, pending));
+    shard.packets_in_generation[shard.active] += pending;
+    data_items += pending;
+    pending = 0;
+  };
   unsigned spins = 0;
   for (;;) {
     const std::size_t n = shard.queue.try_pop_bulk(std::span<Item>(batch));
@@ -322,13 +352,15 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
       continue;
     }
     spins = 0;
-    std::uint64_t data_items = 0;  // batched into one relaxed add below
+    data_items = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const Item item = batch[i];
       if (item.count == 0) {
-        // Epoch marker: flip to the other generation and publish the flip.
-        // The mutex makes every replica write above happen-before the
-        // coordinator's reads once it observes the new flip count.
+        // Epoch marker: drain pending keys into the closing generation, then
+        // flip to the other one and publish the flip. The mutex makes every
+        // replica write above happen-before the coordinator's reads once it
+        // observes the new flip count.
+        drain();
         {
           std::lock_guard lock(mutex_);
           shard.active ^= 1;
@@ -337,15 +369,17 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
         cv_.notify_all();
         continue;
       }
-      framework::FcmFramework& replica = shard.replicas[shard.active];
       if (byte_mode) {
-        replica.process(flow::Packet{item.key, item.count, 0});
+        // Byte counts are data-dependent; the batched kernel is +1-only.
+        shard.replicas[shard.active].process(
+            flow::Packet{item.key, item.count, 0});
+        ++shard.packets_in_generation[shard.active];
+        ++data_items;
       } else {
-        replica.process(item.key);
+        keys[pending++] = item.key;
       }
-      ++shard.packets_in_generation[shard.active];
-      ++data_items;
     }
+    drain();
     if (data_items > 0 && instruments_ != nullptr) {
       // Per-batch, not per-packet: one relaxed fetch_add on this worker's
       // own cache-line-aligned cell covers up to kPopBatch packets.

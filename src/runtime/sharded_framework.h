@@ -128,7 +128,14 @@ class ShardedFcmFramework {
   // --- data plane (driver thread only) -----------------------------------
   void ingest(flow::FlowKey key);
   void ingest(const flow::Packet& packet);
+  // Span overloads (DESIGN.md §9): same routing as the per-item calls, with
+  // the per-call overhead (stopped/mode checks) hoisted out of the loop.
+  // Items still stage per shard and publish in flush_batch blocks, so one
+  // release store on the ring covers a whole block. Workers feed popped
+  // blocks into FcmFramework::process_batch, so the span path engages the
+  // batched ingest kernel end to end.
   void ingest(std::span<const flow::Packet> packets);
+  void ingest(std::span<const flow::FlowKey> keys);
 
   // Closes the current epoch without stalling ingest: pushes epoch markers
   // and returns immediately; the coordinator thread drains, merges, and

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/bitutil.h"
 #include "common/contracts.h"
 
 namespace fcm::sketch {
@@ -17,19 +18,9 @@ TopKFilter::TopKFilter(std::size_t entry_count, std::uint32_t eviction_lambda,
   table_.resize(entry_count);
 }
 
-TopKFilter::Offer TopKFilter::offer(flow::FlowKey key) {
+TopKFilter::Offer TopKFilter::offer_at(std::size_t bucket, flow::FlowKey key) {
   Offer result;
-  if (key.value == 0) {
-    // FlowKey{0} doubles as the empty-bucket sentinel (mirroring the
-    // data-plane register encoding, where an all-zero entry means "free").
-    // Installing it would make the bucket indistinguishable from empty:
-    // query() would miss it and the sketch never saw its packets — an
-    // underestimate (caught by test_properties' never-underestimate
-    // property). Route flow 0 to the backing sketch instead.
-    result.outcome = Offer::Outcome::kPassThrough;
-    return result;
-  }
-  Entry& entry = table_[hash_.index(key, table_.size())];
+  Entry& entry = table_[bucket];
 
   if (entry.key.value == 0) {
     entry = Entry{key, 1, 0, false};
@@ -54,6 +45,26 @@ TopKFilter::Offer TopKFilter::offer(flow::FlowKey key) {
   }
   result.outcome = Offer::Outcome::kPassThrough;
   return result;
+}
+
+void TopKFilter::offer_batch(std::span<const flow::FlowKey> keys,
+                             std::span<Offer> offers) {
+  Entry* const table = table_.data();
+  const std::size_t width = table_.size();
+  std::size_t idx[common::kBatchBlock];
+  for (std::size_t base = 0; base < keys.size(); base += common::kBatchBlock) {
+    const std::size_t n = std::min(common::kBatchBlock, keys.size() - base);
+    const auto block = keys.subspan(base, n);
+    hash_.index_batch(block, width, std::span<std::size_t>(idx, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      FCM_PREFETCH_WRITE(table + idx[i]);
+    }
+    // Apply in key order: an eviction changes what a later duplicate in the
+    // same block observes, so the sequence must match the scalar loop.
+    for (std::size_t i = 0; i < n; ++i) {
+      offers[base + i] = block[i].value == 0 ? Offer{} : offer_at(idx[i], block[i]);
+    }
+  }
 }
 
 std::vector<TopKFilter::MergeEviction> TopKFilter::merge(const TopKFilter& other) {

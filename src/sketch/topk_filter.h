@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/hash.h"
@@ -38,7 +39,23 @@ class TopKFilter {
   explicit TopKFilter(std::size_t entry_count, std::uint32_t eviction_lambda = 8,
                       std::uint64_t seed = 0x70b4);
 
-  Offer offer(flow::FlowKey key);
+  Offer offer(flow::FlowKey key) {
+    // FlowKey{0} doubles as the empty-bucket sentinel (mirroring the
+    // data-plane register encoding, where an all-zero entry means "free").
+    // Installing it would make the bucket indistinguishable from empty:
+    // query() would miss it and the sketch never saw its packets — an
+    // underestimate (caught by test_properties' never-underestimate
+    // property). Route flow 0 to the backing sketch instead.
+    if (key.value == 0) return Offer{};
+    return offer_at(hash_.index(key, table_.size()), key);
+  }
+
+  // Batched offer (DESIGN.md §9): hashes `keys` block by block through
+  // SeededHash::index_batch, prefetches the vote-table buckets, then applies
+  // the offers in key order — bit-exact against per-key offer(), duplicates
+  // within a batch included. Writes offers[i] for keys[i];
+  // offers.size() >= keys.size().
+  void offer_batch(std::span<const flow::FlowKey> keys, std::span<Offer> offers);
 
   // One flow displaced while merging two filters; its heavy-part count must
   // be flushed into the backing sketch by the caller (FcmTopK::merge does).
@@ -87,6 +104,11 @@ class TopKFilter {
   void clear();
 
  private:
+  // The vote/eviction state machine for one non-sentinel key whose bucket
+  // index is already known. offer() and offer_batch() both land here, so the
+  // two paths cannot drift.
+  Offer offer_at(std::size_t bucket, flow::FlowKey key);
+
   struct Entry {
     flow::FlowKey key{};          // key.value == 0 means empty
     std::uint32_t count = 0;      // positive votes

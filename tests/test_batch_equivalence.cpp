@@ -1,0 +1,403 @@
+// Bit-exactness of the batched ingest kernel (DESIGN.md §9).
+//
+// Every batch entry point added for the hot path — SeededHash::index_batch,
+// FcmTree::add_batch, FcmSketch::add_batch, CmSketch::update_batch,
+// TopKFilter::offer_batch via FcmTopK::add_batch, FcmFramework::process_batch
+// and the span overloads, and ShardedFcmFramework::ingest(span) — must leave
+// EXACTLY the state the scalar per-packet path leaves: every tree node, the
+// promotion counters, TopK vote-table entries, heavy-hitter sets, and the
+// per-key estimates. Tolerances are zero throughout; any divergence means the
+// fast path changed semantics, not just speed.
+//
+// Coverage: batch sizes {1, 7, 64, 1000} (below/at/above the kBatchBlock
+// stride, odd tails included), duplicate keys within one batch (carry and
+// eviction ordering), and batches interleaved with rotate_async() epoch
+// markers on the sharded runtime.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "fcm/fcm_sketch.h"
+#include "fcm/fcm_topk.h"
+#include "fcm/fcm_tree.h"
+#include "flow/flow_key.h"
+#include "flow/packet.h"
+#include "framework/fcm_framework.h"
+#include "runtime/sharded_framework.h"
+#include "sketch/cm_sketch.h"
+
+namespace {
+
+using fcm::core::FcmConfig;
+using fcm::core::FcmSketch;
+using fcm::core::FcmTopK;
+using fcm::core::FcmTree;
+using fcm::flow::FlowKey;
+using fcm::flow::Packet;
+using fcm::framework::FcmFramework;
+using fcm::runtime::ShardedFcmFramework;
+using fcm::sketch::CmSketch;
+
+// The batch sizes the ISSUE pins: below / at / well above the block stride,
+// with odd tails (1000 = 15 * 64 + 40).
+constexpr std::size_t kBatchSizes[] = {1, 7, 64, 1000};
+
+// Small multi-level geometry; tiny leaf stage (8-bit) so fixed traces push
+// plenty of keys through the overflow slow path, exercising the fast/slow
+// boundary the batch kernel specializes.
+FcmConfig small_config() {
+  FcmConfig config;
+  config.tree_count = 2;
+  config.k = 8;
+  config.stage_bits = {8, 16, 32};
+  config.leaf_count = 2048;
+  config.seed = 0x5555aaaa;
+  return config;
+}
+
+// Deterministic skewed key stream: few hot keys (lots of duplicates and
+// overflow carries), many cold ones.
+std::vector<FlowKey> skewed_keys(std::size_t n, std::uint64_t seed,
+                                 std::size_t distinct = 256) {
+  std::mt19937_64 rng(seed);
+  std::vector<FlowKey> pool;
+  pool.reserve(distinct);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    pool.push_back(FlowKey{static_cast<std::uint32_t>(rng()) | 1u});
+  }
+  std::vector<double> weights(distinct);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+  std::vector<FlowKey> keys;
+  keys.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) keys.push_back(pool[pick(rng)]);
+  return keys;
+}
+
+// Every stored node of every stage of every tree.
+void expect_trees_identical(const FcmSketch& a, const FcmSketch& b) {
+  ASSERT_EQ(a.tree_count(), b.tree_count());
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    for (std::size_t l = 1; l <= a.config().stage_count(); ++l) {
+      const auto sa = a.tree(t).stage(l);
+      const auto sb = b.tree(t).stage(l);
+      ASSERT_EQ(sa.size(), sb.size());
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_EQ(sa[i], sb[i]) << "tree " << t << " stage " << l << " node " << i;
+      }
+    }
+  }
+}
+
+// Trees plus the promotion telemetry and the raw heavy-hitter set — the
+// strongest equality the sketch exposes. Right for scalar-vs-batch on ONE
+// structure; the sharded runtime's merged epochs are only tree-state exact
+// (merge re-derives promotions and re-qualifies heavy hitters), so those
+// comparisons use expect_trees_identical directly.
+void expect_sketch_identical(const FcmSketch& a, const FcmSketch& b) {
+  expect_trees_identical(a, b);
+  for (std::size_t t = 0; t < a.tree_count(); ++t) {
+    EXPECT_EQ(a.tree(t).overflow_promotion_count(),
+              b.tree(t).overflow_promotion_count())
+        << "tree " << t << " promotion counter diverged";
+  }
+  EXPECT_EQ(a.heavy_hitters(), b.heavy_hitters());
+}
+
+// --- hash layer --------------------------------------------------------------
+
+TEST(BatchEquivalence, IndexBatchMatchesScalarIndex) {
+  const fcm::common::SeededHash hash(0xfeedf00d);
+  const auto keys = skewed_keys(1000, 1);
+  std::vector<std::size_t> batch(keys.size());
+  for (const std::size_t width : {1ul, 7ul, 2048ul, 600000ul}) {
+    hash.index_batch(std::span<const FlowKey>(keys), width,
+                     std::span<std::size_t>(batch));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(batch[i], hash.index(keys[i], width)) << "width " << width;
+    }
+  }
+}
+
+TEST(BatchEquivalence, InlineU32HashMatchesGeneralBob) {
+  // The inline 4-byte specialization must stay bit-identical to the
+  // out-of-line lookup3 path the scalar code used to take.
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t value = static_cast<std::uint32_t>(rng());
+    const std::uint32_t seed = static_cast<std::uint32_t>(rng());
+    const auto bytes = std::as_bytes(std::span<const std::uint32_t, 1>{&value, 1});
+    ASSERT_EQ(fcm::common::bob_hash_u32(value, seed),
+              fcm::common::bob_hash(bytes, seed));
+  }
+}
+
+// --- FcmTree -----------------------------------------------------------------
+
+TEST(BatchEquivalence, TreeBatchMatchesScalarAdds) {
+  for (const std::size_t n : kBatchSizes) {
+    const auto keys = skewed_keys(n, 42 + n);
+    FcmTree scalar(small_config(), fcm::common::SeededHash(0xabc));
+    FcmTree batched(small_config(), fcm::common::SeededHash(0xabc));
+
+    std::vector<std::uint64_t> scalar_estimates;
+    scalar_estimates.reserve(n);
+    for (const FlowKey key : keys) scalar_estimates.push_back(scalar.add(key));
+
+    std::vector<std::uint64_t> batch_estimates(
+        n, std::numeric_limits<std::uint64_t>::max());
+    batched.add_batch(std::span<const FlowKey>(keys),
+                      std::span<std::uint64_t>(batch_estimates));
+
+    for (std::size_t l = 1; l <= small_config().stage_count(); ++l) {
+      const auto sa = scalar.stage(l);
+      const auto sb = batched.stage(l);
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_EQ(sa[i], sb[i]) << "n=" << n << " stage " << l << " node " << i;
+      }
+    }
+    EXPECT_EQ(scalar.overflow_promotion_count(),
+              batched.overflow_promotion_count());
+    // min_estimates seeded with UINT64_MAX collapse to the per-key estimate.
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch_estimates[i], scalar_estimates[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(BatchEquivalence, TreeBatchDuplicateHeavyKey) {
+  // One key repeated through a whole batch: every increment after the first
+  // stage-1 saturation must take the slow carry path, and later duplicates
+  // in the SAME block must observe the earlier carries.
+  FcmTree scalar(small_config(), fcm::common::SeededHash(0x77));
+  FcmTree batched(small_config(), fcm::common::SeededHash(0x77));
+  const std::vector<FlowKey> keys(1000, FlowKey{0xdecafbad});
+
+  std::vector<std::uint64_t> scalar_estimates;
+  for (const FlowKey key : keys) scalar_estimates.push_back(scalar.add(key));
+  std::vector<std::uint64_t> batch_estimates(
+      keys.size(), std::numeric_limits<std::uint64_t>::max());
+  batched.add_batch(std::span<const FlowKey>(keys),
+                    std::span<std::uint64_t>(batch_estimates));
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(batch_estimates[i], scalar_estimates[i]) << "i=" << i;
+  }
+  EXPECT_EQ(scalar.overflow_promotion_count(),
+            batched.overflow_promotion_count());
+  EXPECT_EQ(scalar.query(keys[0]), batched.query(keys[0]));
+}
+
+// --- FcmSketch ---------------------------------------------------------------
+
+TEST(BatchEquivalence, SketchBatchMatchesScalarUpdates) {
+  for (const std::size_t n : kBatchSizes) {
+    const auto keys = skewed_keys(n, 1000 + n);
+    FcmSketch scalar(small_config());
+    FcmSketch batched(small_config());
+    scalar.set_heavy_hitter_threshold(20);
+    batched.set_heavy_hitter_threshold(20);
+
+    for (const FlowKey key : keys) scalar.update(key);
+    batched.add_batch(std::span<const FlowKey>(keys));
+
+    expect_sketch_identical(scalar, batched);
+  }
+}
+
+TEST(BatchEquivalence, SketchBatchSplitArbitrarily) {
+  // Splitting one stream into many batches of awkward sizes changes nothing:
+  // ...(batch of 1)(batch of 7)(batch of 64)(batch of 1000)... == scalar.
+  const auto keys = skewed_keys(2144, 9);  // 1 + 7 + 64 + 1000 + 1072 tail
+  FcmSketch scalar(small_config());
+  FcmSketch batched(small_config());
+  for (const FlowKey key : keys) scalar.update(key);
+
+  std::span<const FlowKey> rest(keys);
+  for (const std::size_t n : kBatchSizes) {
+    batched.add_batch(rest.subspan(0, n));
+    rest = rest.subspan(n);
+  }
+  batched.add_batch(rest);
+
+  expect_sketch_identical(scalar, batched);
+}
+
+// --- CmSketch ----------------------------------------------------------------
+
+TEST(BatchEquivalence, CmSketchBatchMatchesScalarUpdates) {
+  for (const std::size_t n : kBatchSizes) {
+    const auto keys = skewed_keys(n, 31 + n);
+    CmSketch scalar(3, 1024);
+    CmSketch batched(3, 1024);
+    for (const FlowKey key : keys) scalar.update(key);
+    batched.update_batch(std::span<const FlowKey>(keys));
+    for (const FlowKey key : keys) {
+      ASSERT_EQ(scalar.query(key), batched.query(key));
+    }
+    EXPECT_EQ(scalar.saturation_count(), batched.saturation_count());
+  }
+}
+
+// --- FcmTopK -----------------------------------------------------------------
+
+TEST(BatchEquivalence, TopKBatchMatchesScalarUpdates) {
+  for (const std::size_t n : kBatchSizes) {
+    const auto keys = skewed_keys(n, 555 + n);
+    FcmTopK::Config config;
+    config.fcm = small_config();
+    config.topk_entries = 64;  // tiny table: plenty of evictions
+    FcmTopK scalar(config);
+    FcmTopK batched(config);
+    scalar.set_heavy_hitter_threshold(20);
+    batched.set_heavy_hitter_threshold(20);
+
+    for (const FlowKey key : keys) scalar.update(key);
+    batched.add_batch(std::span<const FlowKey>(keys));
+
+    // Sketch parts bit-exact (including eviction flush ordering) ...
+    expect_sketch_identical(scalar.sketch(), batched.sketch());
+    // ... and the filter tables hold the same entries.
+    auto ea = scalar.filter().entries();
+    auto eb = batched.filter().entries();
+    const auto by_key = [](const auto& x, const auto& y) { return x.key < y.key; };
+    std::sort(ea.begin(), ea.end(), by_key);
+    std::sort(eb.begin(), eb.end(), by_key);
+    ASSERT_EQ(ea.size(), eb.size()) << "n=" << n;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].key, eb[i].key);
+      EXPECT_EQ(ea[i].count, eb[i].count);
+      EXPECT_EQ(ea[i].has_light_part, eb[i].has_light_part);
+    }
+    for (const FlowKey key : keys) {
+      ASSERT_EQ(scalar.query(key), batched.query(key));
+    }
+  }
+}
+
+TEST(BatchEquivalence, TopKBatchZeroKeyPassesThrough) {
+  // FlowKey{0} is the filter's empty sentinel; the batch path must route it
+  // to the sketch exactly as offer() does.
+  FcmTopK::Config config;
+  config.fcm = small_config();
+  config.topk_entries = 64;
+  FcmTopK scalar(config);
+  FcmTopK batched(config);
+  std::vector<FlowKey> keys = skewed_keys(100, 77);
+  for (std::size_t i = 0; i < keys.size(); i += 3) keys[i] = FlowKey{0};
+
+  for (const FlowKey key : keys) scalar.update(key);
+  batched.add_batch(std::span<const FlowKey>(keys));
+
+  expect_sketch_identical(scalar.sketch(), batched.sketch());
+  EXPECT_EQ(scalar.query(FlowKey{0}), batched.query(FlowKey{0}));
+}
+
+// --- FcmFramework ------------------------------------------------------------
+
+TEST(BatchEquivalence, FrameworkSpanMatchesPerPacket) {
+  for (const bool with_topk : {false, true}) {
+    FcmFramework::Options options;
+    options.fcm = small_config();
+    options.topk_entries = with_topk ? 64 : 0;
+    options.heavy_hitter_threshold = 25;
+    options.metrics = nullptr;
+    FcmFramework scalar(options);
+    FcmFramework batched(options);
+
+    const auto keys = skewed_keys(3000, 13);
+    std::vector<Packet> packets;
+    packets.reserve(keys.size());
+    for (const FlowKey key : keys) packets.push_back({key, 100, 0});
+
+    for (const Packet& packet : packets) scalar.process(packet);
+    batched.process(std::span<const Packet>(packets));
+
+    expect_sketch_identical(scalar.sketch(), batched.sketch());
+    auto hh_a = scalar.heavy_hitters();
+    auto hh_b = batched.heavy_hitters();
+    std::sort(hh_a.begin(), hh_a.end());
+    std::sort(hh_b.begin(), hh_b.end());
+    EXPECT_EQ(hh_a, hh_b) << "with_topk=" << with_topk;
+    for (const FlowKey key : keys) {
+      ASSERT_EQ(scalar.flow_size(key), batched.flow_size(key));
+    }
+  }
+}
+
+TEST(BatchEquivalence, FrameworkByteModeSpanMatchesPerPacket) {
+  // kBytes increments are data-dependent, so the span overload stays on the
+  // per-packet path — but it must still produce identical state.
+  FcmFramework::Options options;
+  options.fcm = small_config();
+  options.count_mode = FcmFramework::CountMode::kBytes;
+  options.metrics = nullptr;
+  FcmFramework scalar(options);
+  FcmFramework batched(options);
+
+  const auto keys = skewed_keys(2000, 21);
+  std::mt19937_64 rng(22);
+  std::vector<Packet> packets;
+  packets.reserve(keys.size());
+  for (const FlowKey key : keys) {
+    packets.push_back({key, static_cast<std::uint32_t>(40 + rng() % 1460), 0});
+  }
+  for (const Packet& packet : packets) scalar.process(packet);
+  batched.process(std::span<const Packet>(packets));
+  expect_sketch_identical(scalar.sketch(), batched.sketch());
+}
+
+// --- sharded runtime ---------------------------------------------------------
+
+TEST(BatchEquivalence, ShardedSpanIngestInterleavedWithRotations) {
+  // ingest(span<FlowKey>) batches interleaved with rotate_async() epoch
+  // markers: each merged epoch must be bit-exact the serial framework fed
+  // that epoch's keys through process_batch (plain-FCM merge is exact).
+  const auto keys = skewed_keys(24000, 99, 1500);
+  const std::size_t third = keys.size() / 3;
+
+  for (const std::size_t shards : {1ul, 2ul, 4ul}) {
+    ShardedFcmFramework::Options options;
+    options.framework.fcm = small_config();
+    options.framework.heavy_hitter_threshold = 50;
+    options.framework.metrics = nullptr;
+    options.metrics = nullptr;
+    options.shard_count = shards;
+    options.queue_capacity = 1 << 10;
+    ShardedFcmFramework sharded(options);
+
+    std::span<const FlowKey> all(keys);
+    // Epoch 0: two batches with an odd split. Epoch 1: the rest, pushed as
+    // several small spans between the rotation markers.
+    sharded.ingest(all.subspan(0, third - 5));
+    sharded.ingest(all.subspan(third - 5, 5));
+    const std::size_t epoch0 = sharded.rotate_async();
+    for (std::size_t base = third; base < keys.size(); base += 1000) {
+      sharded.ingest(all.subspan(base, std::min<std::size_t>(1000, keys.size() - base)));
+    }
+    const std::size_t epoch1 = sharded.rotate_async();
+    sharded.wait_epoch(epoch0);
+    sharded.wait_epoch(epoch1);
+
+    FcmFramework::Options serial_options = options.framework;
+    FcmFramework serial0(serial_options);
+    serial0.process_batch(all.subspan(0, third));
+    FcmFramework serial1(serial_options);
+    serial1.process_batch(all.subspan(third));
+
+    expect_trees_identical(serial0.sketch(), sharded.merged_epoch(1).sketch());
+    expect_trees_identical(serial1.sketch(), sharded.merged_epoch(0).sketch());
+    sharded.stop();
+  }
+}
+
+}  // namespace

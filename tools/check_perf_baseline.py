@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""check_perf_baseline: guard the batched ingest kernel against regressions.
+
+Compares a freshly measured ``bench_throughput --scaling-only`` JSON against
+the committed baseline (``BENCH_throughput.json``). Absolute packets/sec are
+machine-dependent and useless across CI runners, so the guard compares the
+in-run ``batch_speedup`` RATIO (batch pps / scalar pps, both best-of-N
+interleaved within one process on one machine — see EXPERIMENTS.md,
+throughput methodology). That ratio cancels CPU model and frequency, leaving
+the kernel's relative advantage, which is what the PR promised.
+
+Checks:
+  1. schema match between baseline and current run;
+  2. serial (single-thread) batch_speedup must not fall more than
+     ``--tolerance`` (default 15%) below the committed baseline's;
+  3. serial batch_speedup must stay >= 1.0 (the batch path must never be
+     slower than the scalar path it replaces).
+
+Usage:  tools/check_perf_baseline.py BASELINE.json CURRENT.json [--tolerance F]
+Exit status: 0 pass, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "fcm.bench.throughput.v2"
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_perf_baseline: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    schema = data.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        print(
+            f"check_perf_baseline: {path} has schema {schema!r}, "
+            f"expected {EXPECTED_SCHEMA!r} (re-record the baseline?)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_throughput.json")
+    parser.add_argument("current", help="freshly measured bench JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative drop in serial batch_speedup (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    base_ratio = baseline["serial"]["batch_speedup"]
+    cur_ratio = current["serial"]["batch_speedup"]
+    floor = base_ratio * (1.0 - args.tolerance)
+
+    print(
+        f"serial batch_speedup: baseline {base_ratio:.3f}x, "
+        f"current {cur_ratio:.3f}x, floor {floor:.3f}x "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+
+    failed = False
+    if cur_ratio < floor:
+        print(
+            f"check_perf_baseline: FAIL — serial batch_speedup {cur_ratio:.3f}x "
+            f"regressed more than {args.tolerance:.0%} below the committed "
+            f"{base_ratio:.3f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if cur_ratio < 1.0:
+        print(
+            f"check_perf_baseline: FAIL — batch path is slower than scalar "
+            f"({cur_ratio:.3f}x < 1.0x)",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
+        return 1
+    print("check_perf_baseline: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,16 @@ Rules (see DESIGN.md "Correctness & static analysis"):
                    not telemetry (e.g. a stop flag) carries an explicit
                    ``allow`` marker with a justification.
 
+  hot-path-alloc   No heap allocation (``new``, ``make_unique``,
+                   ``std::vector<...>`` construction) inside the bodies of
+                   the batched hot-path entry points in ``src/`` — functions
+                   named ``add_batch``, ``ingest``, ``process_batch``,
+                   ``offer_batch``, ``update_batch``, ``index_block`` or
+                   ``apply_block``. The batched ingest kernel (DESIGN.md §9)
+                   stages everything through fixed-size stack buffers
+                   (``common::kBatchBlock``); an allocation on these paths is
+                   a per-batch malloc hiding in the packet loop.
+
 Suppression: append ``// fcm-lint: allow(<rule>)`` to the offending line.
 
 Usage:  tools/fcm_lint.py [paths...]       (default: src tests bench examples)
@@ -86,6 +96,17 @@ PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 ATOMIC_DIRS = ("src",)
 ATOMIC_EXEMPT_DIRS = ("src/common", "src/obs")
 ATOMIC_RE = re.compile(r"(?<![\w:])std::atomic\b")
+
+# Rule: hot-path-alloc — src/ only. Batched hot-path entry points must not
+# allocate; the kernel stages through stack buffers (DESIGN.md §9).
+HOTPATH_DIRS = ("src",)
+HOTPATH_FN_RE = re.compile(
+    r"\b(add_batch|ingest|process_batch|offer_batch|update_batch"
+    r"|index_block|apply_block)\s*\("
+)
+HOTPATH_ALLOC_RE = re.compile(
+    r"(?<![\w:])new\b|\bmake_unique\b|std::vector\s*<"
+)
 
 ALLOW_RE = re.compile(r"//\s*fcm-lint:\s*allow\(([a-z-]+)\)")
 
@@ -169,6 +190,84 @@ def strip_comments_keep_lines(text: str) -> str:
     return "".join(out)
 
 
+def hot_path_alloc_findings(
+    path: Path, text: str, raw_lines: list[str]
+) -> list[Finding]:
+    """Find heap allocations inside hot-path function *definitions*.
+
+    Works on comment-stripped text. A match of HOTPATH_FN_RE is a definition
+    when, after its balanced parameter list, a '{' appears before any ';'
+    (declarations and call sites hit ';' first). The body is then the
+    brace-balanced block, scanned for HOTPATH_ALLOC_RE.
+    """
+    findings: list[Finding] = []
+    n = len(text)
+    for m in HOTPATH_FN_RE.finditer(text):
+        # Skip the balanced parameter list.
+        i = m.end()
+        depth = 1
+        while i < n and depth:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        if depth:
+            continue
+        # Definition check: '{' before ';', skipping specifier parens
+        # (e.g. noexcept(...)).
+        j = i
+        body_open = -1
+        while j < n:
+            c = text[j]
+            if c == "{":
+                body_open = j
+                break
+            if c == ";":
+                break
+            if c == "(":
+                inner = 1
+                j += 1
+                while j < n and inner:
+                    if text[j] == "(":
+                        inner += 1
+                    elif text[j] == ")":
+                        inner -= 1
+                    j += 1
+                continue
+            j += 1
+        if body_open < 0:
+            continue
+        # Extract the brace-balanced body.
+        k = body_open + 1
+        depth = 1
+        while k < n and depth:
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+            k += 1
+        body = text[body_open:k]
+        base_line = text.count("\n", 0, body_open) + 1
+        for alloc in HOTPATH_ALLOC_RE.finditer(body):
+            lineno = base_line + body.count("\n", 0, alloc.start())
+            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            if line_allows(raw_line, "hot-path-alloc"):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "hot-path-alloc",
+                    f"heap allocation inside hot-path function "
+                    f"'{m.group(1)}'; stage through fixed-size stack "
+                    "buffers (common::kBatchBlock, DESIGN.md §9) "
+                    "(or '// fcm-lint: allow(hot-path-alloc)')",
+                )
+            )
+    return findings
+
+
 def lint_file(path: Path, repo_root: Path) -> list[Finding]:
     rel = path.relative_to(repo_root).as_posix()
     if rel in EXEMPT_FILES:
@@ -184,6 +283,7 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
 
     check_narrowing = any(rel.startswith(d + "/") for d in NARROWING_DIRS)
     check_threads = any(rel.startswith(d + "/") for d in THREAD_DIRS)
+    check_hotpath = any(rel.startswith(d + "/") for d in HOTPATH_DIRS)
     check_atomics = any(rel.startswith(d + "/") for d in ATOMIC_DIRS) and not any(
         rel.startswith(d + "/") for d in ATOMIC_EXEMPT_DIRS
     )
@@ -251,6 +351,8 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
                         "(or '// fcm-lint: allow(thread-join)')",
                     )
                 )
+    if check_hotpath:
+        findings.extend(hot_path_alloc_findings(path, text, raw_lines))
     return findings
 
 
