@@ -19,8 +19,14 @@
 // Batched enqueue/dequeue amortize the atomic operations: one release store
 // publishes a whole span. Single-element ops are thin wrappers.
 //
-// Contract: exactly one producer thread and one consumer thread. There is no
-// internal check — the runtime documents and owns the thread discipline.
+// Contract: exactly one producer thread and one consumer thread. The roles
+// are expressed as thread-safety capabilities (producer_role() /
+// consumer_role(), see common/thread_annotations.h): push entry points
+// require the producer role, pop entry points the consumer role, and the
+// cached cursor copies are FCM_GUARDED_BY their owning role. A caller thread
+// declares its role once per scope with assume_producer() /
+// assume_consumer() — runtime no-ops that let Clang's -Wthread-safety prove
+// the single-producer/single-consumer discipline at every call site.
 #pragma once
 
 #include <atomic>
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "common/contracts.h"
+#include "common/thread_annotations.h"
 
 namespace fcm::common {
 
@@ -63,10 +70,19 @@ class SpscQueue {
                                     tail_.load(std::memory_order_acquire));
   }
 
+  // --- thread roles --------------------------------------------------------
+
+  // Called once per scope by the thread that IS the producer/consumer; tells
+  // the thread-safety analysis (at zero runtime cost) which side of the ring
+  // the surrounding code owns.
+  void assume_producer() const FCM_ASSERT_CAPABILITY(producer_role_) {}
+  void assume_consumer() const FCM_ASSERT_CAPABILITY(consumer_role_) {}
+
   // --- producer side -------------------------------------------------------
 
   // Enqueues as many items from `items` as fit; returns how many were taken.
-  std::size_t try_push_bulk(std::span<const T> items) noexcept {
+  std::size_t try_push_bulk(std::span<const T> items) noexcept
+      FCM_REQUIRES(producer_role_) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     std::size_t room = capacity() - static_cast<std::size_t>(head - cached_tail_);
     if (room < items.size()) {
@@ -82,14 +98,15 @@ class SpscQueue {
     return n;
   }
 
-  bool try_push(const T& item) noexcept {
+  bool try_push(const T& item) noexcept FCM_REQUIRES(producer_role_) {
     return try_push_bulk(std::span<const T>(&item, 1)) == 1;
   }
 
   // --- consumer side -------------------------------------------------------
 
   // Dequeues up to `out.size()` items; returns how many were produced.
-  std::size_t try_pop_bulk(std::span<T> out) noexcept {
+  std::size_t try_pop_bulk(std::span<T> out) noexcept
+      FCM_REQUIRES(consumer_role_) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t avail = static_cast<std::size_t>(cached_head_ - tail);
     if (avail < out.size()) {
@@ -104,15 +121,25 @@ class SpscQueue {
     return n;
   }
 
-  bool try_pop(T& out) noexcept { return try_pop_bulk(std::span<T>(&out, 1)) == 1; }
+  bool try_pop(T& out) noexcept FCM_REQUIRES(consumer_role_) {
+    return try_pop_bulk(std::span<T>(&out, 1)) == 1;
+  }
 
  private:
+  // The two thread roles (annotation-only; see assume_producer()).
+  ThreadRole producer_role_;
+  ThreadRole consumer_role_;
+
   // Shared cursors on their own cache lines; each side's cached view of the
-  // opposite cursor lives with its owner.
+  // opposite cursor lives with its owner (and is guarded by that owner's
+  // role capability — the analysis rejects a consumer touching the
+  // producer's cache and vice versa).
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};  // produced
-  alignas(kCacheLineBytes) std::uint64_t cached_head_ = 0;       // consumer-local
+  alignas(kCacheLineBytes) std::uint64_t cached_head_
+      FCM_GUARDED_BY(consumer_role_) = 0;
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};  // consumed
-  alignas(kCacheLineBytes) std::uint64_t cached_tail_ = 0;       // producer-local
+  alignas(kCacheLineBytes) std::uint64_t cached_tail_
+      FCM_GUARDED_BY(producer_role_) = 0;
   alignas(kCacheLineBytes) std::size_t mask_;
   std::vector<T> buffer_;
 };

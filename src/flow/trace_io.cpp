@@ -90,7 +90,9 @@ Trace load_trace(const std::string& path) {
 }
 
 std::optional<Trace> load_trace_from_env() {
-  const char* path = std::getenv("FCM_TRACE");
+  // getenv is read-only here and nothing in the tree calls setenv, so the
+  // data race concurrency-mt-unsafe guards against cannot occur.
+  const char* path = std::getenv("FCM_TRACE");  // NOLINT(concurrency-mt-unsafe)
   if (path == nullptr || *path == '\0') return std::nullopt;
   return load_trace(path);
 }

@@ -15,16 +15,19 @@ EpochManager::EpochManager(Options options)
 }
 
 void EpochManager::process(const flow::Packet& packet) {
+  owner_role_.assert_held();
   current_.process(packet);
   ++packets_in_epoch_;
 }
 
 void EpochManager::process(std::span<const flow::Packet> packets) {
+  owner_role_.assert_held();
   current_.process(packets);
   packets_in_epoch_ += packets.size();
 }
 
 EpochManager::EpochSummary EpochManager::rotate() {
+  owner_role_.assert_held();
   EpochSummary summary;
   summary.index = next_index_++;
   summary.packets = packets_in_epoch_;

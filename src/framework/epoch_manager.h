@@ -5,10 +5,18 @@
 // runs (§4), heavy changes against the previous epoch are computed (§4.4),
 // and the data plane is reset for the next window. A bounded history of
 // snapshots is retained so applications can query past windows.
+//
+// Threading: single-owner, like FcmFramework itself — one thread drives the
+// whole Collect loop. The contract is expressed as the owner_role_ capability
+// (common/thread_annotations.h): every member is FCM_GUARDED_BY it and every
+// entry point asserts it, so under Clang's -Wthread-safety any future attempt
+// to share an EpochManager across threads without external synchronization
+// is a compile error at the access site.
 #pragma once
 
 #include <deque>
 
+#include "common/thread_annotations.h"
 #include "framework/fcm_framework.h"
 
 namespace fcm::framework {
@@ -41,22 +49,33 @@ class EpochManager {
   // --- current epoch's data plane ---
   void process(const flow::Packet& packet);
   void process(std::span<const flow::Packet> packets);
-  std::uint64_t flow_size(flow::FlowKey key) const { return current_.flow_size(key); }
+  std::uint64_t flow_size(flow::FlowKey key) const {
+    owner_role_.assert_held();
+    return current_.flow_size(key);
+  }
 
   // Closes the current epoch and starts the next one.
   EpochSummary rotate();
 
-  std::size_t epochs_completed() const noexcept { return next_index_; }
+  std::size_t epochs_completed() const noexcept {
+    owner_role_.assert_held();
+    return next_index_;
+  }
 
   // Snapshots of the most recent closed epochs, oldest first.
-  const std::deque<FcmFramework>& history() const noexcept { return history_; }
+  const std::deque<FcmFramework>& history() const noexcept {
+    owner_role_.assert_held();
+    return history_;
+  }
 
  private:
+  // The single owning thread (see the header comment).
+  common::ThreadRole owner_role_;
   Options options_;
-  FcmFramework current_;
-  std::deque<FcmFramework> history_;
-  std::uint64_t packets_in_epoch_ = 0;
-  std::size_t next_index_ = 0;
+  FcmFramework current_ FCM_GUARDED_BY(owner_role_);
+  std::deque<FcmFramework> history_ FCM_GUARDED_BY(owner_role_);
+  std::uint64_t packets_in_epoch_ FCM_GUARDED_BY(owner_role_) = 0;
+  std::size_t next_index_ FCM_GUARDED_BY(owner_role_) = 0;
 };
 
 }  // namespace fcm::framework

@@ -28,7 +28,9 @@ std::vector<flow::FlowKey> heavy_hitters_by_query(
 }
 
 double bench_scale(double default_scale) {
-  const char* env = std::getenv("FCM_SCALE");
+  // getenv is read-only here and nothing in the tree calls setenv, so the
+  // data race concurrency-mt-unsafe guards against cannot occur.
+  const char* env = std::getenv("FCM_SCALE");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || *env == '\0') return default_scale;
   const std::string value(env);
   if (value == "full") return 1.0;

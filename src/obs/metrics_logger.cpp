@@ -33,10 +33,15 @@ MetricsLogger::MetricsLogger(MetricsRegistry& registry, Options options)
     throw std::invalid_argument("obs::MetricsLogger: path must be non-empty");
   }
   options_.interval = std::max(options_.interval, std::chrono::milliseconds(1));
-  out_.open(options_.path, std::ios::app);
-  if (!out_) {
-    throw std::runtime_error("obs::MetricsLogger: cannot open " +
-                             options_.path);
+  {
+    // Nothing can contend yet (the thread starts below), but out_ is guarded
+    // state, so take the lock for the analysis — uncontended, so free.
+    common::MutexLock lock(mutex_);
+    out_.open(options_.path, std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("obs::MetricsLogger: cannot open " +
+                               options_.path);
+    }
   }
   thread_ = std::jthread([this](const std::stop_token& token) { run(token); });
 }
@@ -44,7 +49,7 @@ MetricsLogger::MetricsLogger(MetricsRegistry& registry, Options options)
 MetricsLogger::~MetricsLogger() { stop(); }
 
 void MetricsLogger::run(const std::stop_token& token) {
-  std::unique_lock lock(mutex_);
+  common::MutexLock lock(mutex_);
   while (!token.stop_requested()) {
     // Stop-token-aware timed wait (the predicate is never satisfied, so this
     // returns after `interval` or as soon as stop is requested).
@@ -68,20 +73,20 @@ void MetricsLogger::write_snapshot() {
 
 void MetricsLogger::stop() {
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
   thread_.request_stop();
   cv_.notify_all();
   thread_.join();
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (options_.flush_on_stop) write_snapshot();
   out_.close();
 }
 
 std::size_t MetricsLogger::snapshots_written() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return snapshots_written_;
 }
 

@@ -11,10 +11,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics_registry.h"
 
 namespace fcm::obs {
@@ -43,16 +43,16 @@ class MetricsLogger {
   std::size_t snapshots_written() const;
 
  private:
-  void write_snapshot();
+  void write_snapshot() FCM_REQUIRES(mutex_);
   void run(const std::stop_token& token);
 
   MetricsRegistry& registry_;
   Options options_;
-  std::ofstream out_;
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   std::condition_variable_any cv_;
-  std::size_t snapshots_written_ = 0;
-  bool stopped_ = false;
+  std::ofstream out_ FCM_GUARDED_BY(mutex_);
+  std::size_t snapshots_written_ FCM_GUARDED_BY(mutex_) = 0;
+  bool stopped_ FCM_GUARDED_BY(mutex_) = false;
   std::jthread thread_;
 };
 

@@ -292,7 +292,7 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create_locked(
 Counter& MetricsRegistry::counter(const std::string& name,
                                   std::vector<MetricLabel> labels,
                                   const std::string& help) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Entry& entry =
       find_or_create_locked(name, std::move(labels), MetricKind::kCounter, help);
   if (!entry.counter) entry.counter.reset(new Counter());
@@ -302,7 +302,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               std::vector<MetricLabel> labels,
                               const std::string& help) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Entry& entry =
       find_or_create_locked(name, std::move(labels), MetricKind::kGauge, help);
   if (entry.callback) {
@@ -317,7 +317,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       std::vector<MetricLabel> labels,
                                       const std::string& help) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Entry& entry = find_or_create_locked(name, std::move(labels),
                                        MetricKind::kHistogram, help);
   if (!entry.histogram) {
@@ -333,7 +333,7 @@ MetricsRegistry::CallbackHandle MetricsRegistry::gauge_callback(
   // concurrent gauge()/gauge_callback() on the same name either runs fully
   // before this (and the guard below throws) or fully after (and sees the
   // installed callback) — no interleaving window.
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Entry& entry =
       find_or_create_locked(name, std::move(labels), MetricKind::kGauge, help);
   if (entry.gauge || entry.callback) {
@@ -353,14 +353,14 @@ MetricsRegistry::CallbackHandle MetricsRegistry::gauge_callback(
 
 void MetricsRegistry::CallbackHandle::release() {
   if (registry_ == nullptr) return;
-  std::lock_guard lock(registry_->mutex_);
+  common::MutexLock lock(registry_->mutex_);
   registry_->entries_[index_]->callback = nullptr;
   registry_ = nullptr;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   snap.samples.reserve(entries_.size());
   for (const auto& entry : entries_) {
     MetricsSnapshot::Sample sample;
@@ -400,7 +400,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& entry : entries_) {
     if (entry->counter) entry->counter->reset();
     if (entry->gauge) entry->gauge->reset();
@@ -409,7 +409,7 @@ void MetricsRegistry::reset_values() {
 }
 
 std::size_t MetricsRegistry::series_count() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return entries_.size();
 }
 

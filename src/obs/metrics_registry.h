@@ -27,17 +27,19 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace fcm::obs {
 
-// Cache-line size; matches common::kCacheLineBytes (not included to keep
-// this header dependency-free for the layers below common/).
+// Cache-line size; matches common::kCacheLineBytes (the header-only
+// annotation header above is the only common/ dependency this header takes,
+// so it stays includable from the layers below common/).
 inline constexpr std::size_t kObsCacheLineBytes = 64;
 
 // Writer stripes per counter. Power of two; 16 covers the runtime's maximum
@@ -308,11 +310,12 @@ class MetricsRegistry {
   // concurrent same-series registrations never see a half-built Entry.
   Entry& find_or_create_locked(const std::string& name,
                                std::vector<MetricLabel> labels,
-                               MetricKind kind, const std::string& help);
+                               MetricKind kind, const std::string& help)
+      FCM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable common::Mutex mutex_;
   // Deque-like stability: entries are never moved after creation.
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> entries_ FCM_GUARDED_BY(mutex_);
 };
 
 // Scoped wall-clock timer feeding a histogram in seconds.

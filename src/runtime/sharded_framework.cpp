@@ -76,7 +76,8 @@ struct ShardedFcmFramework::Shard {
   std::vector<framework::FcmFramework> replicas;
   std::size_t active = 0;                    // worker thread only
   std::uint64_t packets_in_generation[2] = {0, 0};  // worker writes, see above
-  std::size_t flips = 0;  // guarded by ShardedFcmFramework::mutex_
+  // (The flip counter lives in ShardedFcmFramework::shard_flips_, guarded by
+  // its mutex_, so the analysis can name the guarding capability.)
 
   std::vector<Item> staging;  // driver thread only
 
@@ -124,6 +125,12 @@ ShardedFcmFramework::ShardedFcmFramework(Options options)
   for (std::size_t s = 0; s < options_.shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(
         s, replica_options, options_.queue_capacity, options_.flush_batch));
+  }
+  {
+    // No thread can contend yet, but shard_flips_ is guarded state; the
+    // uncontended lock keeps the analysis sound (and is free).
+    common::MutexLock lock(mutex_);
+    shard_flips_.assign(options_.shard_count, 0);
   }
   init_instruments();
   // Start threads only after every shard (and the instruments the worker
@@ -219,6 +226,7 @@ void ShardedFcmFramework::route(flow::FlowKey key, std::uint32_t count) {
 }
 
 void ShardedFcmFramework::flush_shard(Shard& shard) {
+  shard.queue.assume_producer();  // the driver IS the single SPSC producer
   std::span<const Item> pending(shard.staging);
   unsigned spins = 0;
   while (!pending.empty()) {
@@ -241,11 +249,13 @@ void ShardedFcmFramework::flush_all() {
 }
 
 void ShardedFcmFramework::ingest(flow::FlowKey key) {
+  driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
   route(key, 1);
 }
 
 void ShardedFcmFramework::ingest(const flow::Packet& packet) {
+  driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
   if (options_.framework.count_mode ==
       framework::FcmFramework::CountMode::kBytes) {
@@ -259,6 +269,7 @@ void ShardedFcmFramework::ingest(const flow::Packet& packet) {
 }
 
 void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
+  driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
   if (options_.framework.count_mode ==
       framework::FcmFramework::CountMode::kBytes) {
@@ -274,6 +285,7 @@ void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
 }
 
 void ShardedFcmFramework::ingest(std::span<const flow::FlowKey> keys) {
+  driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
   for (const flow::FlowKey key : keys) route(key, 1);
 }
@@ -281,6 +293,7 @@ void ShardedFcmFramework::ingest(std::span<const flow::FlowKey> keys) {
 // --- epoch rotation ---------------------------------------------------------
 
 std::size_t ShardedFcmFramework::rotate_async() {
+  driver_role_.assert_held();
   FCM_REQUIRE(!stopped_, "ShardedFcmFramework: rotate after stop()");
   // At most one rotation in flight: the generation we are about to expose to
   // the workers must be fully merged and cleared first. The stall (zero in
@@ -289,19 +302,20 @@ std::size_t ShardedFcmFramework::rotate_async() {
   {
     const obs::ScopedTimer wait_timer(
         instruments_ ? instruments_->rotation_wait_seconds : nullptr);
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return epochs_merged_ == rotations_requested_; });
+    common::MutexLock lock(mutex_);
+    while (epochs_merged_ != rotations_requested_) cv_.wait(lock);
   }
   if (instruments_ != nullptr) instruments_->rotations->inc();
   flush_all();
   const Item marker{};  // count == 0
   for (auto& shard : shards_) {
+    shard->queue.assume_producer();
     unsigned spins = 0;
     while (!shard->queue.try_push(marker)) backoff(spins);
   }
   std::size_t epoch;
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     epoch = rotations_requested_++;
   }
   cv_.notify_all();
@@ -314,8 +328,8 @@ ShardedFcmFramework::EpochReport ShardedFcmFramework::rotate() {
 
 ShardedFcmFramework::EpochReport ShardedFcmFramework::wait_epoch(
     std::size_t index) {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return epochs_merged_ > index; });
+  common::MutexLock lock(mutex_);
+  while (epochs_merged_ <= index) cv_.wait(lock);
   FCM_REQUIRE(index >= history_base_,
               "ShardedFcmFramework: epoch " + std::to_string(index) +
                   " no longer retained");
@@ -325,6 +339,7 @@ ShardedFcmFramework::EpochReport ShardedFcmFramework::wait_epoch(
 // --- worker -----------------------------------------------------------------
 
 void ShardedFcmFramework::worker_loop(Shard& shard) {
+  shard.queue.assume_consumer();  // this worker IS the single SPSC consumer
   const bool byte_mode = options_.framework.count_mode ==
                          framework::FcmFramework::CountMode::kBytes;
   std::vector<Item> batch(kPopBatch);
@@ -362,9 +377,9 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
         // observes the new flip count.
         drain();
         {
-          std::lock_guard lock(mutex_);
+          common::MutexLock lock(mutex_);
           shard.active ^= 1;
-          ++shard.flips;
+          ++shard_flips_[shard.index];
         }
         cv_.notify_all();
         continue;
@@ -394,20 +409,22 @@ void ShardedFcmFramework::coordinator_loop() {
   for (;;) {
     std::size_t epoch;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] {
-        return coordinator_stop_ || rotations_requested_ > epochs_merged_;
-      });
+      // Explicit while-loops (not wait-with-predicate): the guarded reads
+      // stay in THIS function's scope, where the analysis can see the lock.
+      common::MutexLock lock(mutex_);
+      while (!coordinator_stop_ && rotations_requested_ == epochs_merged_) {
+        cv_.wait(lock);
+      }
       if (coordinator_stop_ && rotations_requested_ == epochs_merged_) return;
       epoch = epochs_merged_;
       // Wait until every worker has flipped past this epoch's marker; the
       // drained generation is then exclusively ours (the workers write the
       // other one until the NEXT marker, which rotate_async() refuses to
       // push before we finish).
-      cv_.wait(lock, [&] {
-        return std::all_of(shards_.begin(), shards_.end(),
-                           [&](const auto& s) { return s->flips > epoch; });
-      });
+      while (!std::all_of(shard_flips_.begin(), shard_flips_.end(),
+                          [epoch](std::size_t flips) { return flips > epoch; })) {
+        cv_.wait(lock);
+      }
     }
     // Drained generation index: workers start on 0 and flip once per epoch.
     const std::size_t gen = epoch % 2;
@@ -458,18 +475,23 @@ void ShardedFcmFramework::coordinator_loop() {
       instruments_->fanout_imbalance->set(report.fanout_imbalance);
     }
     if (options_.heavy_change_threshold > 0) {
-      std::unique_lock lock(mutex_);
-      if (!history_.empty()) {
-        const framework::FcmFramework& previous = history_.back();
-        lock.unlock();  // history_ only mutates on this thread
+      // Take the pointer under the lock, compute outside it: history_ only
+      // mutates on this thread, so the back() element stays valid (and
+      // unread by anyone else) after the lock drops.
+      const framework::FcmFramework* previous = nullptr;
+      {
+        common::MutexLock lock(mutex_);
+        if (!history_.empty()) previous = &history_.back();
+      }
+      if (previous != nullptr) {
         report.heavy_changes = framework::FcmFramework::heavy_changes(
-            previous, merged, options_.heavy_change_threshold);
+            *previous, merged, options_.heavy_change_threshold);
       }
     }
     if (options_.analyze_on_rotate) report.analysis = merged.analyze();
 
     {
-      std::lock_guard lock(mutex_);
+      common::MutexLock lock(mutex_);
       history_.push_back(std::move(merged));
       reports_.push_back(std::move(report));
       while (history_.size() > options_.retained_epochs) {
@@ -487,6 +509,7 @@ void ShardedFcmFramework::coordinator_loop() {
 // --- shutdown ---------------------------------------------------------------
 
 void ShardedFcmFramework::stop() {
+  driver_role_.assert_held();
   if (stopped_) return;
   flush_all();
   stop_.store(true, std::memory_order_release);
@@ -494,11 +517,11 @@ void ShardedFcmFramework::stop() {
     if (shard->worker.joinable()) shard->worker.join();
   }
   {
-    std::unique_lock lock(mutex_);
+    common::MutexLock lock(mutex_);
     // Workers have drained every ring (markers included), so all requested
     // epochs will be merged; wait for the coordinator to catch up, then
     // release it.
-    cv_.wait(lock, [&] { return epochs_merged_ == rotations_requested_; });
+    while (epochs_merged_ != rotations_requested_) cv_.wait(lock);
     coordinator_stop_ = true;
   }
   cv_.notify_all();
@@ -510,7 +533,7 @@ void ShardedFcmFramework::stop() {
 
 framework::FcmFramework ShardedFcmFramework::merged_epoch(
     std::size_t back) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   FCM_REQUIRE(back < history_.size(),
               "ShardedFcmFramework: no merged epoch " + std::to_string(back) +
                   " epochs back (retained: " + std::to_string(history_.size()) +
@@ -519,19 +542,22 @@ framework::FcmFramework ShardedFcmFramework::merged_epoch(
 }
 
 std::uint64_t ShardedFcmFramework::flow_size(flow::FlowKey key) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   FCM_REQUIRE(!history_.empty(),
               "ShardedFcmFramework: flow_size before the first rotation");
   return history_.back().flow_size(key);
 }
 
 std::size_t ShardedFcmFramework::epochs_completed() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return epochs_merged_;
 }
 
 void ShardedFcmFramework::check_invariants() const {
-  std::lock_guard lock(mutex_);
+  // Documented as driver-thread-only (it reads stopped_ and, once stopped,
+  // the shard replicas themselves).
+  driver_role_.assert_held();
+  common::MutexLock lock(mutex_);
   FCM_ASSERT(epochs_merged_ <= rotations_requested_,
              "ShardedFcmFramework: merged more epochs than were requested");
   FCM_ASSERT(history_.size() == reports_.size(),

@@ -29,12 +29,17 @@
 // merged counters at T — flows below T globally are dropped, flows that
 // cross T only after merging are kept.
 //
-// Thread discipline (contract, unchecked): ingest(), rotate_async(),
-// rotate() and stop() must all be called from ONE driver thread (the SPSC
-// producer). wait_epoch()/merged_epoch()/last_report() are safe from any
-// thread. The destructor stops and joins all threads; workers are
-// std::jthread, so teardown is exception-safe (tools/fcm_lint.py bans plain
-// std::thread in src/ for exactly this reason).
+// Thread discipline (machine-checked, DESIGN.md §10): ingest(),
+// rotate_async(), rotate() and stop() must all be called from ONE driver
+// thread (the SPSC producer) — expressed as the driver_role_ capability:
+// the public driver entry points assert it, the private staging helpers
+// REQUIRE it, and the staging state is GUARDED_BY it, so Clang's
+// -Wthread-safety proves no other path can touch driver-only state.
+// wait_epoch()/merged_epoch()/last_report() are safe from any thread (they
+// only read mutex_-guarded published state). The destructor stops and joins
+// all threads; workers are std::jthread, so teardown is exception-safe
+// (tools/fcm_lint.py bans plain std::thread in src/ for exactly this
+// reason).
 #pragma once
 
 #include <atomic>
@@ -42,13 +47,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "framework/fcm_framework.h"
 #include "obs/metrics_registry.h"
 
@@ -187,9 +192,9 @@ class ShardedFcmFramework {
   struct Shard;
 
   void init_instruments();
-  void flush_shard(Shard& shard);
-  void flush_all();
-  void route(flow::FlowKey key, std::uint32_t count);
+  void flush_shard(Shard& shard) FCM_REQUIRES(driver_role_);
+  void flush_all() FCM_REQUIRES(driver_role_);
+  void route(flow::FlowKey key, std::uint32_t count) FCM_REQUIRES(driver_role_);
   void worker_loop(Shard& shard);
   void coordinator_loop();
 
@@ -197,24 +202,34 @@ class ShardedFcmFramework {
   std::uint64_t per_shard_hh_threshold_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Round-robin cursor (driver thread only).
-  std::size_t rr_next_ = 0;
+  // The "one driver thread" contract as a capability: the thread that calls
+  // ingest()/rotate*/stop() owns this role (asserted at those entry points),
+  // and everything below it is driver-private staging state.
+  common::ThreadRole driver_role_;
+  // Round-robin cursor.
+  std::size_t rr_next_ FCM_GUARDED_BY(driver_role_) = 0;
+  bool stopped_ FCM_GUARDED_BY(driver_role_) = false;
   // Producer-visible flag only; workers/coordinator use it for shutdown —
   // control state, not telemetry, so it is exempt from the raw-atomic rule.
   std::atomic<bool> stop_{false};  // fcm-lint: allow(raw-atomic)
-  bool stopped_ = false;  // driver thread only
 
   // Epoch machinery. All cross-thread state below is guarded by mutex_;
   // worker-side per-shard state is published via the shard's flip counter
-  // (written under mutex_, so mutex acquire/release orders replica access).
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t rotations_requested_ = 0;  // epochs whose markers are pushed
-  std::size_t epochs_merged_ = 0;        // epochs fully merged & published
-  bool coordinator_stop_ = false;
-  std::deque<framework::FcmFramework> history_;  // merged epochs, oldest first
-  std::deque<EpochReport> reports_;              // parallel to history_
-  std::size_t history_base_ = 0;  // epoch index of history_/reports_ front
+  // in shard_flips_ (written under mutex_, so mutex acquire/release orders
+  // replica access).
+  mutable common::Mutex mutex_;
+  std::condition_variable_any cv_;
+  std::size_t rotations_requested_ FCM_GUARDED_BY(mutex_) = 0;  // markers pushed
+  std::size_t epochs_merged_ FCM_GUARDED_BY(mutex_) = 0;  // merged & published
+  bool coordinator_stop_ FCM_GUARDED_BY(mutex_) = false;
+  // Per-shard generation-flip counters, indexed by Shard::index (kept here,
+  // not in Shard, so the guarded-by relation names a capability the analysis
+  // can track).
+  std::vector<std::size_t> shard_flips_ FCM_GUARDED_BY(mutex_);
+  std::deque<framework::FcmFramework> history_
+      FCM_GUARDED_BY(mutex_);  // merged epochs, oldest first
+  std::deque<EpochReport> reports_ FCM_GUARDED_BY(mutex_);  // with history_
+  std::size_t history_base_ FCM_GUARDED_BY(mutex_) = 0;  // index of front
 
   // Declared after shards_ so the queue-depth callback gauges unregister
   // (handle destructors) before the queues they sample are destroyed.

@@ -1,0 +1,31 @@
+// fcm-lint-path: src/obs/broken_order.cpp
+//
+// Corpus: atomic-order — seq-cst-by-default atomic operations. The
+// operator= spelling is only visible to the AST engine (regex cannot tell
+// an atomic assignment from a plain one), hence the -ast expectation.
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+class BrokenCounters {
+ public:
+  void hit() {
+    hits_.fetch_add(1);  // fcm-lint-expect: atomic-order
+  }
+  std::uint64_t read() const {
+    return hits_.load();  // fcm-lint-expect: atomic-order
+  }
+  void reset() {
+    hits_.store(0, std::memory_order_relaxed);  // explicit order: clean
+  }
+  void toggle() {
+    enabled_ = true;  // fcm-lint-expect-ast: atomic-order
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace corpus

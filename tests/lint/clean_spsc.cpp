@@ -1,0 +1,44 @@
+// fcm-lint-path: src/common/clean_ring.cpp
+//
+// Corpus: a clean miniature of the SPSC publication protocol — zero
+// findings expected from every rule under both engines. Guards the
+// analyzer against false positives on the idioms src/ actually uses.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace corpus {
+
+class CleanRing {
+ public:
+  explicit CleanRing(std::size_t capacity) : buffer_(capacity) {}
+
+  void assume_producer() const FCM_ASSERT_CAPABILITY(producer_role_) {}
+
+  bool offer(std::uint64_t value) FCM_REQUIRES(producer_role_) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= buffer_.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= buffer_.size()) return false;
+    }
+    buffer_[head % buffer_.size()] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::uint64_t published() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  fcm::common::ThreadRole producer_role_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_tail_ FCM_GUARDED_BY(producer_role_) = 0;
+  std::vector<std::uint64_t> buffer_;
+};
+
+}  // namespace corpus

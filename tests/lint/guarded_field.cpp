@@ -1,0 +1,28 @@
+// fcm-lint-path: src/runtime/broken_guarded.cpp
+//
+// Corpus: guarded-field — an FCM_GUARDED_BY member read without a visible
+// lock, assert, or FCM_REQUIRES declaration. The two clean accessors show
+// the sanctioned patterns.
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace corpus {
+
+class Broken {
+ public:
+  void safe_increment() {
+    fcm::common::MutexLock lock(mutex_);
+    ++count_;
+  }
+  void locked_helper() FCM_REQUIRES(mutex_) { ++count_; }
+  std::uint64_t racy_read() const {
+    return count_;  // fcm-lint-expect: guarded-field
+  }
+
+ private:
+  mutable fcm::common::Mutex mutex_;
+  std::uint64_t count_ FCM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace corpus

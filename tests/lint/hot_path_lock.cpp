@@ -1,0 +1,34 @@
+// fcm-lint-path: src/fcm/broken_hotpath.cpp
+//
+// Corpus: hot-path-lock / hot-path-alloc — blocking and allocating inside
+// the batched hot-path entry points. The same lock outside the hot-path
+// function list is clean.
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+namespace corpus {
+
+class BrokenHotPath {
+ public:
+  void process_batch(std::span<const std::uint64_t> keys) {
+    std::lock_guard<std::mutex> lock(mutex_);  // fcm-lint-expect: hot-path-lock
+    for (const std::uint64_t key : keys) total_ += key;
+  }
+  void ingest(std::uint64_t key) {
+    auto scratch = std::make_unique<std::uint64_t[]>(4);  // fcm-lint-expect: hot-path-alloc
+    scratch[0] = key;
+    total_ += scratch[0];
+  }
+  void observe(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mutex_);  // not a hot-path name: clean
+    total_ += key;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace corpus

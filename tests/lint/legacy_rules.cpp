@@ -1,0 +1,21 @@
+// fcm-lint-path: src/pisa/broken_legacy.cpp
+//
+// Corpus: the original rule set — narrowing-cast, rand-seeding,
+// register-access (two rules on one line exercise multi-expect parsing).
+#include <cstdint>
+#include <cstdlib>
+
+namespace corpus {
+
+struct Registers {
+  std::uint32_t* cells;
+};
+
+inline std::uint32_t legacy(Registers& table, std::uint64_t wide) {
+  const std::uint32_t narrowed = static_cast<std::uint32_t>(wide);  // fcm-lint-expect: narrowing-cast
+  const int noise = std::rand();  // fcm-lint-expect: rand-seeding
+  table.cells[0] = narrowed + static_cast<std::uint32_t>(noise);  // fcm-lint-expect: narrowing-cast, register-access
+  return table.cells[0];  // fcm-lint-expect: register-access
+}
+
+}  // namespace corpus

@@ -1,0 +1,5 @@
+// fcm-lint-path: src/common/broken_header.h  // fcm-lint-expect: pragma-once
+
+// Corpus: pragma-once — a header without the include guard. The finding is
+// reported at line 1, where the expect marker above lives.
+inline int corpus_answer() { return 42; }

@@ -1,0 +1,24 @@
+// fcm-lint-path: src/common/broken_ring.cpp
+//
+// Corpus: acquire-release-pair — a relaxed store "publishing" a cursor that
+// readers acquire-load. The acquire has no release to synchronize with, so
+// slot writes before the store are not ordered for the consumer.
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+class BrokenRing {
+ public:
+  void publish(std::uint64_t next) {
+    head_.store(next, std::memory_order_relaxed);  // fcm-lint-expect: acquire-release-pair
+  }
+  std::uint64_t observe() const {
+    return head_.load(std::memory_order_acquire);  // fcm-lint-expect: acquire-release-pair
+  }
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace corpus

@@ -1,0 +1,26 @@
+// fcm-lint-path: src/runtime/broken_thread.cpp
+//
+// Corpus: thread-join / raw-atomic / atomic-order in the runtime layer —
+// a plain std::thread (terminate on unwind), an ad-hoc atomic outside the
+// sanctioned homes, and a default-seq-cst store.
+#include <atomic>
+#include <thread>
+
+namespace corpus {
+
+class BrokenWorkerPool {
+ public:
+  void start() {
+    worker_ = std::thread([] {});  // fcm-lint-expect: thread-join
+    started_.store(true);  // fcm-lint-expect: atomic-order
+  }
+  ~BrokenWorkerPool() {
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  std::thread worker_;  // fcm-lint-expect: thread-join
+  std::atomic<bool> started_{false};  // fcm-lint-expect: raw-atomic
+};
+
+}  // namespace corpus

@@ -1,0 +1,24 @@
+// fcm-lint-path: src/fcm/broken_suppress.cpp
+//
+// Corpus: unused-suppression — stale, misspelled, and half-stale multi-rule
+// markers. The sanctioned_flag line shows a suppression that IS consumed.
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+// Used suppression: raw-atomic fires here and is deliberately excused.
+std::atomic<int> sanctioned_flag{0};  // fcm-lint: allow(raw-atomic)
+
+inline std::uint32_t stale(std::uint64_t v) {
+  std::uint64_t kept = v;  // fcm-lint: allow(narrowing-cast) // fcm-lint-expect: unused-suppression
+  // Multi-rule marker: narrowing-cast fires (and is excused); hot-path-alloc
+  // does not, so its half of the marker is stale.
+  return static_cast<std::uint32_t>(kept);  // fcm-lint: allow(narrowing-cast, hot-path-alloc) // fcm-lint-expect: unused-suppression
+}
+
+inline int misspelled() {
+  return 7;  // fcm-lint: allow(no-such-rule) // fcm-lint-expect: unused-suppression
+}
+
+}  // namespace corpus

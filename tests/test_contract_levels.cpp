@@ -1,0 +1,142 @@
+// Probes the FCM_CONTRACT_LEVEL ladder. tests/CMakeLists.txt compiles this
+// TU three times — once per level (0 = off, 1 = throw, 2 = abort) — so each
+// probe binary asserts only its own level's semantics via #if blocks.
+//
+// The level-0 probe is the important one: it proves contracts compile out
+// completely (neither the condition nor the message expression is
+// evaluated), which is what licenses FCM_REQUIRE on hot paths.
+//
+// The build passes the probe's level as FCM_TEST_CONTRACT_LEVEL (a distinct
+// macro) because the top-level CMakeLists already defines
+// FCM_CONTRACT_LEVEL globally from the cache option; redefining it on the
+// command line would warn. Remap before the first include of contracts.h.
+#ifdef FCM_CONTRACT_LEVEL
+#undef FCM_CONTRACT_LEVEL
+#endif
+#define FCM_CONTRACT_LEVEL FCM_TEST_CONTRACT_LEVEL
+
+#include "common/contracts.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+int condition_evaluations = 0;
+int message_evaluations = 0;
+
+bool count_and_fail() {
+  ++condition_evaluations;
+  return false;
+}
+
+bool count_and_pass() {
+  ++condition_evaluations;
+  return true;
+}
+
+std::string counted_message() {
+  ++message_evaluations;
+  return "expensive diagnostic";
+}
+
+#if FCM_CONTRACT_LEVEL == 0
+
+TEST(ContractLevelOff, EvaluatesNoSideEffects) {
+  condition_evaluations = 0;
+  message_evaluations = 0;
+  FCM_REQUIRE(count_and_fail(), counted_message());
+  FCM_ASSERT(count_and_fail(), counted_message());
+  FCM_ENSURE(count_and_fail(), counted_message());
+  EXPECT_EQ(condition_evaluations, 0);
+  EXPECT_EQ(message_evaluations, 0);
+  // Direct calls still work — only the macro discarded them above.
+  EXPECT_FALSE(count_and_fail());
+  EXPECT_EQ(condition_evaluations, 1);
+  EXPECT_TRUE(count_and_pass());
+  EXPECT_EQ(counted_message(), "expensive diagnostic");
+  EXPECT_EQ(message_evaluations, 1);
+}
+
+TEST(ContractLevelOff, CheckedNarrowTruncatesSilently) {
+  // With FCM_ASSERT compiled out, checked_narrow degrades to a plain
+  // static_cast — lossy values wrap instead of failing.
+  EXPECT_EQ(fcm::common::checked_narrow<std::uint8_t>(0x1FF), 0xFF);
+  EXPECT_EQ(fcm::common::checked_narrow<std::uint8_t>(42), 42);
+}
+
+#elif FCM_CONTRACT_LEVEL == 1
+
+TEST(ContractLevelThrow, ViolationThrowsContractViolation) {
+  EXPECT_THROW(FCM_REQUIRE(false, "boom"), fcm::common::ContractViolation);
+  EXPECT_THROW(FCM_ASSERT(false, "boom"), fcm::common::ContractViolation);
+  EXPECT_THROW(FCM_ENSURE(false, "boom"), fcm::common::ContractViolation);
+}
+
+TEST(ContractLevelThrow, WhatCarriesKindAndMessage) {
+  try {
+    FCM_REQUIRE(2 + 2 == 5, "arithmetic still works");
+    FAIL() << "FCM_REQUIRE(false) did not throw";
+  } catch (const fcm::common::ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "REQUIRE");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("contract violation [REQUIRE]"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("arithmetic still works"), std::string::npos);
+  }
+}
+
+TEST(ContractLevelThrow, CatchableAsInvalidArgument) {
+  // Pre-existing callers catch std::invalid_argument / std::logic_error.
+  EXPECT_THROW(FCM_REQUIRE(false, "compat"), std::invalid_argument);
+  EXPECT_THROW(FCM_ASSERT(false, "compat"), std::logic_error);
+}
+
+TEST(ContractLevelThrow, PassingConditionEvaluatesOnceMessageNever) {
+  condition_evaluations = 0;
+  message_evaluations = 0;
+  FCM_REQUIRE(count_and_pass(), counted_message());
+  EXPECT_EQ(condition_evaluations, 1);
+  EXPECT_EQ(message_evaluations, 0);
+  EXPECT_THROW(FCM_REQUIRE(count_and_fail(), counted_message()),
+               fcm::common::ContractViolation);
+  EXPECT_EQ(condition_evaluations, 2);
+  EXPECT_EQ(message_evaluations, 1);
+}
+
+TEST(ContractLevelThrow, CheckedNarrowEnforced) {
+  EXPECT_EQ(fcm::common::checked_narrow<std::uint8_t>(42), 42);
+  EXPECT_THROW(fcm::common::checked_narrow<std::uint8_t>(0x1FF),
+               fcm::common::ContractViolation);
+  EXPECT_THROW(fcm::common::checked_narrow<std::uint8_t>(-1),
+               fcm::common::ContractViolation);
+}
+
+#else  // FCM_CONTRACT_LEVEL == 2
+
+TEST(ContractLevelAbortDeathTest, ViolationAborts) {
+  EXPECT_DEATH(FCM_REQUIRE(false, "boom"), "contract violation \\[REQUIRE\\]");
+  EXPECT_DEATH(FCM_ASSERT(false, "boom"), "contract violation \\[ASSERT\\]");
+  EXPECT_DEATH(FCM_ENSURE(false, "boom"), "contract violation \\[ENSURE\\]");
+}
+
+TEST(ContractLevelAbortDeathTest, CheckedNarrowAborts) {
+  EXPECT_DEATH((void)fcm::common::checked_narrow<std::uint8_t>(0x1FF),
+               "narrowing conversion lost value");
+}
+
+TEST(ContractLevelAbort, PassingConditionDoesNotAbort) {
+  condition_evaluations = 0;
+  FCM_REQUIRE(count_and_pass(), counted_message());
+  EXPECT_EQ(condition_evaluations, 1);
+  EXPECT_FALSE(count_and_fail());
+  EXPECT_EQ(condition_evaluations, 2);
+  EXPECT_EQ(fcm::common::checked_narrow<std::uint8_t>(42), 42);
+}
+
+#endif
+
+}  // namespace

@@ -109,6 +109,9 @@ TEST(SpscQueue, RejectsNonPowerOfTwoCapacity) {
 
 TEST(SpscQueue, FifoOrderAndCapacityBound) {
   SpscQueue<int> queue(8);
+  // Single-threaded test: this thread plays both SPSC roles.
+  queue.assume_producer();
+  queue.assume_consumer();
   EXPECT_EQ(queue.capacity(), 8u);
   for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.try_push(i));
   EXPECT_FALSE(queue.try_push(99)) << "push into a full ring must fail";
@@ -125,6 +128,8 @@ TEST(SpscQueue, FifoOrderAndCapacityBound) {
 
 TEST(SpscQueue, BulkPushTakesWhatFitsAndBulkPopReturnsInOrder) {
   SpscQueue<int> queue(8);
+  queue.assume_producer();
+  queue.assume_consumer();
   std::vector<int> in(12);
   std::iota(in.begin(), in.end(), 0);
   EXPECT_EQ(queue.try_push_bulk(std::span<const int>(in)), 8u);
@@ -144,6 +149,8 @@ TEST(SpscQueue, BulkPushTakesWhatFitsAndBulkPopReturnsInOrder) {
 
 TEST(SpscQueue, WrapsManyTimesWithoutCorruption) {
   SpscQueue<std::uint64_t> queue(4);
+  queue.assume_producer();
+  queue.assume_consumer();
   std::uint64_t next_in = 0;
   std::uint64_t next_out = 0;
   for (int round = 0; round < 1000; ++round) {
@@ -165,6 +172,7 @@ TEST(SpscQueue, ThreadedHandoffDeliversEveryItemInOrder) {
   SpscQueue<std::uint64_t> queue(1 << 8);
 
   std::jthread consumer([&queue] {
+    queue.assume_consumer();
     std::uint64_t expected = 0;
     std::vector<std::uint64_t> batch(64);
     while (expected < kItems) {
@@ -180,6 +188,7 @@ TEST(SpscQueue, ThreadedHandoffDeliversEveryItemInOrder) {
     }
   });
 
+  queue.assume_producer();  // the test main thread is the producer
   std::vector<std::uint64_t> staged(32);
   std::uint64_t next = 0;
   while (next < kItems) {

@@ -1,15 +1,28 @@
 #!/usr/bin/env python3
 """fcm_lint: repo-specific static analysis the compiler can't do.
 
-Rules (see DESIGN.md "Correctness & static analysis"):
+Two engines share one rule set (DESIGN.md §10):
+
+  regex   Always available. Works on comment-stripped text with
+          balanced-paren/brace extraction for function bodies and call
+          argument lists.
+  ast     libclang-backed (python3 `clang` bindings). Refines the regex
+          facts — it drops atomic-rule findings whose receiver is provably
+          not a std::atomic, and adds findings regex cannot see (implicit
+          seq-cst through `operator=`/`operator++` on atomics). When
+          libclang is unavailable the analyzer silently degrades to the
+          regex engine (`--engine=ast` makes that an error instead).
+
+Rules:
 
   narrowing-cast   No bare narrowing ``static_cast`` onto counter types
                    (``uint8_t``/``uint16_t``/``uint32_t`` and signed
-                   variants) inside ``src/fcm`` and ``src/pisa``. Counter
-                   narrowing must go through ``fcm::common::checked_narrow``,
-                   which asserts value preservation. (Bit-exact counter
-                   semantics are exactly what breaks silently under
-                   optimization — FCM-sketch §6-§8.)
+                   variants) inside ``src/fcm``, ``src/pisa`` and
+                   ``src/runtime``. Counter narrowing must go through
+                   ``fcm::common::checked_narrow``, which asserts value
+                   preservation. (Bit-exact counter semantics are exactly
+                   what breaks silently under optimization — FCM-sketch
+                   §6-§8.)
 
   rand-seeding     No ``std::rand``/``rand()``/``srand``/``random()`` and no
                    seeding from ``time(0)``/``time(NULL)``/``std::time``.
@@ -19,65 +32,120 @@ Rules (see DESIGN.md "Correctness & static analysis"):
   pragma-once      Every header carries ``#pragma once``.
 
   register-access  Every ``RegisterArray`` cell access goes through the
-                   bounds-checked ``.at(...)`` accessor; direct ``.cells[...]``
-                   indexing is banned (it bypasses the contract that names
-                   the offending array on out-of-range access).
+                   bounds-checked ``.at(...)`` accessor; direct
+                   ``.cells[...]`` indexing is banned.
 
   thread-join      No plain ``std::thread`` inside ``src/``: a joinable
-                   ``std::thread`` whose destructor runs (stack unwinding,
-                   early return, a throwing emplace loop) calls
-                   ``std::terminate``. Use ``std::jthread``, which joins on
-                   destruction — the sharded runtime's worker/coordinator
-                   threads rely on this for exception-safe teardown.
-                   (``std::this_thread``, ``std::jthread`` and nested names
-                   like ``std::thread::id``/``hardware_concurrency`` do not
-                   match.)
+                   ``std::thread`` whose destructor runs calls
+                   ``std::terminate``. Use ``std::jthread`` (joins on
+                   destruction). ``std::this_thread``, ``std::jthread`` and
+                   nested names like ``std::thread::id`` do not match.
 
   raw-atomic       No ``std::atomic`` inside ``src/`` outside
                    ``src/common/`` and ``src/obs/``. Cross-thread telemetry
-                   belongs in the ``obs::MetricsRegistry`` (striped,
-                   relaxed-order, scrape-aggregated); ad-hoc atomics in the
-                   sketch/runtime layers either pessimize the single-shard
-                   hot path or reintroduce the data races the registry was
-                   built to eliminate. Control-plane state that is genuinely
-                   not telemetry (e.g. a stop flag) carries an explicit
-                   ``allow`` marker with a justification.
+                   belongs in ``obs::MetricsRegistry``; genuine control
+                   state (e.g. a stop flag) carries an explicit ``allow``
+                   marker with a justification.
+
+  atomic-order     Inside ``src/common``, ``src/obs`` and ``src/runtime``
+                   (the only homes of raw atomics), every atomic
+                   ``load``/``store``/``exchange``/``fetch_*``/
+                   ``compare_exchange_*`` must name an explicit
+                   ``std::memory_order``. Seq-cst-by-default hides the
+                   intended protocol and costs fences the SPSC/metrics hot
+                   paths were designed to avoid. The AST engine also flags
+                   implicit seq-cst through atomic ``operator=`` /
+                   ``operator++`` / ``operator--``.
+
+  acquire-release-pair
+                   Same directories: publication protocol audit per atomic
+                   member, per file. A ``store(memory_order_relaxed)`` on a
+                   member that is acquire-loaded elsewhere in the file
+                   publishes nothing (the acquire has no release to pair
+                   with); conversely an acquire ``load`` of a member whose
+                   stores are all relaxed synchronizes with nothing. This
+                   is the rule that keeps the SPSC cursors' release-store /
+                   acquire-load protocol intact under refactoring.
+
+  guarded-field    Members annotated ``FCM_GUARDED_BY(cap)``
+                   (common/thread_annotations.h) may only be touched inside
+                   a function that (a) is declared ``FCM_REQUIRES`` (here
+                   or in the sibling header), or (b) visibly enters the
+                   capability — takes a ``MutexLock``/``lock_guard``/
+                   ``unique_lock``/``scoped_lock`` or calls
+                   ``assert_held()``/``assume_producer()``/
+                   ``assume_consumer()``. Function-granular by design: the
+                   statement-precise version of this check is Clang's
+                   -Wthread-safety (the clang-thread-safety CI job); this
+                   rule is the net that still catches lock-free access
+                   under GCC-only builds.
+
+  hot-path-lock    The batched hot-path entry points (the hot-path-alloc
+                   function list) may not take locks: no ``MutexLock``,
+                   ``lock_guard``, ``unique_lock``, ``scoped_lock`` or
+                   ``.lock()`` in their bodies. One blocking mutex in the
+                   per-packet loop serializes every shard.
 
   hot-path-alloc   No heap allocation (``new``, ``make_unique``,
                    ``std::vector<...>`` construction) inside the bodies of
-                   the batched hot-path entry points in ``src/`` — functions
-                   named ``add_batch``, ``ingest``, ``process_batch``,
-                   ``offer_batch``, ``update_batch``, ``index_block`` or
-                   ``apply_block``. The batched ingest kernel (DESIGN.md §9)
-                   stages everything through fixed-size stack buffers
-                   (``common::kBatchBlock``); an allocation on these paths is
-                   a per-batch malloc hiding in the packet loop.
+                   the batched hot-path entry points in ``src/`` —
+                   functions named ``add_batch``, ``ingest``,
+                   ``process_batch``, ``offer_batch``, ``update_batch``,
+                   ``index_block`` or ``apply_block`` (DESIGN.md §9).
 
-Suppression: append ``// fcm-lint: allow(<rule>)`` to the offending line.
+  unused-suppression
+                   Every ``// fcm-lint: allow(<rule>)`` marker must name a
+                   known rule that actually fires on its line; stale or
+                   misspelled suppressions are findings themselves, so
+                   carve-outs cannot outlive the code they excused.
 
-Usage:  tools/fcm_lint.py [paths...]       (default: src tests bench examples)
-Exit status: 0 clean, 1 findings, 2 usage error.
+Suppression: append ``// fcm-lint: allow(<rule>)`` (or
+``allow(<rule-a>, <rule-b>)``) to the offending line.
+
+Self-test: ``tools/fcm_lint.py --self-test`` lints the deliberately-broken
+corpus under ``tests/lint/`` and fails on any missed or spurious finding.
+Corpus files declare their pretend location with ``// fcm-lint-path:
+src/...`` (which drives the per-directory rule gating) and mark each
+expected finding with ``// fcm-lint-expect: <rule>`` on the offending line
+(``// fcm-lint-expect-ast: <rule>`` for AST-engine-only findings). The
+corpus is excluded from normal lint walks.
+
+Usage:  tools/fcm_lint.py [--engine=auto|ast|regex] [--self-test] [paths...]
+        (default paths: src tests bench examples)
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as globmod
 import re
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 HEADER_SUFFIXES = {".h", ".hpp", ".hh"}
 SOURCE_SUFFIXES = HEADER_SUFFIXES | {".cc", ".cpp", ".cxx"}
 
+KNOWN_RULES = {
+    "narrowing-cast",
+    "rand-seeding",
+    "pragma-once",
+    "register-access",
+    "thread-join",
+    "raw-atomic",
+    "atomic-order",
+    "acquire-release-pair",
+    "guarded-field",
+    "hot-path-lock",
+    "hot-path-alloc",
+}
+
 # Rule: narrowing-cast — only inside these top-level directories.
 NARROWING_DIRS = ("src/fcm", "src/pisa", "src/runtime")
-NARROWING_RE = re.compile(
-    r"static_cast<\s*(?:std::)?u?int(?:8|16|32)_t\s*>"
-)
+NARROWING_RE = re.compile(r"static_cast<\s*(?:std::)?u?int(?:8|16|32)_t\s*>")
 
-RAND_RE = re.compile(
-    r"(?<![\w:])(?:std::)?(?:rand|srand|srandom|random)\s*\("
-)
+RAND_RE = re.compile(r"(?<![\w:])(?:std::)?(?:rand|srand|srandom|random)\s*\(")
 TIME_SEED_RE = re.compile(
     r"(?<![\w:])(?:std::)?time\s*\(\s*(?:0|NULL|nullptr)\s*\)"
 )
@@ -97,22 +165,84 @@ ATOMIC_DIRS = ("src",)
 ATOMIC_EXEMPT_DIRS = ("src/common", "src/obs")
 ATOMIC_RE = re.compile(r"(?<![\w:])std::atomic\b")
 
-# Rule: hot-path-alloc — src/ only. Batched hot-path entry points must not
-# allocate; the kernel stages through stack buffers (DESIGN.md §9).
-HOTPATH_DIRS = ("src",)
-HOTPATH_FN_RE = re.compile(
-    r"\b(add_batch|ingest|process_batch|offer_batch|update_batch"
-    r"|index_block|apply_block)\s*\("
+# Rules: atomic-order / acquire-release-pair — the directories where raw
+# atomics legitimately live (the exempt homes plus the runtime's sanctioned
+# stop flag).
+ATOMIC_ORDER_DIRS = ("src/common", "src/obs", "src/runtime")
+ATOMIC_OP_RE = re.compile(
+    r"(\w+)\s*\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and"
+    r"|fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\("
 )
-HOTPATH_ALLOC_RE = re.compile(
-    r"(?<![\w:])new\b|\bmake_unique\b|std::vector\s*<"
+MEMORY_ORDER_ARG_RE = re.compile(r"memory_order_(\w+)")
+
+# Rules: guarded-field / hot-path-* — src/ only.
+GUARDED_DIRS = ("src",)
+HOTPATH_DIRS = ("src",)
+HOTPATH_FN_NAMES = {
+    "add_batch",
+    "ingest",
+    "process_batch",
+    "offer_batch",
+    "update_batch",
+    "index_block",
+    "apply_block",
+}
+HOTPATH_ALLOC_RE = re.compile(r"(?<![\w:])new\b|\bmake_unique\b|std::vector\s*<")
+HOTPATH_LOCK_RE = re.compile(
+    r"\b(?:MutexLock|lock_guard|unique_lock|scoped_lock)\b|\.\s*lock\s*\("
 )
 
-ALLOW_RE = re.compile(r"//\s*fcm-lint:\s*allow\(([a-z-]+)\)")
+# Tokens that mark a function as visibly holding/entering a capability.
+CAPABILITY_TOKEN_RE = re.compile(
+    r"\b(?:MutexLock|lock_guard|unique_lock|scoped_lock|assert_held"
+    r"|assume_producer|assume_consumer|FCM_REQUIRES(?:_SHARED)?"
+    r"|FCM_ASSERT_CAPABILITY|FCM_ACQUIRE|FCM_NO_THREAD_SAFETY_ANALYSIS)\b"
+)
+
+GUARDED_DECL_RE = re.compile(r"\b(\w+)\s+FCM_GUARDED_BY\s*\(")
+# Identifiers GUARDED_DECL_RE can capture that are not member names (the
+# macro's own #define in thread_annotations.h).
+GUARDED_DECL_IGNORE = {"define"}
+
+REQUIRES_RE = re.compile(r"\bFCM_REQUIRES(?:_SHARED)?\s*\(")
+
+ALLOW_RE = re.compile(r"//\s*fcm-lint:\s*allow\(([a-z\-,\s]+)\)")
+
+FN_CANDIDATE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+FN_SKIP_KEYWORDS = {
+    "alignas",
+    "alignof",
+    "assert",
+    "case",
+    "catch",
+    "co_await",
+    "co_return",
+    "co_yield",
+    "decltype",
+    "defined",
+    "delete",
+    "do",
+    "else",
+    "for",
+    "if",
+    "new",
+    "noexcept",
+    "requires",
+    "return",
+    "sizeof",
+    "static_assert",
+    "switch",
+    "throw",
+    "while",
+}
 
 # contracts.h implements checked_narrow itself; its internal static_cast is
 # the sanctioned primitive.
 EXEMPT_FILES = {"src/common/contracts.h"}
+
+# The self-test corpus is deliberately broken; keep it out of normal walks.
+CORPUS_DIR = "tests/lint"
 
 
 class Finding:
@@ -126,9 +256,15 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def line_allows(line: str, rule: str) -> bool:
-    match = ALLOW_RE.search(line)
-    return bool(match) and match.group(1) == rule
+def allows_on(raw_line: str) -> list[str]:
+    """All rule names suppressed by fcm-lint allow markers on this line."""
+    rules: list[str] = []
+    for match in ALLOW_RE.finditer(raw_line):
+        for name in match.group(1).split(","):
+            name = name.strip()
+            if name:
+                rules.append(name)
+    return rules
 
 
 def strip_comments_keep_lines(text: str) -> str:
@@ -190,173 +326,562 @@ def strip_comments_keep_lines(text: str) -> str:
     return "".join(out)
 
 
-def hot_path_alloc_findings(
-    path: Path, text: str, raw_lines: list[str]
-) -> list[Finding]:
-    """Find heap allocations inside hot-path function *definitions*.
-
-    Works on comment-stripped text. A match of HOTPATH_FN_RE is a definition
-    when, after its balanced parameter list, a '{' appears before any ';'
-    (declarations and call sites hit ';' first). The body is then the
-    brace-balanced block, scanned for HOTPATH_ALLOC_RE.
-    """
-    findings: list[Finding] = []
+def blank_strings(text: str) -> str:
+    """Blank string/char literal bodies (post comment-strip) so brace/paren
+    balancing and identifier scans can't be confused by quoted code."""
+    out = []
+    i = 0
     n = len(text)
-    for m in HOTPATH_FN_RE.finditer(text):
-        # Skip the balanced parameter list.
-        i = m.end()
-        depth = 1
-        while i < n and depth:
-            if text[i] == "(":
-                depth += 1
-            elif text[i] == ")":
-                depth -= 1
+    quote: str | None = None
+    while i < n:
+        c = text[i]
+        if quote:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+                out.append(c)
+            else:
+                out.append("\n" if c == "\n" else " ")
             i += 1
-        if depth:
             continue
-        # Definition check: '{' before ';', skipping specifier parens
-        # (e.g. noexcept(...)).
-        j = i
+        if c in "\"'":
+            quote = c
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _skip_balanced(text: str, i: int, open_ch: str, close_ch: str) -> int:
+    """i points just past an opening delimiter; return index just past its
+    match (or len(text) when unbalanced)."""
+    depth = 1
+    n = len(text)
+    while i < n and depth:
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+        i += 1
+    return i
+
+
+@dataclass
+class FnDef:
+    name: str
+    start: int       # offset of the name token
+    param_end: int   # offset just past the parameter list's ')'
+    body_open: int   # offset of the body '{'
+    body_end: int    # offset just past the matching '}'
+    line: int        # 1-based line of the name token
+
+
+def function_definitions(text: str) -> list[FnDef]:
+    """Enumerate function definitions: an identifier + balanced parameter
+    list followed by '{' before any ';' (specifier parens like noexcept(...)
+    or attribute macros are skipped). Heuristic, but the repo's style keeps
+    it reliable; run on comment-stripped, string-blanked text."""
+    defs: list[FnDef] = []
+    n = len(text)
+    for m in FN_CANDIDATE_RE.finditer(text):
+        name = m.group(1)
+        if name in FN_SKIP_KEYWORDS:
+            continue
+        param_end = _skip_balanced(text, m.end(), "(", ")")
+        j = param_end
         body_open = -1
         while j < n:
             c = text[j]
             if c == "{":
                 body_open = j
                 break
-            if c == ";":
+            if c in ";)}":
+                # ';' = declaration/statement; a stray ')' or '}' means the
+                # candidate was a call inside an enclosing expression (e.g.
+                # `while (q.size() > cap) {`), not a definition header.
                 break
             if c == "(":
-                inner = 1
-                j += 1
-                while j < n and inner:
-                    if text[j] == "(":
-                        inner += 1
-                    elif text[j] == ")":
-                        inner -= 1
-                    j += 1
+                j = _skip_balanced(text, j + 1, "(", ")")
                 continue
             j += 1
         if body_open < 0:
             continue
-        # Extract the brace-balanced body.
-        k = body_open + 1
-        depth = 1
-        while k < n and depth:
-            if text[k] == "{":
-                depth += 1
-            elif text[k] == "}":
-                depth -= 1
-            k += 1
-        body = text[body_open:k]
-        base_line = text.count("\n", 0, body_open) + 1
-        for alloc in HOTPATH_ALLOC_RE.finditer(body):
-            lineno = base_line + body.count("\n", 0, alloc.start())
-            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-            if line_allows(raw_line, "hot-path-alloc"):
-                continue
-            findings.append(
-                Finding(
-                    path,
-                    lineno,
-                    "hot-path-alloc",
-                    f"heap allocation inside hot-path function "
-                    f"'{m.group(1)}'; stage through fixed-size stack "
-                    "buffers (common::kBatchBlock, DESIGN.md §9) "
-                    "(or '// fcm-lint: allow(hot-path-alloc)')",
-                )
+        body_end = _skip_balanced(text, body_open + 1, "{", "}")
+        defs.append(
+            FnDef(
+                name,
+                m.start(),
+                param_end,
+                body_open,
+                body_end,
+                text.count("\n", 0, m.start()) + 1,
             )
-    return findings
+        )
+    return defs
 
 
-def lint_file(path: Path, repo_root: Path) -> list[Finding]:
-    rel = path.relative_to(repo_root).as_posix()
+def functions_with_requires(text: str) -> set[str]:
+    """Names of functions whose declaration carries FCM_REQUIRES[_SHARED]
+    (searched backwards from the attribute over specifier tokens to the
+    parameter list, then to the identifier before it)."""
+    names: set[str] = set()
+    for m in REQUIRES_RE.finditer(text):
+        i = m.start() - 1
+        while True:
+            while i >= 0 and text[i] in " \t\n\r":
+                i -= 1
+            j = i
+            while j >= 0 and (text[j].isalnum() or text[j] == "_"):
+                j -= 1
+            word = text[j + 1 : i + 1]
+            if word in ("const", "noexcept", "override", "final", "mutable"):
+                i = j
+                continue
+            break
+        if i < 0 or text[i] != ")":
+            continue
+        depth = 1
+        i -= 1
+        while i >= 0 and depth:
+            if text[i] == ")":
+                depth += 1
+            elif text[i] == "(":
+                depth -= 1
+            i -= 1
+        while i >= 0 and text[i] in " \t\n\r":
+            i -= 1
+        j = i
+        while j >= 0 and (text[j].isalnum() or text[j] == "_"):
+            j -= 1
+        name = text[j + 1 : i + 1]
+        if name:
+            names.add(name)
+    return names
+
+
+def guarded_members(text: str) -> set[str]:
+    """Member names declared with FCM_GUARDED_BY(...)."""
+    members: set[str] = set()
+    for m in GUARDED_DECL_RE.finditer(text):
+        name = m.group(1)
+        if name not in GUARDED_DECL_IGNORE:
+            members.add(name)
+    return members
+
+
+@dataclass
+class AtomicOp:
+    receiver: str
+    op: str
+    orders: list[str]  # memory_order_<X> names in the argument list
+    line: int
+
+
+def scan_atomic_ops(text: str) -> list[AtomicOp]:
+    ops: list[AtomicOp] = []
+    for m in ATOMIC_OP_RE.finditer(text):
+        arg_end = _skip_balanced(text, m.end(), "(", ")")
+        args = text[m.end() : arg_end - 1]
+        ops.append(
+            AtomicOp(
+                m.group(1),
+                m.group(2),
+                MEMORY_ORDER_ARG_RE.findall(args),
+                text.count("\n", 0, m.start()) + 1,
+            )
+        )
+    return ops
+
+
+class AstOracle:
+    """libclang refinement layer. Every query fails open: a file that can't
+    be parsed (or a binding surface that misbehaves) degrades that file to
+    pure regex behavior rather than dropping findings."""
+
+    ATOMIC_METHODS = {
+        "load",
+        "store",
+        "exchange",
+        "fetch_add",
+        "fetch_sub",
+        "fetch_and",
+        "fetch_or",
+        "fetch_xor",
+        "compare_exchange_weak",
+        "compare_exchange_strong",
+    }
+    IMPLICIT_OPERATORS = {"operator=", "operator++", "operator--"}
+
+    def __init__(self, cindex, repo_root: Path):
+        self.cindex = cindex
+        self.repo_root = repo_root
+        self.index = cindex.Index.create()
+        self._cache: dict[str, object] = {}
+
+    @staticmethod
+    def try_create(repo_root: Path) -> "AstOracle | None":
+        try:
+            from clang import cindex
+        except ImportError:
+            return None
+        try:
+            return AstOracle(cindex, repo_root)
+        except Exception:
+            pass
+        # The python bindings are installed but libclang.so was not found on
+        # the default path; probe the usual Linux install locations.
+        for pattern in (
+            "/usr/lib/llvm-*/lib/libclang.so*",
+            "/usr/lib/llvm-*/lib/libclang-*.so*",
+            "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+            "/usr/lib/*/libclang.so*",
+        ):
+            for candidate in sorted(globmod.glob(pattern), reverse=True):
+                try:
+                    cindex.Config.set_library_file(candidate)
+                    return AstOracle(cindex, repo_root)
+                except Exception:
+                    continue
+        return None
+
+    def _translation_unit(self, path: Path):
+        key = str(path)
+        if key in self._cache:
+            return self._cache[key]
+        tu = None
+        try:
+            args = ["-x", "c++", "-std=c++20", "-I", str(self.repo_root / "src")]
+            candidate = self.index.parse(str(path), args=args)
+            fatal = any(
+                d.severity >= self.cindex.Diagnostic.Fatal
+                for d in candidate.diagnostics
+            )
+            if not fatal:
+                tu = candidate
+        except Exception:
+            tu = None
+        self._cache[key] = tu
+        return tu
+
+    def _own_cursors(self, path: Path):
+        tu = self._translation_unit(path)
+        if tu is None:
+            return None
+        target = str(path)
+        for cursor in tu.cursor.walk_preorder():
+            loc = cursor.location
+            if loc.file is not None and loc.file.name == target:
+                yield cursor
+
+    def atomic_op_lines(self, path: Path) -> set[int] | None:
+        """Lines covered by a member call on a std::atomic receiver (full
+        extents, so multi-line calls are covered). None = could not parse;
+        callers must fail open and keep their regex facts."""
+        cursors = self._own_cursors(path)
+        if cursors is None:
+            return None
+        lines: set[int] = set()
+        try:
+            for cursor in cursors:
+                if cursor.kind != self.cindex.CursorKind.CXX_MEMBER_CALL_EXPR:
+                    continue
+                if cursor.spelling not in self.ATOMIC_METHODS:
+                    continue
+                children = list(cursor.get_children())
+                if not children:
+                    continue
+                base = children[0]
+                spelling = base.type.spelling
+                canonical = base.type.get_canonical().spelling
+                if "atomic" in spelling or "atomic" in canonical:
+                    for line in range(
+                        cursor.extent.start.line, cursor.extent.end.line + 1
+                    ):
+                        lines.add(line)
+        except Exception:
+            return None
+        return lines
+
+    def implicit_seqcst_sites(self, path: Path) -> list[tuple[int, str]]:
+        """(line, operator) pairs for atomic operator=/++/-- uses — the
+        seq-cst-by-default spellings regex cannot see. [] on failure."""
+        cursors = self._own_cursors(path)
+        if cursors is None:
+            return []
+        sites: list[tuple[int, str]] = []
+        try:
+            for cursor in cursors:
+                if cursor.kind != self.cindex.CursorKind.CXX_OPERATOR_CALL_EXPR:
+                    continue
+                ref = cursor.referenced
+                if ref is None or ref.spelling not in self.IMPLICIT_OPERATORS:
+                    continue
+                parent = ref.semantic_parent
+                if parent is not None and parent.spelling == "atomic":
+                    sites.append((cursor.location.line, ref.spelling))
+        except Exception:
+            return []
+        return sites
+
+
+def _sibling_header_text(path: Path) -> str | None:
+    if path.suffix in HEADER_SUFFIXES:
+        return None
+    for suffix in sorted(HEADER_SUFFIXES):
+        sibling = path.with_suffix(suffix)
+        if sibling.is_file():
+            return strip_comments_keep_lines(
+                sibling.read_text(encoding="utf-8", errors="replace")
+            )
+    return None
+
+
+def lint_file(
+    path: Path,
+    repo_root: Path,
+    rel: str | None = None,
+    oracle: AstOracle | None = None,
+) -> list[Finding]:
+    rel = rel or path.relative_to(repo_root).as_posix()
     if rel in EXEMPT_FILES:
         return []
     raw = path.read_text(encoding="utf-8", errors="replace")
     text = strip_comments_keep_lines(raw)
+    scan = blank_strings(text)
+    raw_lines = raw.splitlines()
     findings: list[Finding] = []
+    used_suppressions: set[tuple[int, str]] = set()
+
+    def add(lineno: int, rule: str, message: str) -> None:
+        raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if rule in allows_on(raw_line):
+            used_suppressions.add((lineno, rule))
+            return
+        findings.append(Finding(path, lineno, rule, message))
+
+    def in_dirs(dirs: tuple[str, ...]) -> bool:
+        return any(rel.startswith(d + "/") for d in dirs)
 
     if path.suffix in HEADER_SUFFIXES and not PRAGMA_ONCE_RE.search(raw):
-        findings.append(
-            Finding(path, 1, "pragma-once", "header is missing '#pragma once'")
-        )
+        add(1, "pragma-once", "header is missing '#pragma once'")
 
-    check_narrowing = any(rel.startswith(d + "/") for d in NARROWING_DIRS)
-    check_threads = any(rel.startswith(d + "/") for d in THREAD_DIRS)
-    check_hotpath = any(rel.startswith(d + "/") for d in HOTPATH_DIRS)
-    check_atomics = any(rel.startswith(d + "/") for d in ATOMIC_DIRS) and not any(
-        rel.startswith(d + "/") for d in ATOMIC_EXEMPT_DIRS
-    )
+    check_narrowing = in_dirs(NARROWING_DIRS)
+    check_threads = in_dirs(THREAD_DIRS)
+    check_atomics = in_dirs(ATOMIC_DIRS) and not in_dirs(ATOMIC_EXEMPT_DIRS)
 
-    raw_lines = raw.splitlines()
     for lineno, line in enumerate(text.splitlines(), start=1):
-        raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else line
         if check_narrowing and NARROWING_RE.search(line):
-            if not line_allows(raw_line, "narrowing-cast"):
-                findings.append(
-                    Finding(
-                        path,
-                        lineno,
-                        "narrowing-cast",
-                        "bare narrowing static_cast on a counter type; use "
-                        "fcm::common::checked_narrow<T>() "
-                        "(or '// fcm-lint: allow(narrowing-cast)')",
-                    )
-                )
+            add(
+                lineno,
+                "narrowing-cast",
+                "bare narrowing static_cast on a counter type; use "
+                "fcm::common::checked_narrow<T>() "
+                "(or '// fcm-lint: allow(narrowing-cast)')",
+            )
         if RAND_RE.search(line) or TIME_SEED_RE.search(line):
-            if not line_allows(raw_line, "rand-seeding"):
-                findings.append(
-                    Finding(
-                        path,
-                        lineno,
-                        "rand-seeding",
-                        "non-deterministic randomness; use "
-                        "fcm::common::Xoshiro256 with an explicit seed",
-                    )
-                )
+            add(
+                lineno,
+                "rand-seeding",
+                "non-deterministic randomness; use "
+                "fcm::common::Xoshiro256 with an explicit seed",
+            )
         if CELLS_INDEX_RE.search(line):
-            if not line_allows(raw_line, "register-access"):
-                findings.append(
-                    Finding(
-                        path,
-                        lineno,
-                        "register-access",
-                        "direct RegisterArray cell indexing; use the "
-                        "bounds-checked .at(...) accessor",
-                    )
-                )
+            add(
+                lineno,
+                "register-access",
+                "direct RegisterArray cell indexing; use the "
+                "bounds-checked .at(...) accessor",
+            )
         if check_atomics and ATOMIC_RE.search(line):
-            if not line_allows(raw_line, "raw-atomic"):
-                findings.append(
-                    Finding(
-                        path,
-                        lineno,
-                        "raw-atomic",
-                        "raw std::atomic outside src/common/ and src/obs/; "
-                        "route telemetry through obs::MetricsRegistry, or "
-                        "justify control state with "
-                        "'// fcm-lint: allow(raw-atomic)'",
-                    )
-                )
+            add(
+                lineno,
+                "raw-atomic",
+                "raw std::atomic outside src/common/ and src/obs/; "
+                "route telemetry through obs::MetricsRegistry, or "
+                "justify control state with "
+                "'// fcm-lint: allow(raw-atomic)'",
+            )
         if check_threads and THREAD_RE.search(line):
-            if not line_allows(raw_line, "thread-join"):
+            add(
+                lineno,
+                "thread-join",
+                "plain std::thread in src/; a joinable std::thread "
+                "destructor calls std::terminate — use std::jthread "
+                "(joins on destruction) "
+                "(or '// fcm-lint: allow(thread-join)')",
+            )
+
+    # --- atomic-order / acquire-release-pair --------------------------------
+    if in_dirs(ATOMIC_ORDER_DIRS):
+        ops = scan_atomic_ops(scan)
+        if oracle is not None:
+            atomic_lines = oracle.atomic_op_lines(path)
+            if atomic_lines is not None:
+                ops = [op for op in ops if op.line in atomic_lines]
+        for op in ops:
+            if not op.orders:
+                add(
+                    op.line,
+                    "atomic-order",
+                    f"atomic {op.op}() on '{op.receiver}' without an explicit "
+                    "std::memory_order; seq-cst-by-default hides the intended "
+                    "protocol — name the order "
+                    "(or '// fcm-lint: allow(atomic-order)')",
+                )
+        if oracle is not None:
+            for lineno, operator in oracle.implicit_seqcst_sites(path):
+                add(
+                    lineno,
+                    "atomic-order",
+                    f"implicit seq-cst atomic access through {operator}; "
+                    "use load()/store()/fetch_*() with an explicit "
+                    "std::memory_order "
+                    "(or '// fcm-lint: allow(atomic-order)')",
+                )
+        by_receiver: dict[str, list[AtomicOp]] = {}
+        for op in ops:
+            by_receiver.setdefault(op.receiver, []).append(op)
+        for receiver, receiver_ops in sorted(by_receiver.items()):
+            loads = [o for o in receiver_ops if o.op == "load"]
+            stores = [o for o in receiver_ops if o.op == "store"]
+            acquire_loads = [
+                o
+                for o in loads
+                if any(x in ("acquire", "seq_cst", "acq_rel") for x in o.orders)
+            ]
+            releasing_stores = [
+                o
+                for o in stores
+                if any(x in ("release", "seq_cst", "acq_rel") for x in o.orders)
+            ]
+            if acquire_loads and stores:
+                for o in stores:
+                    if o.orders and all(x == "relaxed" for x in o.orders):
+                        add(
+                            o.line,
+                            "acquire-release-pair",
+                            f"store(memory_order_relaxed) on '{receiver}', "
+                            "which is acquire-loaded elsewhere in this file; "
+                            "a relaxed store publishes nothing — pair release "
+                            "stores with acquire loads "
+                            "(or '// fcm-lint: allow(acquire-release-pair)')",
+                        )
+                if not releasing_stores:
+                    for o in acquire_loads:
+                        add(
+                            o.line,
+                            "acquire-release-pair",
+                            f"load(memory_order_acquire) on '{receiver}' but "
+                            "every store of it in this file is relaxed; the "
+                            "acquire has no release to synchronize with "
+                            "(or '// fcm-lint: allow(acquire-release-pair)')",
+                        )
+
+    # --- function-body rules ------------------------------------------------
+    need_guarded = in_dirs(GUARDED_DIRS)
+    need_hotpath = in_dirs(HOTPATH_DIRS)
+    if need_guarded or need_hotpath:
+        defs = function_definitions(scan)
+        members = guarded_members(scan)
+        requires_fns = functions_with_requires(scan)
+        sibling = _sibling_header_text(path)
+        if sibling is not None:
+            sibling_scan = blank_strings(sibling)
+            members |= guarded_members(sibling_scan)
+            requires_fns |= functions_with_requires(sibling_scan)
+
+        if need_guarded and members:
+            reported: set[tuple[int, str]] = set()
+            for fn in defs:
+                body = scan[fn.body_open : fn.body_end]
+                signature = scan[fn.start : fn.body_open]
+                if (
+                    fn.name in requires_fns
+                    or CAPABILITY_TOKEN_RE.search(body)
+                    or CAPABILITY_TOKEN_RE.search(signature)
+                ):
+                    continue
+                for member in sorted(members):
+                    m = re.search(rf"\b{re.escape(member)}\b", body)
+                    if not m:
+                        continue
+                    lineno = fn.line + scan.count(
+                        "\n", fn.body_open, fn.body_open + m.start()
+                    ) + scan.count("\n", fn.start, fn.body_open)
+                    key = (lineno, member)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    add(
+                        lineno,
+                        "guarded-field",
+                        f"'{member}' is FCM_GUARDED_BY-annotated but "
+                        f"'{fn.name}' neither holds a visible lock/role nor "
+                        "is declared FCM_REQUIRES; take the capability or "
+                        "annotate the function "
+                        "(or '// fcm-lint: allow(guarded-field)')",
+                    )
+
+        if need_hotpath:
+            for fn in defs:
+                if fn.name not in HOTPATH_FN_NAMES:
+                    continue
+                body = scan[fn.body_open : fn.body_end]
+                base_line = fn.line + scan.count("\n", fn.start, fn.body_open)
+                for alloc in HOTPATH_ALLOC_RE.finditer(body):
+                    lineno = base_line + body.count("\n", 0, alloc.start())
+                    add(
+                        lineno,
+                        "hot-path-alloc",
+                        f"heap allocation inside hot-path function "
+                        f"'{fn.name}'; stage through fixed-size stack "
+                        "buffers (common::kBatchBlock, DESIGN.md §9) "
+                        "(or '// fcm-lint: allow(hot-path-alloc)')",
+                    )
+                for lock in HOTPATH_LOCK_RE.finditer(body):
+                    lineno = base_line + body.count("\n", 0, lock.start())
+                    add(
+                        lineno,
+                        "hot-path-lock",
+                        f"lock acquisition inside hot-path function "
+                        f"'{fn.name}'; one blocking mutex in the per-packet "
+                        "loop serializes every shard — move synchronization "
+                        "to an epoch boundary "
+                        "(or '// fcm-lint: allow(hot-path-lock)')",
+                    )
+
+    # --- unused / unknown suppressions --------------------------------------
+    for lineno, raw_line in enumerate(raw_lines, start=1):
+        for rule in allows_on(raw_line):
+            if rule not in KNOWN_RULES:
                 findings.append(
                     Finding(
                         path,
                         lineno,
-                        "thread-join",
-                        "plain std::thread in src/; a joinable std::thread "
-                        "destructor calls std::terminate — use std::jthread "
-                        "(joins on destruction) "
-                        "(or '// fcm-lint: allow(thread-join)')",
+                        "unused-suppression",
+                        f"suppression names unknown rule '{rule}' "
+                        f"(known: {', '.join(sorted(KNOWN_RULES))})",
                     )
                 )
-    if check_hotpath:
-        findings.extend(hot_path_alloc_findings(path, text, raw_lines))
+            elif (lineno, rule) not in used_suppressions:
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "unused-suppression",
+                        f"unused suppression: rule '{rule}' did not fire on "
+                        "this line — delete the stale allow marker",
+                    )
+                )
+
+    findings.sort(key=lambda f: (f.line, f.rule))
     return findings
 
 
 def collect_files(paths: list[str], repo_root: Path) -> list[Path]:
+    corpus_root = (repo_root / CORPUS_DIR).resolve()
     files: list[Path] = []
     for raw in paths:
         p = (repo_root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
@@ -364,13 +889,69 @@ def collect_files(paths: list[str], repo_root: Path) -> list[Path]:
             if p.suffix in SOURCE_SUFFIXES:
                 files.append(p)
         elif p.is_dir():
-            files.extend(
-                f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
-            )
+            explicit_corpus = p == corpus_root or corpus_root in p.parents
+            for f in sorted(p.rglob("*")):
+                if f.suffix not in SOURCE_SUFFIXES:
+                    continue
+                if not explicit_corpus and corpus_root in f.parents:
+                    continue  # deliberately-broken self-test corpus
+                files.append(f)
         else:
             print(f"fcm_lint: no such path: {raw}", file=sys.stderr)
             sys.exit(2)
     return files
+
+
+PRETEND_PATH_RE = re.compile(r"//\s*fcm-lint-path:\s*(\S+)")
+EXPECT_RE = re.compile(r"//\s*fcm-lint-expect:\s*([a-z\-, ]+)")
+EXPECT_AST_RE = re.compile(r"//\s*fcm-lint-expect-ast:\s*([a-z\-, ]+)")
+
+
+def run_self_test(repo_root: Path, oracle: AstOracle | None) -> int:
+    corpus = sorted(
+        f
+        for f in (repo_root / CORPUS_DIR).rglob("*")
+        if f.suffix in SOURCE_SUFFIXES
+    )
+    if not corpus:
+        print(f"fcm_lint: self-test corpus {CORPUS_DIR}/ is empty", file=sys.stderr)
+        return 2
+    failures = 0
+    for f in corpus:
+        raw = f.read_text(encoding="utf-8", errors="replace")
+        pretend = PRETEND_PATH_RE.search(raw)
+        rel = pretend.group(1) if pretend else f.relative_to(repo_root).as_posix()
+        expected: set[tuple[int, str]] = set()
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            matchers = [EXPECT_RE]
+            if oracle is not None:
+                matchers.append(EXPECT_AST_RE)
+            for matcher in matchers:
+                for m in matcher.finditer(line):
+                    for rule in m.group(1).split(","):
+                        rule = rule.strip()
+                        if rule:
+                            expected.add((lineno, rule))
+        got = {
+            (finding.line, finding.rule)
+            for finding in lint_file(f, repo_root, rel=rel, oracle=oracle)
+        }
+        name = f.relative_to(repo_root)
+        missed = sorted(expected - got)
+        spurious = sorted(got - expected)
+        if not missed and not spurious:
+            print(f"self-test: {name}: ok ({len(expected)} expected finding(s))")
+            continue
+        failures += 1
+        for line, rule in missed:
+            print(f"self-test: {name}:{line}: MISSED expected [{rule}] finding")
+        for line, rule in spurious:
+            print(f"self-test: {name}:{line}: SPURIOUS [{rule}] finding")
+    if failures:
+        print(f"fcm_lint: self-test FAILED in {failures} corpus file(s)")
+        return 1
+    print(f"fcm_lint: self-test passed ({len(corpus)} corpus files)")
+    return 0
 
 
 def main() -> int:
@@ -381,9 +962,38 @@ def main() -> int:
         default=["src", "tests", "bench", "examples"],
         help="files or directories to lint (default: src tests bench examples)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "ast", "regex"),
+        default="auto",
+        help="auto: libclang when available, else regex; ast: require "
+        "libclang; regex: never load libclang",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help=f"lint the {CORPUS_DIR}/ corpus and compare against its "
+        "fcm-lint-expect markers",
+    )
     args = parser.parse_args()
 
     repo_root = Path(__file__).resolve().parent.parent
+    oracle: AstOracle | None = None
+    if args.engine in ("auto", "ast"):
+        oracle = AstOracle.try_create(repo_root)
+        if oracle is None and args.engine == "ast":
+            print(
+                "fcm_lint: --engine=ast but libclang / python3 clang bindings "
+                "are unavailable",
+                file=sys.stderr,
+            )
+            return 2
+    engine = "ast" if oracle is not None else "regex"
+
+    if args.self_test:
+        print(f"fcm_lint: engine={engine} (self-test)")
+        return run_self_test(repo_root, oracle)
+
     files = collect_files(args.paths, repo_root)
     if not files:
         print("fcm_lint: no C++ sources found", file=sys.stderr)
@@ -391,7 +1001,7 @@ def main() -> int:
 
     findings: list[Finding] = []
     for f in files:
-        findings.extend(lint_file(f, repo_root))
+        findings.extend(lint_file(f, repo_root, oracle=oracle))
 
     for finding in findings:
         try:
@@ -401,9 +1011,12 @@ def main() -> int:
         print(f"{shown}:{finding.line}: [{finding.rule}] {finding.message}")
 
     if findings:
-        print(f"fcm_lint: {len(findings)} finding(s) in {len(files)} file(s)")
+        print(
+            f"fcm_lint: {len(findings)} finding(s) in {len(files)} file(s) "
+            f"[engine={engine}]"
+        )
         return 1
-    print(f"fcm_lint: clean ({len(files)} files)")
+    print(f"fcm_lint: clean ({len(files)} files) [engine={engine}]")
     return 0
 
 
