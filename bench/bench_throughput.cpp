@@ -44,6 +44,10 @@
 #include "sketch/pyramid_sketch.h"
 #include "sketch/univmon.h"
 
+#ifndef FCM_GIT_REV
+#define FCM_GIT_REV "unknown"
+#endif
+
 namespace {
 
 using namespace fcm;
@@ -308,6 +312,7 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
   out << "  \"fanout\": \"hash_by_key\",\n";
   out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
       << ",\n";
+  out << "  \"git_rev\": \"" << FCM_GIT_REV << "\",\n";
   out << "  \"serial\": {\"scalar_packets_per_sec\": " << serial->scalar_pps
       << ", \"batch_packets_per_sec\": " << serial->batch_pps
       << ", \"batch_speedup\": " << serial->batch_speedup << "},\n";

@@ -1,0 +1,95 @@
+// Snapshot-isolated query plane for the aggregation service (DESIGN.md §11).
+//
+// The AggregationService publishes one immutable NetworkView per completed
+// epoch; readers grab a shared_ptr to the current view under a brief lock
+// and then query it lock-free for as long as they hold the pointer — the
+// double-buffered-generation pattern from ShardedFcmFramework, generalized
+// to a retained history so heavy-change queries can reach back several
+// epochs. Ingest and merges never mutate a published view: publish()
+// installs a *new* shared_ptr; concurrent readers keep whatever generation
+// they already pinned (TSan-verified by tests/test_agg.cpp and the CI soak
+// job).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "framework/fcm_framework.h"
+
+namespace fcm::agg {
+
+// One published network-wide generation: the merged data plane plus the
+// derived statistics frozen at publish time. Immutable after publication —
+// every member is written exactly once, before the shared_ptr is installed.
+struct NetworkView {
+  std::uint64_t epoch = 0;
+
+  // Vantage points whose snapshots were merged into this view (sorted). A
+  // partial epoch (forced publish after a dropped vantage) lists fewer than
+  // the service's configured vantage_count.
+  std::vector<std::uint32_t> vantages;
+
+  // The merged data plane. Flow size / cardinality / heavy hitters queries
+  // go straight through it; analyze() may also be re-run by a reader that
+  // wants fresh EM statistics on this frozen epoch.
+  framework::FcmFramework network;
+
+  // Derived at publish time.
+  std::vector<flow::FlowKey> heavy_hitters;
+  double cardinality = 0.0;
+
+  // Flows whose size changed by at least the service's heavy-change
+  // threshold vs the previously published view. Empty when no previous view
+  // existed or heavy-change detection is disabled.
+  std::vector<flow::FlowKey> heavy_changes;
+
+  // EM-derived statistics (FSD, entropy); populated only when the service
+  // runs with analyze_on_publish (the EM pass is epoch-scale work).
+  std::optional<framework::FcmFramework::Report> report;
+
+  explicit NetworkView(framework::FcmFramework merged)
+      : network(std::move(merged)) {}
+};
+
+// Holder of the published generations. publish() and the readers
+// synchronize on one mutex held only for a pointer/deque swap; all actual
+// query work happens outside the lock on immutable views.
+class QueryPlane {
+ public:
+  // Keeps the newest `retained_epochs` views reachable via at(); current()
+  // always returns the newest. retained_epochs >= 1.
+  explicit QueryPlane(std::size_t retained_epochs);
+
+  // Installs `view` as the current generation. Views must arrive with
+  // strictly increasing epochs (the service's in-order publish guarantees
+  // it; ContractViolation otherwise).
+  void publish(std::shared_ptr<const NetworkView> view);
+
+  // The newest published generation; nullptr before the first publish.
+  // Readers may hold the returned pointer arbitrarily long — retention only
+  // bounds what at() can find, not the lifetime of pinned views.
+  std::shared_ptr<const NetworkView> current() const;
+
+  // A retained historical generation, or nullptr if `epoch` was never
+  // published or has aged out of the retention window.
+  std::shared_ptr<const NetworkView> at(std::uint64_t epoch) const;
+
+  // Epochs still in the retention window, oldest first.
+  std::vector<std::uint64_t> published_epochs() const;
+
+  std::size_t retained_epochs() const noexcept { return retained_; }
+
+ private:
+  const std::size_t retained_;
+
+  mutable common::Mutex mutex_;
+  // history_.back() is the current generation.
+  std::deque<std::shared_ptr<const NetworkView>> history_
+      FCM_GUARDED_BY(mutex_);
+};
+
+}  // namespace fcm::agg

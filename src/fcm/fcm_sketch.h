@@ -111,6 +111,8 @@ class FcmSketch {
   void clear();
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   FcmConfig config_;
   std::vector<FcmTree> trees_;
   std::optional<std::uint64_t> hh_threshold_;

@@ -78,6 +78,8 @@ class FcmTopK {
   void clear();
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   FcmSketch sketch_;
   sketch::TopKFilter filter_;
 };

@@ -15,6 +15,10 @@
 #include "fcm/fcm_config.h"
 #include "flow/flow_key.h"
 
+namespace fcm::agg {
+class WireCodec;  // wire-format (de)serializer, the single state-access friend
+}
+
 namespace fcm::core {
 
 class FcmTree {
@@ -142,6 +146,8 @@ class FcmTree {
   void clear() noexcept;
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   FcmConfig config_;
   common::SeededHash hash_;
   std::vector<std::vector<std::uint32_t>> stages_;

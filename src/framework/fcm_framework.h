@@ -15,6 +15,10 @@
 #include "flow/packet.h"
 #include "obs/metrics_registry.h"
 
+namespace fcm::agg {
+class WireCodec;  // wire-format (de)serializer, the single state-access friend
+}
+
 namespace fcm::framework {
 
 class FcmFramework {
@@ -127,6 +131,8 @@ class FcmFramework {
   FcmFramework& operator=(const FcmFramework&) = default;
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   const core::FcmSketch& active_sketch() const;
 
   Options options_;

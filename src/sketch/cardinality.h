@@ -11,6 +11,10 @@
 #include "common/hash.h"
 #include "flow/flow_key.h"
 
+namespace fcm::agg {
+class WireCodec;  // wire-format (de)serializer, the single state-access friend
+}
+
 namespace fcm::sketch {
 
 class LinearCounting {
@@ -26,6 +30,8 @@ class LinearCounting {
   void clear();
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   common::SeededHash hash_;
   std::vector<bool> bitmap_;
 };
@@ -48,6 +54,8 @@ class HyperLogLog {
   void clear();
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   common::SeededHash hash_;
   unsigned index_bits_;
   std::vector<std::uint8_t> registers_;

@@ -8,6 +8,10 @@
 #include "common/hash.h"
 #include "sketch/frequency_estimator.h"
 
+namespace fcm::agg {
+class WireCodec;  // wire-format (de)serializer, the single state-access friend
+}
+
 namespace fcm::sketch {
 
 class CmSketch : public FrequencyEstimator {
@@ -64,6 +68,8 @@ class CmSketch : public FrequencyEstimator {
   const std::vector<std::vector<std::uint32_t>>& rows() const noexcept { return rows_; }
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   std::size_t width_;
   std::vector<common::SeededHash> hashes_;
   std::vector<std::vector<std::uint32_t>> rows_;

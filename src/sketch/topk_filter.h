@@ -13,6 +13,10 @@
 #include "common/hash.h"
 #include "flow/flow_key.h"
 
+namespace fcm::agg {
+class WireCodec;  // wire-format (de)serializer, the single state-access friend
+}
+
 namespace fcm::sketch {
 
 class TopKFilter {
@@ -104,6 +108,8 @@ class TopKFilter {
   void clear();
 
  private:
+  friend class ::fcm::agg::WireCodec;
+
   // The vote/eviction state machine for one non-sentinel key whose bucket
   // index is already known. offer() and offer_batch() both land here, so the
   // two paths cannot drift.

@@ -1,10 +1,8 @@
 // Property-based tests over randomized traces (DESIGN.md §8, testing).
 //
-// A tiny in-repo property harness: key sequences are generated from the
-// deterministic common/random.h PRNG (so every failure is reproducible from
-// the seed printed in the assertion message), properties are pure predicates
-// over a key sequence, and failing sequences are minimized with a
-// ddmin-style chunk-removal shrinker before being reported.
+// The harness itself (deterministic skewed key generation, Property shape,
+// ddmin chunk-removal shrinker, expect_property reporting) lives in
+// tests/property_harness.h, shared with the wire-format round-trip suite.
 //
 // Properties:
 //   * never-underestimate: for FcmSketch, CmSketch, CuSketch and FcmTopK,
@@ -15,67 +13,27 @@
 //     to prove it reduces counterexamples to the minimal trigger.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <sstream>
 #include <unordered_map>
 #include <vector>
 
-#include "common/random.h"
 #include "fcm/fcm_sketch.h"
 #include "fcm/fcm_topk.h"
 #include "flow/flow_key.h"
+#include "property_harness.h"
 #include "sketch/cm_sketch.h"
 
 namespace fcm {
 namespace {
 
-// Small geometry so 40k packets over 2k flows actually exercises overflow
-// promotion through all three stages.
-core::FcmConfig small_fcm_config(std::uint64_t seed) {
-  core::FcmConfig config;
-  config.tree_count = 2;
-  config.k = 8;
-  config.stage_bits = {8, 16, 32};
-  config.leaf_count = 8 * 8 * 64;  // 4096 leaves
-  config.seed = seed;
-  return config;
-}
-
-core::FcmTopK::Config small_topk_config(std::uint64_t seed) {
-  core::FcmTopK::Config config;
-  config.fcm = small_fcm_config(seed);
-  config.topk_entries = 64;
-  return config;
-}
-
-// Skewed random key sequence: cubing the uniform draw concentrates mass on
-// low key ids, giving a few heavy flows (stage-overflow pressure) and a
-// long tail (leaf-collision pressure).
-std::vector<flow::FlowKey> random_keys(std::uint64_t seed, std::size_t length,
-                                       std::uint32_t universe) {
-  common::Xoshiro256 rng(seed);
-  std::vector<flow::FlowKey> keys;
-  keys.reserve(length);
-  for (std::size_t i = 0; i < length; ++i) {
-    const double u = rng.next_double();
-    const auto id = static_cast<std::uint32_t>(u * u * u * universe);
-    keys.push_back(flow::FlowKey{id});
-  }
-  return keys;
-}
-
-struct Counterexample {
-  flow::FlowKey key{};
-  std::uint64_t estimate = 0;
-  std::uint64_t expected = 0;
-};
-
-// A property maps a key sequence to nullopt (holds) or a counterexample.
-using Property =
-    std::function<std::optional<Counterexample>(const std::vector<flow::FlowKey>&)>;
+using proptest::Counterexample;
+using proptest::expect_property;
+using proptest::Property;
+using proptest::random_keys;
+using proptest::shrink;
+using proptest::small_fcm_config;
+using proptest::small_topk_config;
 
 // query(k) must dominate the exact count of k for every flow in the trace.
 template <typename MakeSketch>
@@ -114,58 +72,6 @@ Property monotone_estimates(MakeSketch make) {
     }
     return std::nullopt;
   };
-}
-
-// ddmin-style shrinker: repeatedly delete chunks (halving the chunk size)
-// while the property still fails. Deterministic and O(n log n) checks.
-std::vector<flow::FlowKey> shrink(std::vector<flow::FlowKey> keys,
-                                  const Property& property) {
-  for (std::size_t chunk = keys.size() / 2; chunk > 0; chunk /= 2) {
-    std::size_t start = 0;
-    while (start + chunk <= keys.size()) {
-      std::vector<flow::FlowKey> candidate;
-      candidate.reserve(keys.size() - chunk);
-      candidate.insert(candidate.end(), keys.begin(),
-                       keys.begin() + static_cast<std::ptrdiff_t>(start));
-      candidate.insert(candidate.end(),
-                       keys.begin() + static_cast<std::ptrdiff_t>(start + chunk),
-                       keys.end());
-      if (!candidate.empty() && property(candidate).has_value()) {
-        keys = std::move(candidate);  // keep the removal, retry same offset
-      } else {
-        start += chunk;
-      }
-    }
-  }
-  return keys;
-}
-
-std::string render_keys(const std::vector<flow::FlowKey>& keys) {
-  std::ostringstream out;
-  const std::size_t shown = std::min<std::size_t>(keys.size(), 24);
-  for (std::size_t i = 0; i < shown; ++i) {
-    if (i > 0) out << ", ";
-    out << keys[i].value;
-  }
-  if (shown < keys.size()) out << ", ... (" << keys.size() << " total)";
-  return out.str();
-}
-
-// Runs `property` on a generated sequence; on failure, shrinks and reports
-// the minimal reproducer together with the generator seed.
-void expect_property(const Property& property, std::uint64_t seed,
-                     std::size_t length, std::uint32_t universe,
-                     const char* name) {
-  const std::vector<flow::FlowKey> keys = random_keys(seed, length, universe);
-  const std::optional<Counterexample> failure = property(keys);
-  if (!failure) return;
-  const std::vector<flow::FlowKey> minimal = shrink(keys, property);
-  const std::optional<Counterexample> min_failure = property(minimal);
-  const Counterexample& report = min_failure ? *min_failure : *failure;
-  FAIL() << name << " violated (seed " << seed << "): key " << report.key.value
-         << " estimated " << report.estimate << " < expected "
-         << report.expected << "\nminimal reproducer (" << minimal.size()
-         << " updates): " << render_keys(minimal);
 }
 
 class SketchPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

@@ -139,6 +139,7 @@ KNOWN_RULES = {
     "guarded-field",
     "hot-path-lock",
     "hot-path-alloc",
+    "wire-encoding",
 }
 
 # Rule: narrowing-cast — only inside these top-level directories.
@@ -175,6 +176,16 @@ ATOMIC_OP_RE = re.compile(
     r"\s*\("
 )
 MEMORY_ORDER_ARG_RE = re.compile(r"memory_order_(\w+)")
+
+# Rule: wire-encoding — src/agg only. The wire format is explicit
+# little-endian, one byte at a time through WireWriter/WireReader
+# (DESIGN.md §11); memcpy'ing or reinterpret_cast'ing counter memory onto
+# the wire silently bakes host endianness, struct padding, and type-punning
+# UB into frames that must round-trip bit-exactly across machines.
+WIRE_DIRS = ("src/agg",)
+WIRE_RE = re.compile(
+    r"(?<![\w:])(?:std::)?memcpy\s*\(|(?<![\w:])reinterpret_cast\s*<"
+)
 
 # Rules: guarded-field / hot-path-* — src/ only.
 GUARDED_DIRS = ("src",)
@@ -670,6 +681,7 @@ def lint_file(
     check_narrowing = in_dirs(NARROWING_DIRS)
     check_threads = in_dirs(THREAD_DIRS)
     check_atomics = in_dirs(ATOMIC_DIRS) and not in_dirs(ATOMIC_EXEMPT_DIRS)
+    check_wire = in_dirs(WIRE_DIRS)
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         if check_narrowing and NARROWING_RE.search(line):
@@ -702,6 +714,15 @@ def lint_file(
                 "route telemetry through obs::MetricsRegistry, or "
                 "justify control state with "
                 "'// fcm-lint: allow(raw-atomic)'",
+            )
+        if check_wire and WIRE_RE.search(line):
+            add(
+                lineno,
+                "wire-encoding",
+                "memcpy/reinterpret_cast in the wire codec; frames must be "
+                "encoded byte-at-a-time through WireWriter/WireReader "
+                "(explicit little-endian, no struct dumps) "
+                "(or '// fcm-lint: allow(wire-encoding)')",
             )
         if check_threads and THREAD_RE.search(line):
             add(
