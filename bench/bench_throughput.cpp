@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "datapath/cached_framework.h"
 #include "fcm/fcm_estimator.h"
 #include "flow/synthetic.h"
 #include "framework/fcm_framework.h"
@@ -81,6 +82,23 @@ const flow::Trace& scaling_trace() {
     flow::SyntheticTraceConfig config;
     config.packet_count = 1 << 18;
     config.flow_count = 1 << 20;
+    config.seed = g_trace_seed;
+    return flow::SyntheticTraceGenerator(config).generate();
+  }();
+  return trace;
+}
+
+// Skewed trace for the heavy-flow-cache study (DESIGN.md §12). Zipf 1.3 is
+// the regime the cache targets: a handful of elephant flows carry most
+// packets, so the exact-match cache absorbs them in L1/L2 and the sketch
+// only sees the cold tail. Same dispersed flow population as the scaling
+// trace so the cache-off column pays the same leaf-access misses.
+const flow::Trace& cache_trace() {
+  static const flow::Trace trace = [] {
+    flow::SyntheticTraceConfig config;
+    config.packet_count = 1 << 18;
+    config.flow_count = 1 << 20;
+    config.zipf_alpha = 1.3;
     config.seed = g_trace_seed;
     return flow::SyntheticTraceGenerator(config).generate();
   }();
@@ -292,8 +310,69 @@ std::vector<ScalingPoint> run_scaling_study(const flow::Trace& trace) {
   return points;
 }
 
+// --- heavy-flow-cache study --------------------------------------------------
+
+// Cache-on (CachedFramework) vs cache-off (plain FcmFramework) on the skewed
+// trace, both through the batch entry points, interleaved best-of-9 like the
+// scaling study. `cache_speedup` is an in-run ratio (same process, same
+// machine) so it cancels CPU model and frequency — that ratio is what
+// tools/check_perf_baseline.py guards (acceptance: >= 1.2x at Zipf 1.3).
+struct CacheStudy {
+  double zipf_alpha = 1.3;
+  std::size_t cache_entries = 0;
+  std::size_t cache_ways = 0;
+  double plain_pps = 0.0;    // FcmFramework::process_batch, no cache
+  double cached_pps = 0.0;   // CachedFramework::process_batch
+  double cache_speedup = 1.0;  // cached_pps / plain_pps
+  double hit_rate = 0.0;     // cache hits / offers on the final repeat
+};
+
+CacheStudy run_cache_study(const flow::Trace& trace) {
+  framework::FcmFramework::Options fw;
+  fw.fcm = core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32});
+
+  std::vector<flow::FlowKey> keys;
+  keys.reserve(trace.size());
+  for (const flow::Packet& packet : trace.packets()) keys.push_back(packet.key);
+  const std::span<const flow::FlowKey> key_span(keys);
+
+  datapath::CachedFramework::Options cached_options;
+  cached_options.framework = fw;
+  cached_options.metrics = nullptr;
+
+  CacheStudy study;
+  study.cache_entries = cached_options.cache.entries;
+  study.cache_ways = cached_options.cache.ways;
+  for (int r = 0; r < kInterleavedRepeats; ++r) {
+    {
+      framework::FcmFramework framework(fw);
+      study.plain_pps =
+          std::max(study.plain_pps, time_packets_per_sec(trace, [&] {
+            framework.process_batch(key_span);
+          }));
+    }
+    {
+      datapath::CachedFramework framework(cached_options);
+      study.cached_pps =
+          std::max(study.cached_pps, time_packets_per_sec(trace, [&] {
+            framework.process_batch(key_span);
+          }));
+      const std::uint64_t offers =
+          framework.cache().hits() + framework.cache().misses();
+      if (offers > 0) {
+        study.hit_rate =
+            static_cast<double>(framework.cache().hits()) /
+            static_cast<double>(offers);
+      }
+    }
+  }
+  study.cache_speedup = study.cached_pps / study.plain_pps;
+  return study;
+}
+
 void write_scaling_json(const std::string& path, const flow::Trace& trace,
-                        const std::vector<ScalingPoint>& points) {
+                        const std::vector<ScalingPoint>& points,
+                        const CacheStudy& cache) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_throughput: cannot write %s\n", path.c_str());
@@ -305,7 +384,7 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
   }
   out << "{\n";
   out << "  \"bench\": \"sharded_runtime_scaling\",\n";
-  out << "  \"schema\": \"fcm.bench.throughput.v2\",\n";
+  out << "  \"schema\": \"fcm.bench.throughput.v3\",\n";
   out << "  \"packet_count\": " << trace.size() << ",\n";
   out << "  \"seed\": " << g_trace_seed << ",\n";
   out << "  \"repeats\": " << kInterleavedRepeats << ",\n";
@@ -316,6 +395,13 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
   out << "  \"serial\": {\"scalar_packets_per_sec\": " << serial->scalar_pps
       << ", \"batch_packets_per_sec\": " << serial->batch_pps
       << ", \"batch_speedup\": " << serial->batch_speedup << "},\n";
+  out << "  \"cache\": {\"zipf_alpha\": " << cache.zipf_alpha
+      << ", \"cache_entries\": " << cache.cache_entries
+      << ", \"cache_ways\": " << cache.cache_ways
+      << ", \"plain_packets_per_sec\": " << cache.plain_pps
+      << ", \"cached_packets_per_sec\": " << cache.cached_pps
+      << ", \"cache_speedup\": " << cache.cache_speedup
+      << ", \"hit_rate\": " << cache.hit_rate << "},\n";
   out << "  \"sharded\": [\n";
   bool first = true;
   for (const ScalingPoint& p : points) {
@@ -350,6 +436,20 @@ void print_scaling(const std::vector<ScalingPoint>& points) {
               "< 2%% (DESIGN.md §8/§9)\n");
 }
 
+void print_cache_study(const CacheStudy& cache) {
+  std::printf("\nheavy-flow cache (Zipf %.1f skewed trace, %zu entries x %zu "
+              "ways, best of %d interleaved)\n",
+              cache.zipf_alpha, cache.cache_entries, cache.cache_ways,
+              kInterleavedRepeats);
+  std::printf("%-10s %14s %14s %8s %9s\n", "config", "plain pps", "cached pps",
+              "cache x", "hit rate");
+  std::printf("%-10s %14.0f %14.0f %7.2fx %8.1f%%\n", "serial",
+              cache.plain_pps, cache.cached_pps, cache.cache_speedup,
+              100.0 * cache.hit_rate);
+  std::printf("acceptance: cache_speedup >= 1.2x on the skewed trace "
+              "(DESIGN.md §12)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,7 +475,9 @@ int main(int argc, char** argv) {
   const fcm::flow::Trace& trace = scaling_trace();
   const std::vector<ScalingPoint> points = run_scaling_study(trace);
   print_scaling(points);
-  write_scaling_json(json_path, trace, points);
+  const CacheStudy cache = run_cache_study(cache_trace());
+  print_cache_study(cache);
+  write_scaling_json(json_path, trace, points, cache);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (scaling_only) {

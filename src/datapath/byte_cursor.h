@@ -1,0 +1,97 @@
+// Bounds-checked cursor over a read-only byte buffer — the ONLY sanctioned
+// way to index capture bytes in src/datapath (tools/fcm_lint.py rule
+// "datapath-bounds" bans raw pointer arithmetic and memcpy/reinterpret_cast
+// everywhere else in this directory; this header is the audited exception).
+//
+// Same hostile-input posture as agg::WireReader (DESIGN.md §11): every read
+// is preceded by an explicit capacity check, multi-byte integers are
+// assembled byte by byte in the requested endianness (no type punning, no
+// alignment assumptions), and overrunning reads throw ContractViolation.
+// Parsers that must not throw on malformed input (the per-packet paths) call
+// can_read() first and turn shortfalls into typed outcomes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/contracts.h"
+
+namespace fcm::datapath {
+
+class ByteCursor {
+ public:
+  constexpr ByteCursor() = default;
+  explicit constexpr ByteCursor(std::span<const std::byte> data) : data_(data) {}
+
+  constexpr std::size_t offset() const noexcept { return pos_; }
+  constexpr std::size_t size() const noexcept { return data_.size(); }
+  constexpr std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  constexpr bool can_read(std::size_t bytes) const noexcept {
+    return bytes <= remaining();
+  }
+
+  void skip(std::size_t bytes) {
+    FCM_REQUIRE(can_read(bytes), "ByteCursor: skip past end of buffer");
+    pos_ += bytes;
+  }
+
+  // Carves the next `bytes` as an independent cursor (e.g. one capture block)
+  // and advances past them — downstream reads cannot escape the carved range.
+  ByteCursor sub(std::size_t bytes) {
+    FCM_REQUIRE(can_read(bytes), "ByteCursor: sub-range past end of buffer");
+    ByteCursor sub_cursor(data_.subspan(pos_, bytes));
+    pos_ += bytes;
+    return sub_cursor;
+  }
+
+  // Checked view of the next `bytes` without consuming them.
+  std::span<const std::byte> peek_bytes(std::size_t bytes) const {
+    FCM_REQUIRE(can_read(bytes), "ByteCursor: peek past end of buffer");
+    return data_.subspan(pos_, bytes);
+  }
+
+  std::span<const std::byte> bytes(std::size_t count) {
+    FCM_REQUIRE(can_read(count), "ByteCursor: read past end of buffer");
+    std::span<const std::byte> view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  std::uint8_t u8() {
+    FCM_REQUIRE(can_read(1), "ByteCursor: u8 past end of buffer");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t u16le() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+  std::uint16_t u16be() {
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  std::uint16_t u16(bool big_endian) { return big_endian ? u16be() : u16le(); }
+
+  std::uint32_t u32le() {
+    const std::uint32_t lo = u16le();
+    return lo | (static_cast<std::uint32_t>(u16le()) << 16);
+  }
+  std::uint32_t u32be() {
+    const std::uint32_t hi = u16be();
+    return (hi << 16) | u16be();
+  }
+  std::uint32_t u32(bool big_endian) { return big_endian ? u32be() : u32le(); }
+
+  std::uint64_t u64(bool big_endian) {
+    const std::uint64_t first = u32(big_endian);
+    const std::uint64_t second = u32(big_endian);
+    return big_endian ? (first << 32) | second : first | (second << 32);
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fcm::datapath

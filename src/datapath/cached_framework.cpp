@@ -1,0 +1,138 @@
+#include "datapath/cached_framework.h"
+
+#include <unordered_set>
+
+#include "common/contracts.h"
+
+namespace fcm::datapath {
+
+CachedFramework::CachedFramework(Options options)
+    : options_(std::move(options)),
+      framework_([&] {
+        // One telemetry knob for the whole composition (the sharded runtime
+        // sets the same precedent): Options::metrics overrides the nested
+        // framework's sink.
+        options_.framework.metrics = options_.metrics;
+        return options_.framework;
+      }()),
+      cache_(options_.cache) {
+  obs::MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr) return;
+  std::vector<obs::MetricLabel> labels;
+  if (!options_.metrics_instance.empty()) {
+    labels.push_back({"instance", options_.metrics_instance});
+  }
+  instruments_.hits = &registry->counter(
+      "fcm_datapath_cache_hits_total", labels,
+      "Packets absorbed exactly by the heavy-flow cache");
+  instruments_.misses = &registry->counter(
+      "fcm_datapath_cache_misses_total", labels,
+      "Packets that installed or displaced a heavy-flow cache entry");
+  instruments_.evictions = &registry->counter(
+      "fcm_datapath_cache_evictions_total", labels,
+      "Flows demoted from the heavy-flow cache into the sketch");
+  instruments_.resident_flows = &registry->gauge(
+      "fcm_datapath_cache_resident_flows", labels,
+      "Flows currently held exactly in the heavy-flow cache");
+}
+
+void CachedFramework::offer(flow::FlowKey key, std::uint64_t count) {
+  if (count == 0) return;  // kBytes mode: a zero-byte packet adds nothing
+  const HeavyFlowCache::Result result = cache_.offer(key, count);
+  switch (result.outcome) {
+    case HeavyFlowCache::Result::Outcome::kHit:
+    case HeavyFlowCache::Result::Outcome::kInserted:
+      return;
+    case HeavyFlowCache::Result::Outcome::kEvicted:
+      framework_.process_weighted(result.evicted_key, result.evicted_count);
+      return;
+    case HeavyFlowCache::Result::Outcome::kBypass:
+      // Flow 0 (the cache's empty-slot sentinel) always takes the sketch.
+      framework_.process_weighted(key, count);
+      return;
+  }
+}
+
+void CachedFramework::process(flow::FlowKey key) { offer(key, 1); }
+
+void CachedFramework::process(const flow::Packet& packet) {
+  if (options_.framework.count_mode ==
+      framework::FcmFramework::CountMode::kBytes) {
+    offer(packet.key, packet.bytes);
+  } else {
+    offer(packet.key, 1);
+  }
+}
+
+void CachedFramework::process(std::span<const flow::Packet> packets) {
+  if (options_.framework.count_mode ==
+      framework::FcmFramework::CountMode::kBytes) {
+    for (const flow::Packet& packet : packets) offer(packet.key, packet.bytes);
+  } else {
+    for (const flow::Packet& packet : packets) offer(packet.key, 1);
+  }
+}
+
+void CachedFramework::process_batch(std::span<const flow::FlowKey> keys) {
+  // No bulk kernel here on purpose: a hit is one hash + one increment —
+  // already cheaper than the batched tree walk it replaces — and misses are
+  // weighted demotions, which the batch kernel (+1-only) cannot express.
+  for (const flow::FlowKey key : keys) offer(key, 1);
+}
+
+std::uint64_t CachedFramework::flow_size(flow::FlowKey key) const {
+  return cache_.count_of(key) + framework_.flow_size(key);
+}
+
+std::vector<flow::FlowKey> CachedFramework::heavy_hitters() const {
+  std::unordered_set<flow::FlowKey> merged;
+  for (const flow::FlowKey key : framework_.heavy_hitters()) merged.insert(key);
+  const std::uint64_t threshold = options_.framework.heavy_hitter_threshold;
+  if (threshold > 0) {
+    cache_.for_each([&](flow::FlowKey key, std::uint64_t count) {
+      // Combined estimate: the resident exact count plus whatever earlier
+      // demotions of this flow left in the sketch.
+      if (count + framework_.flow_size(key) >= threshold) merged.insert(key);
+    });
+  }
+  return {merged.begin(), merged.end()};
+}
+
+framework::FcmFramework CachedFramework::snapshot() const {
+  publish_metrics();
+  framework::FcmFramework folded = framework_;
+  cache_.for_each([&](flow::FlowKey key, std::uint64_t count) {
+    folded.process_weighted(key, count);
+  });
+  return folded;
+}
+
+void CachedFramework::reset() {
+  publish_metrics();
+  framework_.reset();
+  cache_.clear();
+  published_hits_ = published_misses_ = published_evictions_ = 0;
+}
+
+void CachedFramework::publish_metrics() const {
+  if (instruments_.hits == nullptr) return;
+  instruments_.hits->inc(cache_.hits() - published_hits_);
+  instruments_.misses->inc(cache_.misses() - published_misses_);
+  instruments_.evictions->inc(cache_.evictions() - published_evictions_);
+  instruments_.resident_flows->set(
+      static_cast<double>(cache_.resident_flows()));
+  published_hits_ = cache_.hits();
+  published_misses_ = cache_.misses();
+  published_evictions_ = cache_.evictions();
+}
+
+void CachedFramework::check_invariants() const {
+  framework_.check_invariants();
+  cache_.check_invariants();
+  FCM_ASSERT(published_hits_ <= cache_.hits() &&
+                 published_misses_ <= cache_.misses() &&
+                 published_evictions_ <= cache_.evictions(),
+             "CachedFramework: published counters ahead of the cache ledger");
+}
+
+}  // namespace fcm::datapath

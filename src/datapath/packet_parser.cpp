@@ -1,0 +1,210 @@
+#include "datapath/packet_parser.h"
+
+#include "common/hash.h"
+#include "datapath/byte_cursor.h"
+
+namespace fcm::datapath {
+
+namespace {
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
+constexpr std::uint16_t kEtherTypeVlan = 0x8100;   // 802.1Q
+constexpr std::uint16_t kEtherTypeQinQ = 0x88A8;   // 802.1ad
+constexpr std::uint16_t kEtherTypeVlan9100 = 0x9100;  // legacy QinQ
+
+constexpr std::uint8_t kProtoTcp = 6;
+constexpr std::uint8_t kProtoUdp = 17;
+
+bool is_vlan(std::uint16_t ether_type) {
+  return ether_type == kEtherTypeVlan || ether_type == kEtherTypeQinQ ||
+         ether_type == kEtherTypeVlan9100;
+}
+
+// Deterministic 32-bit fold of a 128-bit IPv6 address (big-endian halves
+// mixed through mix64) so v6 flows live in the same FlowKey space as v4.
+std::uint32_t fold_ipv6_address(ByteCursor& cursor) {
+  std::uint64_t high = 0;
+  std::uint64_t low = 0;
+  for (int i = 0; i < 8; ++i) high = (high << 8) | cursor.u8();
+  for (int i = 0; i < 8; ++i) low = (low << 8) | cursor.u8();
+  const std::uint64_t mixed = common::mix64(high ^ common::mix64(low));
+  return static_cast<std::uint32_t>(mixed ^ (mixed >> 32));
+}
+
+// Transport layer. `protocol` is the final IP next-header; non-TCP/UDP
+// protocols (ICMP and everything else) key on addresses alone: ports stay 0.
+ParseOutcome parse_transport(ByteCursor cursor, std::uint8_t protocol,
+                             flow::FiveTuple& tuple) {
+  switch (protocol) {
+    case kProtoTcp: {
+      if (!cursor.can_read(20)) return ParseOutcome::kTruncatedTransport;
+      tuple.src_port = cursor.u16be();
+      tuple.dst_port = cursor.u16be();
+      cursor.skip(8);  // sequence + ack numbers
+      const unsigned data_offset_words = cursor.u8() >> 4;
+      if (data_offset_words < 5) return ParseOutcome::kBadTransportHeader;
+      return ParseOutcome::kOk;
+    }
+    case kProtoUdp: {
+      if (!cursor.can_read(8)) return ParseOutcome::kTruncatedTransport;
+      tuple.src_port = cursor.u16be();
+      tuple.dst_port = cursor.u16be();
+      const std::uint16_t udp_length = cursor.u16be();
+      if (udp_length < 8) return ParseOutcome::kBadTransportHeader;
+      return ParseOutcome::kOk;
+    }
+    default:
+      return ParseOutcome::kOk;  // ICMP & friends: address-keyed flow
+  }
+}
+
+ParseOutcome parse_ipv4(ByteCursor cursor, ParsedPacket& out) {
+  if (!cursor.can_read(20)) return ParseOutcome::kTruncatedIp;
+  const std::uint8_t version_ihl = cursor.u8();
+  if ((version_ihl >> 4) != 4) return ParseOutcome::kBadIpHeader;
+  const std::size_t header_length = (version_ihl & 0x0f) * std::size_t{4};
+  if (header_length < 20) return ParseOutcome::kBadIpHeader;  // zero/short IHL
+  cursor.skip(1);  // DSCP/ECN
+  const std::uint16_t total_length = cursor.u16be();
+  // A datagram shorter than its own header means the "payload" would overlap
+  // the header bytes — classic crafted-packet territory.
+  if (total_length < header_length) return ParseOutcome::kBadIpHeader;
+  cursor.skip(2);  // identification
+  const std::uint16_t flags_fragment = cursor.u16be();
+  cursor.skip(1);  // TTL
+  const std::uint8_t protocol = cursor.u8();
+  cursor.skip(2);  // header checksum
+  out.tuple.src_ip = cursor.u32be();
+  out.tuple.dst_ip = cursor.u32be();
+  out.tuple.protocol = protocol;
+  out.ip_version = 4;
+  const std::size_t options_length = header_length - 20;
+  if (!cursor.can_read(options_length)) return ParseOutcome::kTruncatedIp;
+  cursor.skip(options_length);
+  if ((flags_fragment & 0x1fff) != 0) {
+    return ParseOutcome::kOk;  // non-first fragment: no L4 header on the wire
+  }
+  return parse_transport(cursor, protocol, out.tuple);
+}
+
+ParseOutcome parse_ipv6(ByteCursor cursor, ParsedPacket& out) {
+  if (!cursor.can_read(40)) return ParseOutcome::kTruncatedIp;
+  const std::uint32_t version_class_label = cursor.u32be();
+  if ((version_class_label >> 28) != 6) return ParseOutcome::kBadIpHeader;
+  cursor.skip(2);  // payload length (capture may be sliced; not trusted)
+  std::uint8_t next_header = cursor.u8();
+  cursor.skip(1);  // hop limit
+  out.tuple.src_ip = fold_ipv6_address(cursor);
+  out.tuple.dst_ip = fold_ipv6_address(cursor);
+  out.ip_version = 6;
+  // Bounded extension-header walk; a longer chain than this is either an
+  // attack or garbage.
+  for (int depth = 0; depth < 8; ++depth) {
+    switch (next_header) {
+      case 0:     // hop-by-hop options
+      case 43:    // routing
+      case 60: {  // destination options
+        if (!cursor.can_read(2)) return ParseOutcome::kTruncatedIp;
+        const std::uint8_t following = cursor.u8();
+        const std::size_t extension_length =
+            (static_cast<std::size_t>(cursor.u8()) + 1) * 8;
+        if (!cursor.can_read(extension_length - 2)) {
+          return ParseOutcome::kTruncatedIp;
+        }
+        cursor.skip(extension_length - 2);
+        next_header = following;
+        continue;
+      }
+      case 44: {  // fragment (fixed 8 bytes)
+        if (!cursor.can_read(8)) return ParseOutcome::kTruncatedIp;
+        const std::uint8_t following = cursor.u8();
+        cursor.skip(1);  // reserved
+        const std::uint16_t offset_flags = cursor.u16be();
+        cursor.skip(4);  // identification
+        out.tuple.protocol = following;
+        if ((offset_flags >> 3) != 0) {
+          return ParseOutcome::kOk;  // non-first fragment: no L4 header
+        }
+        next_header = following;
+        continue;
+      }
+      case 59:  // no next header
+        out.tuple.protocol = next_header;
+        return ParseOutcome::kOk;
+      default:
+        out.tuple.protocol = next_header;
+        return parse_transport(cursor, next_header, out.tuple);
+    }
+  }
+  return ParseOutcome::kBadIpHeader;  // absurd extension chain
+}
+
+ParseOutcome parse_raw_ip(ByteCursor cursor, ParsedPacket& out) {
+  if (!cursor.can_read(1)) return ParseOutcome::kTruncatedIp;
+  const std::uint8_t version = ByteCursor(cursor.peek_bytes(1)).u8() >> 4;
+  if (version == 4) return parse_ipv4(cursor, out);
+  if (version == 6) return parse_ipv6(cursor, out);
+  return ParseOutcome::kBadIpHeader;
+}
+
+}  // namespace
+
+const char* to_string(ParseOutcome outcome) {
+  switch (outcome) {
+    case ParseOutcome::kOk: return "ok";
+    case ParseOutcome::kUnsupportedLinkType: return "unsupported-link-type";
+    case ParseOutcome::kUnsupportedEtherType: return "unsupported-ether-type";
+    case ParseOutcome::kTruncatedLink: return "truncated-link";
+    case ParseOutcome::kBadIpHeader: return "bad-ip-header";
+    case ParseOutcome::kTruncatedIp: return "truncated-ip";
+    case ParseOutcome::kBadTransportHeader: return "bad-transport-header";
+    case ParseOutcome::kTruncatedTransport: return "truncated-transport";
+    case ParseOutcome::kOutcomeCount: break;
+  }
+  return "unknown";
+}
+
+ParseOutcome parse_packet(const RawRecord& record, ParsedPacket& out) {
+  out = ParsedPacket{};
+  out.timestamp_ns = record.timestamp_ns;
+  out.wire_bytes = record.original_length;
+  ByteCursor cursor(record.bytes);
+  switch (record.link_type) {
+    case kLinkTypeEthernet: {
+      if (!cursor.can_read(14)) return ParseOutcome::kTruncatedLink;
+      cursor.skip(12);  // dst + src MAC
+      std::uint16_t ether_type = cursor.u16be();
+      for (int tags = 0; tags < 4 && is_vlan(ether_type); ++tags) {
+        if (!cursor.can_read(4)) return ParseOutcome::kTruncatedLink;
+        cursor.skip(2);  // PCP/DEI/VID
+        ether_type = cursor.u16be();
+      }
+      if (is_vlan(ether_type)) return ParseOutcome::kBadIpHeader;  // tag bomb
+      if (ether_type == kEtherTypeIpv4) return parse_ipv4(cursor, out);
+      if (ether_type == kEtherTypeIpv6) return parse_ipv6(cursor, out);
+      return ParseOutcome::kUnsupportedEtherType;
+    }
+    case kLinkTypeRawIp:
+      return parse_raw_ip(cursor, out);
+    case kLinkTypeNull:
+    case kLinkTypeLoop: {
+      // 4-byte AF_* family header in the CAPTURING host's byte order; accept
+      // either (the values are small, so the swapped form is unambiguous).
+      if (!cursor.can_read(4)) return ParseOutcome::kTruncatedLink;
+      std::uint32_t family = cursor.u32le();
+      if (family > 0xffff) {
+        family = (family >> 24) | ((family >> 8) & 0xff00);
+      }
+      if (family == 2) return parse_ipv4(cursor, out);
+      if (family == 24 || family == 28 || family == 30) {
+        return parse_ipv6(cursor, out);
+      }
+      return ParseOutcome::kUnsupportedEtherType;
+    }
+    default:
+      return ParseOutcome::kUnsupportedLinkType;
+  }
+}
+
+}  // namespace fcm::datapath

@@ -1,0 +1,53 @@
+// L2-L4 header parser: captured bytes -> flow::FiveTuple. Covers Ethernet
+// (with stacked 802.1Q/802.1ad VLAN tags), IPv4 (IHL-validated), IPv6 (with
+// a bounded extension-header walk), TCP/UDP ports, and an ICMP/other-protocol
+// fallback that keys on addresses alone. Raw-IP and BSD loopback link types
+// are handled for completeness.
+//
+// Hostile-input posture (DESIGN.md §12): the packet is untrusted bytes. Every
+// header field is range-checked against the CAPTURED length through
+// ByteCursor before use; a packet that fails any check yields a typed
+// ParseOutcome (counted by the ingest layer) instead of a crash, a throw, or
+// a bogus tuple. parse_packet never throws and never reads out of bounds.
+#pragma once
+
+#include <cstdint>
+
+#include "datapath/pcap_reader.h"
+#include "flow/flow_key.h"
+
+namespace fcm::datapath {
+
+enum class ParseOutcome : std::uint8_t {
+  kOk = 0,
+  kUnsupportedLinkType,   // link type the parser has no decoder for
+  kUnsupportedEtherType,  // non-IP payload (ARP, LLDP, ...) — not an error
+  kTruncatedLink,         // capture ends inside the L2 header
+  kBadIpHeader,           // IHL < 20 bytes, version mismatch, overlapping
+                          // lengths (total_length < header), bad ext chain
+  kTruncatedIp,           // capture ends inside the IP header
+  kBadTransportHeader,    // TCP data offset < 20 bytes / UDP length < 8
+  kTruncatedTransport,    // capture ends inside the TCP/UDP header
+  kOutcomeCount,          // sentinel: number of outcomes (for counters)
+};
+
+inline constexpr std::size_t kParseOutcomeCount =
+    static_cast<std::size_t>(ParseOutcome::kOutcomeCount);
+
+const char* to_string(ParseOutcome outcome);
+
+struct ParsedPacket {
+  flow::FiveTuple tuple;
+  std::uint64_t timestamp_ns = 0;
+  std::uint32_t wire_bytes = 0;  // original on-the-wire length
+  std::uint8_t ip_version = 0;   // 4 or 6
+};
+
+// Decodes one captured record. Returns kOk and fills `out` completely, or a
+// typed failure outcome (out is unspecified). For IPv6, src_ip/dst_ip carry
+// a deterministic 32-bit fold of the 128-bit addresses so v6 flows share the
+// FlowKey keyspace (documented in DESIGN.md §12). Fragments with a nonzero
+// offset and non-TCP/UDP protocols parse kOk with ports 0.
+ParseOutcome parse_packet(const RawRecord& record, ParsedPacket& out);
+
+}  // namespace fcm::datapath

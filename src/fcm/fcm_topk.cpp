@@ -71,6 +71,14 @@ void FcmTopK::add_batch(std::span<const flow::FlowKey> keys) {
   }
 }
 
+void FcmTopK::add_weighted(flow::FlowKey key, std::uint64_t count) {
+  sketch_.add(key, count);
+  // If the flow holds a filter entry, its sketch-side residue must be made
+  // visible to query(): without the light-part flag the filter would answer
+  // with its exact count alone and UNDERESTIMATE by `count`.
+  filter_.note_light_part(key);
+}
+
 void FcmTopK::merge(const FcmTopK& other) {
   // Sketches first (bit-exact linear merge), then the heavy parts; flows
   // displaced by bucket contention flush into the merged sketch the same way

@@ -40,6 +40,13 @@ class FcmTopK {
   // before every eviction flush, so no sketch write is reordered.
   void add_batch(std::span<const flow::FlowKey> keys);
 
+  // Weighted bulk insert: `count` packets of `key` land in the FCM sketch in
+  // one add, exactly as an eviction flush would deposit them — the datapath
+  // heavy-flow cache demotes cold flows through this (DESIGN.md §12). If the
+  // flow is filter-resident its light-part flag is set so query() keeps
+  // combining both parts and never underestimates.
+  void add_weighted(flow::FlowKey key, std::uint64_t count);
+
   std::uint64_t query(flow::FlowKey key) const;
 
   // Merges `other` into this instance: the FCM sketches merge bit-exactly

@@ -77,6 +77,15 @@ void FcmFramework::process_batch(std::span<const flow::FlowKey> keys) {
   }
 }
 
+void FcmFramework::process_weighted(flow::FlowKey key, std::uint64_t count) {
+  if (count == 0) return;
+  if (with_topk_) {
+    with_topk_->add_weighted(key, count);
+  } else {
+    plain_->add(key, count);
+  }
+}
+
 std::uint64_t FcmFramework::flow_size(flow::FlowKey key) const {
   return with_topk_ ? with_topk_->query(key) : plain_->query(key);
 }

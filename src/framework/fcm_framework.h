@@ -63,6 +63,15 @@ class FcmFramework {
   // kPackets mode; kBytes stays per-packet (the increment is data-dependent).
   void process_batch(std::span<const flow::FlowKey> keys);
 
+  // Weighted bulk insert: absorbs `count` units (packets in kPackets mode,
+  // bytes in kBytes mode) of flow `key` in one call — the demotion path of
+  // the datapath heavy-flow cache and the sharded runtime's cache flush
+  // (DESIGN.md §12). For the plain-FCM plane this is bit-exact equivalent to
+  // `count` separate unit inserts (FCM counters are order-independent sums);
+  // with the Top-K filter the count lands in the backing sketch and the
+  // filter's light-part flag is set, so queries never underestimate.
+  void process_weighted(flow::FlowKey key, std::uint64_t count);
+
   // Data-plane queries (§3.3): available at line rate.
   std::uint64_t flow_size(flow::FlowKey key) const;
   double cardinality() const;

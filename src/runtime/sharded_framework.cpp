@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/contracts.h"
 #include "common/hash.h"
@@ -45,6 +47,9 @@ struct Item {
 // so idle periods cost nothing.
 struct ShardedFcmFramework::Instruments {
   obs::Counter* backpressure_spins = nullptr;   // producer spins on full rings
+  obs::Counter* cache_hits = nullptr;           // heavy-flow cache, driver side
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_evictions = nullptr;
   obs::Counter* rotations = nullptr;            // rotate_async() calls
   obs::Counter* epochs_merged = nullptr;        // epochs published
   obs::Counter* overflow_promotions = nullptr;  // FCM overflow trips (merged)
@@ -88,6 +93,9 @@ struct ShardedFcmFramework::Shard {
 
 ShardedFcmFramework::ShardedFcmFramework(Options options)
     : options_(std::move(options)) {
+  // The constructing thread owns the driver role until the instance is handed
+  // to the (single) ingest thread; needed so cache_ setup below type-checks.
+  driver_role_.assert_held();
   FCM_REQUIRE(options_.shard_count >= 1,
               "ShardedFcmFramework: shard_count must be >= 1");
   FCM_REQUIRE(options_.shard_count <= 256,
@@ -126,6 +134,13 @@ ShardedFcmFramework::ShardedFcmFramework(Options options)
     shards_.push_back(std::make_unique<Shard>(
         s, replica_options, options_.queue_capacity, options_.flush_batch));
   }
+  if (options_.cache_entries > 0) {
+    datapath::HeavyFlowCache::Options cache_options;
+    cache_options.entries = options_.cache_entries;
+    cache_options.ways = options_.cache_ways;
+    cache_options.seed = options_.cache_seed;
+    cache_ = std::make_unique<datapath::HeavyFlowCache>(cache_options);
+  }
   {
     // No thread can contend yet, but shard_flips_ is guarded state; the
     // uncontended lock keeps the analysis sound (and is free).
@@ -159,6 +174,17 @@ void ShardedFcmFramework::init_instruments() {
   instruments->backpressure_spins = &registry->counter(
       "fcm_runtime_backpressure_spins_total", base_labels(),
       "Producer spin iterations while a shard ring was full");
+  if (options_.cache_entries > 0) {
+    instruments->cache_hits = &registry->counter(
+        "fcm_datapath_cache_hits_total", base_labels(),
+        "Packets absorbed exactly by the driver-side heavy-flow cache");
+    instruments->cache_misses = &registry->counter(
+        "fcm_datapath_cache_misses_total", base_labels(),
+        "Packets that installed or displaced a heavy-flow cache entry");
+    instruments->cache_evictions = &registry->counter(
+        "fcm_datapath_cache_evictions_total", base_labels(),
+        "Flows demoted from the heavy-flow cache into their shard");
+  }
   instruments->rotations = &registry->counter(
       "fcm_runtime_rotations_total", base_labels(),
       "Epoch rotations requested (rotate_async calls)");
@@ -248,37 +274,109 @@ void ShardedFcmFramework::flush_all() {
   }
 }
 
+void ShardedFcmFramework::route_weighted(flow::FlowKey key,
+                                         std::uint64_t count) {
+  // Ring items carry a u32 count (0 is the epoch marker); oversized demotions
+  // split into saturated chunks. kHashByKey sends every chunk to the flow's
+  // shard, so per-shard heavy-hitter detection still sees the whole count.
+  constexpr std::uint64_t kMaxItemCount = 0xffffffff;
+  while (count > kMaxItemCount) {
+    route(key, common::checked_narrow<std::uint32_t>(kMaxItemCount));
+    count -= kMaxItemCount;
+  }
+  if (count > 0) route(key, common::checked_narrow<std::uint32_t>(count));
+}
+
+void ShardedFcmFramework::offer_cached(flow::FlowKey key, std::uint32_t count) {
+  const datapath::HeavyFlowCache::Result result = cache_->offer(key, count);
+  switch (result.outcome) {
+    case datapath::HeavyFlowCache::Result::Outcome::kHit:
+    case datapath::HeavyFlowCache::Result::Outcome::kInserted:
+      return;  // absorbed at the driver; nothing crosses a ring
+    case datapath::HeavyFlowCache::Result::Outcome::kEvicted:
+      route_weighted(result.evicted_key, result.evicted_count);
+      return;
+    case datapath::HeavyFlowCache::Result::Outcome::kBypass:
+      route(key, count);  // flow 0: the cache's empty-slot sentinel
+      return;
+  }
+}
+
+void ShardedFcmFramework::drain_cache() {
+  if (cache_ == nullptr) return;
+  // Counters first: clear() resets the cache's cumulative ledger, so the
+  // published baselines reset with it below.
+  publish_cache_metrics();
+  // Collect, then route from THIS scope (not a lambda) so the thread-safety
+  // analysis sees the driver capability at every route_weighted call site.
+  std::vector<std::pair<flow::FlowKey, std::uint64_t>> resident;
+  resident.reserve(cache_->resident_flows());
+  cache_->for_each([&resident](flow::FlowKey key, std::uint64_t count) {
+    resident.emplace_back(key, count);
+  });
+  cache_->clear();
+  cache_published_hits_ = cache_published_misses_ = cache_published_evictions_ = 0;
+  for (const auto& [key, count] : resident) route_weighted(key, count);
+}
+
+void ShardedFcmFramework::publish_cache_metrics() {
+  if (cache_ == nullptr || instruments_ == nullptr) return;
+  instruments_->cache_hits->inc(cache_->hits() - cache_published_hits_);
+  instruments_->cache_misses->inc(cache_->misses() - cache_published_misses_);
+  instruments_->cache_evictions->inc(cache_->evictions() -
+                                     cache_published_evictions_);
+  cache_published_hits_ = cache_->hits();
+  cache_published_misses_ = cache_->misses();
+  cache_published_evictions_ = cache_->evictions();
+}
+
 void ShardedFcmFramework::ingest(flow::FlowKey key) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
-  route(key, 1);
+  if (cache_ != nullptr) {
+    offer_cached(key, 1);
+  } else {
+    route(key, 1);
+  }
 }
 
 void ShardedFcmFramework::ingest(const flow::Packet& packet) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
+  std::uint32_t count = 1;
   if (options_.framework.count_mode ==
       framework::FcmFramework::CountMode::kBytes) {
     // count == 0 is reserved for the in-band epoch marker.
     FCM_REQUIRE(packet.bytes > 0,
                 "ShardedFcmFramework: zero-byte packet in byte-count mode");
-    route(packet.key, packet.bytes);
+    count = packet.bytes;
+  }
+  if (cache_ != nullptr) {
+    offer_cached(packet.key, count);
   } else {
-    route(packet.key, 1);
+    route(packet.key, count);
   }
 }
 
 void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
-  if (options_.framework.count_mode ==
-      framework::FcmFramework::CountMode::kBytes) {
+  const bool byte_mode = options_.framework.count_mode ==
+                         framework::FcmFramework::CountMode::kBytes;
+  const bool cached = cache_ != nullptr;
+  if (byte_mode) {
     for (const flow::Packet& packet : packets) {
       // count == 0 is reserved for the in-band epoch marker.
       FCM_REQUIRE(packet.bytes > 0,
                   "ShardedFcmFramework: zero-byte packet in byte-count mode");
-      route(packet.key, packet.bytes);
+      if (cached) {
+        offer_cached(packet.key, packet.bytes);
+      } else {
+        route(packet.key, packet.bytes);
+      }
     }
+  } else if (cached) {
+    for (const flow::Packet& packet : packets) offer_cached(packet.key, 1);
   } else {
     for (const flow::Packet& packet : packets) route(packet.key, 1);
   }
@@ -287,7 +385,11 @@ void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
 void ShardedFcmFramework::ingest(std::span<const flow::FlowKey> keys) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
-  for (const flow::FlowKey key : keys) route(key, 1);
+  if (cache_ != nullptr) {
+    for (const flow::FlowKey key : keys) offer_cached(key, 1);
+  } else {
+    for (const flow::FlowKey key : keys) route(key, 1);
+  }
 }
 
 // --- epoch rotation ---------------------------------------------------------
@@ -306,6 +408,10 @@ std::size_t ShardedFcmFramework::rotate_async() {
     while (epochs_merged_ != rotations_requested_) cv_.wait(lock);
   }
   if (instruments_ != nullptr) instruments_->rotations->inc();
+  // Cache contents belong to the epoch being closed: demote every resident
+  // flow into its shard BEFORE the markers, so the merged epoch conserves
+  // totals exactly (each flow's units reach the sketch ahead of the flip).
+  drain_cache();
   flush_all();
   const Item marker{};  // count == 0
   for (auto& shard : shards_) {
@@ -390,8 +496,16 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
             flow::Packet{item.key, item.count, 0});
         ++shard.packets_in_generation[shard.active];
         ++data_items;
-      } else {
+      } else if (item.count == 1) {
         keys[pending++] = item.key;
+      } else {
+        // Weighted item: a heavy-flow-cache demotion carrying `count`
+        // packets of one flow. Keep sketch-write order: drain the pending
+        // +1 run first, then apply the bulk add.
+        drain();
+        shard.replicas[shard.active].process_weighted(item.key, item.count);
+        shard.packets_in_generation[shard.active] += item.count;
+        data_items += item.count;
       }
     }
     drain();
@@ -511,6 +625,7 @@ void ShardedFcmFramework::coordinator_loop() {
 void ShardedFcmFramework::stop() {
   driver_role_.assert_held();
   if (stopped_) return;
+  drain_cache();  // un-rotated tail: hand it to the workers like flush_all()
   flush_all();
   stop_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
@@ -565,6 +680,7 @@ void ShardedFcmFramework::check_invariants() const {
   FCM_ASSERT(history_.size() <= options_.retained_epochs,
              "ShardedFcmFramework: retained more epochs than configured");
   for (const auto& merged : history_) merged.check_invariants();
+  if (cache_ != nullptr) cache_->check_invariants();
   if (stopped_) {
     for (const auto& shard : shards_) {
       for (const auto& replica : shard->replicas) replica.check_invariants();

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "datapath/heavy_flow_cache.h"
 #include "framework/fcm_framework.h"
 #include "obs/metrics_registry.h"
 
@@ -89,6 +90,20 @@ class ShardedFcmFramework {
     std::size_t retained_epochs = 4;
     // 0: reuse framework.heavy_hitter_threshold for heavy-change detection.
     std::uint64_t heavy_change_threshold = 0;
+    // Exact-match heavy-flow cache in FRONT of the fan-out (DESIGN.md §12):
+    // 0 disables it. Hot flows are absorbed at the DRIVER — a cache hit
+    // never crosses an SPSC ring at all — and are demoted as one weighted
+    // item on eviction and at every rotation, so each merged epoch holds
+    // exactly the traffic ingested into it (the plain-FCM merged COUNTER
+    // state is bit-exact equal to a cache-off run; the on-path HH ledger is
+    // trajectory-dependent but never misses a truly heavy flow — the
+    // differential battery checks both). With the cache enabled,
+    // EpochReport::packets still counts true
+    // packets in kPackets mode, but in kBytes mode demotions collapse many
+    // packets into one ring item, so `packets` counts items there.
+    std::size_t cache_entries = 0;
+    std::size_t cache_ways = 4;       // set associativity (see HeavyFlowCache)
+    std::uint64_t cache_seed = 0xcac4e;
     // Run the (expensive) EM analysis on the merged sketch at each rotation.
     bool analyze_on_rotate = false;
     // Telemetry sink (DESIGN.md §8). Defaults to the process-global
@@ -195,6 +210,14 @@ class ShardedFcmFramework {
   void flush_shard(Shard& shard) FCM_REQUIRES(driver_role_);
   void flush_all() FCM_REQUIRES(driver_role_);
   void route(flow::FlowKey key, std::uint32_t count) FCM_REQUIRES(driver_role_);
+  void route_weighted(flow::FlowKey key, std::uint64_t count)
+      FCM_REQUIRES(driver_role_);
+  // Cache front end (no-ops when cache_ is null): per-item offer, epoch
+  // drain into the rings, and counter publication.
+  void offer_cached(flow::FlowKey key, std::uint32_t count)
+      FCM_REQUIRES(driver_role_);
+  void drain_cache() FCM_REQUIRES(driver_role_);
+  void publish_cache_metrics() FCM_REQUIRES(driver_role_);
   void worker_loop(Shard& shard);
   void coordinator_loop();
 
@@ -209,6 +232,12 @@ class ShardedFcmFramework {
   // Round-robin cursor.
   std::size_t rr_next_ FCM_GUARDED_BY(driver_role_) = 0;
   bool stopped_ FCM_GUARDED_BY(driver_role_) = false;
+  // Driver-side heavy-flow cache (null when cache_entries == 0) and the
+  // cumulative counter values already pushed to the registry.
+  std::unique_ptr<datapath::HeavyFlowCache> cache_ FCM_GUARDED_BY(driver_role_);
+  std::uint64_t cache_published_hits_ FCM_GUARDED_BY(driver_role_) = 0;
+  std::uint64_t cache_published_misses_ FCM_GUARDED_BY(driver_role_) = 0;
+  std::uint64_t cache_published_evictions_ FCM_GUARDED_BY(driver_role_) = 0;
   // Producer-visible flag only; workers/coordinator use it for shutdown —
   // control state, not telemetry, so it is exempt from the raw-atomic rule.
   std::atomic<bool> stop_{false};  // fcm-lint: allow(raw-atomic)

@@ -1,0 +1,125 @@
+#include "sketch/fss_sketch.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace fcm::sketch {
+
+FssSketch::FssSketch(Config config) : config_(config), hash_(config.seed) {
+  FCM_REQUIRE(config_.filter_cells >= 1, "FssSketch: need at least one cell");
+  FCM_REQUIRE(config_.monitored_entries >= 1,
+              "FssSketch: need at least one monitored entry");
+  cells_.assign(config_.filter_cells, 0);
+  entries_.reserve(config_.monitored_entries);
+}
+
+FssSketch FssSketch::for_memory(std::size_t memory_bytes, std::uint64_t seed) {
+  FCM_REQUIRE(memory_bytes >= 64, "FssSketch::for_memory: budget too small");
+  Config config;
+  config.filter_cells = std::max<std::size_t>(1, memory_bytes / 2 / 4);
+  config.monitored_entries = std::max<std::size_t>(1, memory_bytes / 2 / 16);
+  config.seed = seed;
+  return FssSketch(config);
+}
+
+void FssSketch::bump(std::size_t slot) {
+  Entry& entry = entries_[slot];
+  by_count_.erase({entry.count, slot});
+  ++entry.count;
+  by_count_.insert({entry.count, slot});
+}
+
+void FssSketch::update(flow::FlowKey key) {
+  ++total_updates_;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bump(it->second);
+    return;
+  }
+  const std::size_t cell = hash_.index(key, cells_.size());
+  const std::uint64_t bound = cells_[cell];
+  if (entries_.size() < config_.monitored_entries) {
+    // Room in the list: admit unconditionally (classic Space-Saving warmup).
+    const std::size_t slot = entries_.size();
+    entries_.push_back(Entry{key, bound + 1, bound});
+    index_.emplace(key, slot);
+    by_count_.insert({bound + 1, slot});
+    return;
+  }
+  const auto minimum = *by_count_.begin();  // (count, slot) of the list min
+  if (bound + 1 >= minimum.first) {
+    // The filter cannot rule this flow out: displace the minimum. The
+    // evicted flow's count becomes (part of) ITS cell's error bound, so a
+    // later query for it still never underestimates.
+    const std::size_t slot = minimum.second;
+    Entry& entry = entries_[slot];
+    const std::size_t evicted_cell = hash_.index(entry.key, cells_.size());
+    cells_[evicted_cell] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(0xffffffff,
+                                std::max<std::uint64_t>(cells_[evicted_cell],
+                                                        entry.count)));
+    index_.erase(entry.key);
+    by_count_.erase(minimum);
+    entry = Entry{key, bound + 1, bound};
+    index_.emplace(key, slot);
+    by_count_.insert({bound + 1, slot});
+    return;
+  }
+  // Filtered out: just raise the cell's bound.
+  if (cells_[cell] != 0xffffffff) ++cells_[cell];
+}
+
+std::uint64_t FssSketch::query(flow::FlowKey key) const {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    return entries_[it->second].count;
+  }
+  return cells_[hash_.index(key, cells_.size())];
+}
+
+std::vector<FssSketch::MonitoredView> FssSketch::monitored() const {
+  std::vector<MonitoredView> view;
+  view.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    view.push_back({entry.key, entry.count, entry.error});
+  }
+  return view;
+}
+
+std::vector<flow::FlowKey> FssSketch::heavy_hitters(
+    std::uint64_t threshold) const {
+  std::vector<flow::FlowKey> result;
+  for (const Entry& entry : entries_) {
+    if (entry.count - entry.error >= threshold) result.push_back(entry.key);
+  }
+  return result;
+}
+
+void FssSketch::clear() {
+  cells_.assign(config_.filter_cells, 0);
+  entries_.clear();
+  index_.clear();
+  by_count_.clear();
+  total_updates_ = 0;
+}
+
+void FssSketch::check_invariants() const {
+  FCM_ASSERT(entries_.size() <= config_.monitored_entries,
+             "FssSketch: monitored list over capacity");
+  FCM_ASSERT(entries_.size() == index_.size() &&
+                 entries_.size() == by_count_.size(),
+             "FssSketch: list/index/order-set sizes diverged");
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    const Entry& entry = entries_[slot];
+    FCM_ASSERT(entry.error <= entry.count,
+               "FssSketch: admission error exceeds monitored count");
+    FCM_ASSERT(entry.count <= total_updates_ + entry.error,
+               "FssSketch: monitored count exceeds stream length + bound");
+    const auto it = index_.find(entry.key);
+    FCM_ASSERT(it != index_.end() && it->second == slot,
+               "FssSketch: index does not point back at its entry");
+    FCM_ASSERT(by_count_.contains({entry.count, slot}),
+               "FssSketch: order set lost track of an entry");
+  }
+}
+
+}  // namespace fcm::sketch

@@ -1,0 +1,93 @@
+// Filtered Space-Saving [Homem & Carvalho, 2010] — the heavy-hitter sketch
+// the OVS-datapath reference stack pairs with its flow table (ROADMAP open
+// item 2): a Space-Saving monitored list guarded by a hash FILTER of
+// per-cell error bounds. A new flow is admitted to the list only when its
+// cell's bound says it could plausibly beat the current minimum, so the
+// Zipf tail mostly just bumps filter cells instead of churning the list.
+//
+//   update(x): monitored -> exact-ish count++ (error recorded at admission).
+//              else with h = hash(x): admit when alpha[h] + 1 >= min count
+//              of the full list (or the list has room), seeding the entry
+//              with count = alpha[h] + 1, error = alpha[h]; the displaced
+//              minimum writes its count back into ITS cell's bound
+//              (alpha = max(alpha, evicted count)). Otherwise alpha[h]++.
+//   query(x):  monitored -> count; else alpha[hash(x)].
+//
+// Both answers are upper bounds (never underestimates): a monitored count
+// starts at an upper bound of the flow's pre-admission traffic and then
+// counts exactly; an unmonitored flow's every packet either bumped its cell
+// or is covered by a displaced count folded into the cell's bound.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "sketch/frequency_estimator.h"
+
+namespace fcm::sketch {
+
+class FssSketch : public FrequencyEstimator {
+ public:
+  struct Config {
+    std::size_t filter_cells = 16384;     // error-bound cells (4 B each)
+    std::size_t monitored_entries = 1024; // Space-Saving list capacity
+    std::uint64_t seed = 0xf55;
+  };
+
+  explicit FssSketch(Config config);
+
+  // Splits `memory_bytes` half/half between filter cells and the monitored
+  // list, the paper's accounting (4-byte cells, 16-byte list entries).
+  static FssSketch for_memory(std::size_t memory_bytes,
+                              std::uint64_t seed = 0xf55);
+
+  void update(flow::FlowKey key) override;
+  std::uint64_t query(flow::FlowKey key) const override;
+  std::size_t memory_bytes() const override {
+    return cells_.size() * 4 + config_.monitored_entries * 16;
+  }
+  std::string name() const override { return "FSS"; }
+  void clear() override;
+
+  // --- FSS-specific surface (tests + accuracy tables) ---------------------
+  struct MonitoredView {
+    flow::FlowKey key;
+    std::uint64_t count = 0;  // upper bound; exact since admission
+    std::uint64_t error = 0;  // admission-time over-count bound
+  };
+  std::vector<MonitoredView> monitored() const;
+  bool is_monitored(flow::FlowKey key) const { return index_.contains(key); }
+  std::uint64_t cell_bound(flow::FlowKey key) const {
+    return cells_[hash_.index(key, cells_.size())];
+  }
+  // Monitored flows whose guaranteed count (count - error) clears the bar.
+  std::vector<flow::FlowKey> heavy_hitters(std::uint64_t threshold) const;
+
+  // Deep invariants: list/index/order-set agree, error <= count per entry,
+  // and no cell bound exceeds the total stream length.
+  void check_invariants() const;
+
+ private:
+  struct Entry {
+    flow::FlowKey key{};
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  void bump(std::size_t slot);
+
+  Config config_;
+  common::SeededHash hash_;
+  std::vector<std::uint32_t> cells_;
+  std::vector<Entry> entries_;
+  std::unordered_map<flow::FlowKey, std::size_t> index_;  // key -> slot
+  // (count, slot) ordered view of entries_ for O(log k) minimum tracking.
+  std::set<std::pair<std::uint64_t, std::size_t>> by_count_;
+  std::uint64_t total_updates_ = 0;
+};
+
+}  // namespace fcm::sketch

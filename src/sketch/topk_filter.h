@@ -80,6 +80,19 @@ class TopKFilter {
   // check_invariants() ordering properties keep holding.
   std::vector<MergeEviction> merge(const TopKFilter& other);
 
+  // Marks a resident flow as having light-part (sketch-side) traffic; called
+  // when some of its packets were deposited into the backing sketch OUTSIDE
+  // the offer path (FcmTopK::add_weighted's cache demotions). Returns whether
+  // the flow was resident; a miss is fine — non-resident flows are answered
+  // from the sketch anyway.
+  bool note_light_part(flow::FlowKey key) {
+    if (key.value == 0) return false;
+    Entry& entry = table_[hash_.index(key, table_.size())];
+    if (entry.key != key) return false;
+    entry.has_light_part = true;
+    return true;
+  }
+
   // Heavy-part lookup; nullopt when the flow holds no entry.
   std::optional<QueryResult> query(flow::FlowKey key) const;
 

@@ -1,0 +1,54 @@
+// fcm-lint-path: src/datapath/broken_parse.cpp
+//
+// Corpus: datapath-bounds — the raw-byte-access spellings banned in the
+// capture datapath, where every length field is attacker-controlled. The
+// clean block at the bottom shows the sanctioned ByteCursor idiom plus
+// spellings that must NOT fire (std::memcpy outside datapath is someone
+// else's rule; `cursor.data_offset()` is not `.data()`).
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "datapath/byte_cursor.h"
+
+namespace corpus {
+
+struct FakeHeader {
+  std::uint32_t magic;
+  std::uint32_t caplen;
+};
+
+std::uint32_t read_magic_punned(const std::vector<std::byte>& buffer) {
+  const auto* header =
+      reinterpret_cast<const FakeHeader*>(buffer.data());  // fcm-lint-expect: datapath-bounds
+  return header->magic;
+}
+
+std::uint32_t read_caplen_copied(const std::vector<std::byte>& buffer) {
+  std::uint32_t caplen = 0;
+  std::memcpy(&caplen, buffer.data() + 4, sizeof(caplen));  // fcm-lint-expect: datapath-bounds
+  return caplen;
+}
+
+const std::byte* record_payload(const std::vector<std::byte>& buffer,
+                                std::uint32_t caplen) {
+  // Unchecked caplen indexing: nothing verified caplen against size().
+  return &buffer.data()[caplen];  // fcm-lint-expect: datapath-bounds
+}
+
+void scrub(std::vector<std::byte>& buffer) {
+  memset(buffer.data(), 0, buffer.size());  // fcm-lint-expect: datapath-bounds
+}
+
+// --- clean: the sanctioned idiom ----------------------------------------
+
+std::uint32_t read_magic_checked(const std::vector<std::byte>& buffer) {
+  fcm::datapath::ByteCursor cursor(buffer);
+  return cursor.u32_le();  // throws Truncated instead of reading past end
+}
+
+std::uint64_t plain_member_named_like_data(std::uint64_t data_offset) {
+  return data_offset + 4;  // identifier contains "data": must not fire
+}
+
+}  // namespace corpus

@@ -1,0 +1,171 @@
+// Filtered Space-Saving baseline suite: hand-computed bit-exact small cases
+// (the admission / displacement / filter-bump state machine step by step),
+// the never-underestimate guarantee under skew, and the structural
+// invariants. The cross-estimator accuracy row lives in bench_fig10_11_skew;
+// the interface-contract row in test_interface_invariants.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "flow/flow_key.h"
+#include "sketch/fss_sketch.h"
+
+namespace fcm {
+namespace {
+
+using sketch::FssSketch;
+
+FssSketch::Config tiny_config(std::size_t cells = 8, std::size_t entries = 2) {
+  FssSketch::Config config;
+  config.filter_cells = cells;
+  config.monitored_entries = entries;
+  return config;
+}
+
+TEST(FssSketch, WarmupAdmitsUnconditionally) {
+  FssSketch fss(tiny_config());
+  const flow::FlowKey a{1};
+  const flow::FlowKey b{2};
+  fss.update(a);
+  fss.update(a);
+  fss.update(b);
+  EXPECT_TRUE(fss.is_monitored(a));
+  EXPECT_TRUE(fss.is_monitored(b));
+  EXPECT_EQ(fss.query(a), 2u);  // exact while monitored from first packet
+  EXPECT_EQ(fss.query(b), 1u);
+  fss.check_invariants();
+}
+
+TEST(FssSketch, FilterBumpsInsteadOfChurningTheList) {
+  // One cell, so every unmonitored flow shares one bound. List of 2.
+  FssSketch fss(tiny_config(/*cells=*/1, /*entries=*/2));
+  const flow::FlowKey a{1};
+  const flow::FlowKey b{2};
+  const flow::FlowKey c{3};
+  // a=3, b=3: the list is full with min count 3.
+  for (int i = 0; i < 3; ++i) fss.update(a);
+  for (int i = 0; i < 3; ++i) fss.update(b);
+  // c arrives twice: bound+1 = 1 then 2, both < 3 -> filtered out.
+  fss.update(c);
+  fss.update(c);
+  EXPECT_FALSE(fss.is_monitored(c));
+  EXPECT_EQ(fss.cell_bound(c), 2u);  // two bumps recorded
+  EXPECT_EQ(fss.query(c), 2u);       // >= its true count of 2
+  EXPECT_EQ(fss.query(a), 3u);       // untouched
+  fss.check_invariants();
+}
+
+TEST(FssSketch, DisplacementSeedsCountFromTheBoundAndWritesBackTheVictim) {
+  FssSketch fss(tiny_config(/*cells=*/1, /*entries=*/2));
+  const flow::FlowKey a{1};
+  const flow::FlowKey b{2};
+  const flow::FlowKey c{3};
+  for (int i = 0; i < 5; ++i) fss.update(a);  // a: count 5
+  fss.update(b);                              // b: count 1 (the minimum)
+  // c arrives: bound+1 = 1 >= min count 1, so it displaces b immediately;
+  // b's count (1) is written back into the shared cell.
+  fss.update(c);
+  EXPECT_TRUE(fss.is_monitored(c));
+  EXPECT_FALSE(fss.is_monitored(b));
+  EXPECT_EQ(fss.query(c), 1u);       // seeded at bound + 1 = 1, error 0
+  EXPECT_EQ(fss.cell_bound(b), 1u);  // the victim's count, folded back
+  EXPECT_GE(fss.query(b), 1u);       // still no underestimate for b
+  // b returns: bound+1 = 2 >= min count 1 (now c) -> displaces c, seeded at
+  // count = 2 with admission error 1.
+  fss.update(b);
+  EXPECT_TRUE(fss.is_monitored(b));
+  EXPECT_FALSE(fss.is_monitored(c));
+  const auto monitored = fss.monitored();
+  ASSERT_EQ(monitored.size(), 2u);
+  for (const auto& entry : monitored) {
+    if (entry.key == b) {
+      EXPECT_EQ(entry.count, 2u);
+      EXPECT_EQ(entry.error, 1u);
+    }
+  }
+  EXPECT_GE(fss.query(b), 2u);  // true count is 2; bound holds
+  EXPECT_GE(fss.query(c), 1u);  // c's packet survives in the cell bound
+  fss.check_invariants();
+}
+
+TEST(FssSketch, NeverUnderestimatesUnderZipfChurn) {
+  FssSketch fss(FssSketch::Config{.filter_cells = 512,
+                                  .monitored_entries = 64,
+                                  .seed = 0xf55});
+  common::Xoshiro256 rng(0xf55);
+  common::ZipfSampler zipf(2'000, 1.1);
+  std::unordered_map<flow::FlowKey, std::uint64_t> truth;
+  for (int i = 0; i < 100'000; ++i) {
+    const flow::FlowKey key{static_cast<std::uint32_t>(zipf.sample(rng))};
+    fss.update(key);
+    ++truth[key];
+    if (i % 9973 == 0) fss.check_invariants();
+  }
+  for (const auto& [key, count] : truth) {
+    ASSERT_GE(fss.query(key), count) << "underestimated flow " << key.value;
+  }
+  fss.check_invariants();
+}
+
+TEST(FssSketch, HeavyHittersUseGuaranteedCounts) {
+  FssSketch fss(FssSketch::Config{.filter_cells = 1024,
+                                  .monitored_entries = 128,
+                                  .seed = 0xf55});
+  common::Xoshiro256 rng(0x5eed);
+  common::ZipfSampler zipf(1'000, 1.3);
+  std::unordered_map<flow::FlowKey, std::uint64_t> truth;
+  for (int i = 0; i < 50'000; ++i) {
+    const flow::FlowKey key{static_cast<std::uint32_t>(zipf.sample(rng))};
+    fss.update(key);
+    ++truth[key];
+  }
+  constexpr std::uint64_t kThreshold = 500;
+  for (const flow::FlowKey key : fss.heavy_hitters(kThreshold)) {
+    // count - error is a LOWER bound, so every report is truly heavy.
+    EXPECT_GE(truth[key], kThreshold) << "false positive " << key.value;
+  }
+}
+
+TEST(FssSketch, DeterministicAcrossRuns) {
+  const auto run = [] {
+    FssSketch fss(tiny_config(/*cells=*/64, /*entries=*/16));
+    common::Xoshiro256 rng(42);
+    for (int i = 0; i < 10'000; ++i) {
+      fss.update(flow::FlowKey{static_cast<std::uint32_t>(1 + rng.next() % 300)});
+    }
+    std::vector<std::uint64_t> estimates;
+    for (std::uint32_t id = 1; id <= 300; ++id) {
+      estimates.push_back(fss.query(flow::FlowKey{id}));
+    }
+    return estimates;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FssSketch, ClearRestoresEmptyState) {
+  FssSketch fss(tiny_config(/*cells=*/64, /*entries=*/16));
+  for (std::uint32_t id = 1; id <= 100; ++id) {
+    fss.update(flow::FlowKey{id});
+  }
+  fss.clear();
+  EXPECT_EQ(fss.monitored().size(), 0u);
+  for (std::uint32_t id = 1; id <= 100; ++id) {
+    EXPECT_EQ(fss.query(flow::FlowKey{id}), 0u);
+  }
+  fss.check_invariants();
+}
+
+TEST(FssSketch, ForMemoryRespectsTheBudget) {
+  for (const std::size_t budget : {1'000u, 50'000u, 1'000'000u}) {
+    const FssSketch fss = FssSketch::for_memory(budget);
+    EXPECT_LE(fss.memory_bytes(), budget + 16u) << budget;
+    EXPECT_GE(fss.memory_bytes(), budget / 2) << budget;
+  }
+  EXPECT_EQ(FssSketch::for_memory(100'000).name(), "FSS");
+}
+
+}  // namespace
+}  // namespace fcm

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "datapath/cached_framework.h"
+#include "datapath/capture_ingest.h"
 #include "flow/synthetic.h"
 #include "framework/fcm_framework.h"
 #include "obs/metrics_registry.h"
@@ -129,6 +131,85 @@ TEST(GoldenMetrics, EntropyRelativeError) {
 TEST(GoldenMetrics, CardinalityRelativeError) {
   expect_band(golden_run().cardinality_rel_error, kGoldenCardinalityRelErr,
               0.25, "cardinality relative error");
+}
+
+// --- fixture-capture goldens -------------------------------------------------
+//
+// The committed pcap fixture (tests/data/fixture.pcap, regenerated bit-exactly
+// by tools/make_pcap_fixture.py) runs through the REAL datapath — pcap reader,
+// hostile-input parser, heavy-flow cache, FcmFramework — and the end-to-end
+// accuracy lands in the same golden bands machinery as the synthetic trace.
+// This pins the whole capture-to-metrics pipeline, not just the sketch.
+
+constexpr double kFixtureWmre = 0.00218366857;
+constexpr double kFixtureCardinalityRelErr = 0.00166779907;
+
+GoldenRun run_fixture_pipeline() {
+  const datapath::DecodedCapture decoded = datapath::load_capture(
+      std::string(FCM_TEST_DATA_DIR) + "/fixture.pcap");
+  const flow::GroundTruth truth(decoded.trace);
+
+  datapath::CachedFramework::Options options;
+  options.framework.fcm =
+      core::FcmConfig::for_memory(150'000, 2, 8, {8, 16, 32}, kSketchSeed);
+  options.framework.em.max_iterations = 5;
+  options.metrics = nullptr;  // keep the exporter-schema tests unpolluted
+  datapath::CachedFramework framework(options);
+  for (const flow::Packet& packet : decoded.trace.packets()) {
+    framework.process(packet.key);
+  }
+  const framework::FcmFramework::Report report = framework.analyze();
+
+  GoldenRun run;
+  run.wmre = report.fsd.wmre(truth.flow_size_distribution());
+  double are = 0.0;
+  for (const auto& [key, size] : truth.flow_sizes()) {
+    const double estimate = static_cast<double>(framework.flow_size(key));
+    are += std::abs(estimate - static_cast<double>(size)) /
+           static_cast<double>(size);
+  }
+  run.are = are / static_cast<double>(truth.flow_count());
+  run.cardinality_rel_error =
+      std::abs(report.cardinality - static_cast<double>(truth.flow_count())) /
+      static_cast<double>(truth.flow_count());
+  return run;
+}
+
+const GoldenRun& fixture_run() {
+  static const GoldenRun run = run_fixture_pipeline();
+  return run;
+}
+
+TEST(GoldenFixture, CaptureDecodesDeterministically) {
+  const datapath::DecodedCapture decoded = datapath::load_capture(
+      std::string(FCM_TEST_DATA_DIR) + "/fixture.pcap");
+  // The generator commits to these totals; a fixture or reader change that
+  // shifts them silently would invalidate the golden bands below.
+  EXPECT_EQ(decoded.stats.capture.records, 1150u);
+  EXPECT_EQ(decoded.stats.parsed, decoded.trace.size());
+  EXPECT_GT(decoded.stats.parse_failures(), 0u);  // ARP frames, by design
+  EXPECT_LT(decoded.stats.parse_failures(), decoded.stats.capture.records / 10);
+}
+
+TEST(GoldenFixture, FlowSizeWmre) {
+  // The fixture is tiny (~1.1k packets over ~240 flows), so the FSD estimate
+  // is driven by EM over a nearly-empty sketch; the band still trips on
+  // hash/EM/decode regressions.
+  expect_band(fixture_run().wmre, kFixtureWmre, 0.15, "fixture FSD WMRE");
+}
+
+TEST(GoldenFixture, FlowSizeAreIsExactlyZero) {
+  // Every fixture flow fits in the default cache (240 flows, 8192 entries)
+  // and nothing is ever demoted, so the combined view answers every query
+  // from the exact path: ARE is identically zero. Any nonzero value means
+  // the cache started spilling traffic it used to absorb.
+  EXPECT_EQ(fixture_run().are, 0.0)
+      << "fixture ARE nonzero: the cache no longer absorbs the whole fixture";
+}
+
+TEST(GoldenFixture, CardinalityRelativeError) {
+  expect_band(fixture_run().cardinality_rel_error, kFixtureCardinalityRelErr,
+              0.25, "fixture cardinality relative error");
 }
 
 // --- metrics exporter schema -------------------------------------------------

@@ -12,6 +12,7 @@
 #include "pisa/tcam_cardinality.h"
 #include "sketch/cm_sketch.h"
 #include "sketch/elastic_sketch.h"
+#include "sketch/fss_sketch.h"
 #include "sketch/hashpipe.h"
 #include "sketch/mrac.h"
 #include "sketch/pyramid_sketch.h"
@@ -41,6 +42,8 @@ std::vector<std::unique_ptr<sketch::FrequencyEstimator>> all_estimators() {
       sketch::ElasticSketch::for_memory(kMemory + 300'000)));
   estimators.push_back(
       std::make_unique<sketch::UnivMon>(sketch::UnivMon::for_memory(kMemory + 300'000)));
+  estimators.push_back(std::make_unique<sketch::FssSketch>(
+      sketch::FssSketch::for_memory(kMemory)));
   return estimators;
 }
 

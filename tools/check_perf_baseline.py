@@ -3,7 +3,7 @@
 
 Two baseline families, dispatched on the JSON ``schema`` field:
 
-``fcm.bench.throughput.v2`` (batched ingest kernel)
+``fcm.bench.throughput.v2`` / ``...v3`` (batched ingest kernel + cache)
     Compares a freshly measured ``bench_throughput --scaling-only`` JSON
     against the committed ``BENCH_throughput.json``. Absolute packets/sec
     are machine-dependent and useless across CI runners, so the guard
@@ -18,6 +18,15 @@ Two baseline families, dispatched on the JSON ``schema`` field:
          ``--tolerance`` (default 15%) below the committed baseline's;
       3. serial batch_speedup must stay >= 1.0 (the batch path must never
          be slower than the scalar path it replaces).
+
+    v3 adds the heavy-flow-cache study (DESIGN.md §12) and two checks on
+    its in-run ``cache_speedup`` ratio (cache-on vs cache-off pps on the
+    skewed Zipf-1.3 trace, same process, same machine):
+      4. it must not fall more than ``--tolerance`` below the baseline's;
+      5. it must stay >= 1.2 (the acceptance floor: an exact-match cache
+         that does not beat the sketch walk by 20% on elephant-dominated
+         traffic is not pulling its weight). Machine-local ratio, so this
+         check stays fatal across machine classes.
 
 ``fcm.bench.agg.v1`` (aggregation service, DESIGN.md §11)
     Compares a fresh ``bench_agg`` JSON against ``BENCH_agg.json``.
@@ -50,7 +59,12 @@ import argparse
 import json
 import sys
 
-KNOWN_SCHEMAS = ("fcm.bench.throughput.v2", "fcm.bench.agg.v1")
+KNOWN_SCHEMAS = (
+    "fcm.bench.throughput.v2",
+    "fcm.bench.throughput.v3",
+    "fcm.bench.agg.v1",
+)
+CACHE_SPEEDUP_FLOOR = 1.2
 
 
 def load(path: str) -> dict:
@@ -120,6 +134,39 @@ def check_throughput(baseline: dict, current: dict, args) -> int:
             file=sys.stderr,
         )
         failed = True
+
+    if baseline["schema"] == "fcm.bench.throughput.v3":
+        base_cache = baseline["cache"]["cache_speedup"]
+        cur_cache = current["cache"]["cache_speedup"]
+        cache_floor = base_cache * (1.0 - args.tolerance)
+        print(
+            f"cache_speedup: baseline {base_cache:.3f}x, "
+            f"current {cur_cache:.3f}x, floor {cache_floor:.3f}x "
+            f"(hard floor {CACHE_SPEEDUP_FLOOR:.1f}x)"
+        )
+        if cur_cache < cache_floor:
+            message = (
+                f"cache_speedup {cur_cache:.3f}x regressed more than "
+                f"{args.tolerance:.0%} below the committed {base_cache:.3f}x"
+            )
+            if comparable:
+                print(f"check_perf_baseline: FAIL — {message}", file=sys.stderr)
+                failed = True
+            else:
+                print(
+                    "check_perf_baseline: WARN — core count differs from the "
+                    f"baseline recording; not failing on: {message}",
+                    file=sys.stderr,
+                )
+        if cur_cache < CACHE_SPEEDUP_FLOOR:
+            # In-run ratio on one machine: fatal regardless of machine class.
+            print(
+                f"check_perf_baseline: FAIL — heavy-flow cache speedup "
+                f"{cur_cache:.3f}x is below the {CACHE_SPEEDUP_FLOOR:.1f}x "
+                "acceptance floor on the skewed trace",
+                file=sys.stderr,
+            )
+            failed = True
     return 1 if failed else 0
 
 
@@ -205,7 +252,7 @@ def main() -> int:
             "missing); machine-bound regressions will warn instead of fail"
         )
 
-    if baseline["schema"] == "fcm.bench.throughput.v2":
+    if baseline["schema"].startswith("fcm.bench.throughput."):
         result = check_throughput(baseline, current, args)
     else:
         result = check_agg(baseline, current, args)

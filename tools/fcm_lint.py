@@ -93,6 +93,15 @@ Rules:
                    ``process_batch``, ``offer_batch``, ``update_batch``,
                    ``index_block`` or ``apply_block`` (DESIGN.md §9).
 
+  datapath-bounds  Inside ``src/datapath`` (hostile-input territory: every
+                   byte comes off the wire), no ``reinterpret_cast``, no
+                   ``memcpy``/``memmove``/``memset``, and no raw pointer
+                   arithmetic or indexing off ``.data()``. All capture-byte
+                   access goes through the bounds-checked ``ByteCursor``
+                   (``byte_cursor.h``, itself exempt as the sanctioned
+                   primitive) so a truncated or lying caplen can never turn
+                   into an out-of-bounds read.
+
   unused-suppression
                    Every ``// fcm-lint: allow(<rule>)`` marker must name a
                    known rule that actually fires on its line; stale or
@@ -140,6 +149,7 @@ KNOWN_RULES = {
     "hot-path-lock",
     "hot-path-alloc",
     "wire-encoding",
+    "datapath-bounds",
 }
 
 # Rule: narrowing-cast — only inside these top-level directories.
@@ -185,6 +195,18 @@ MEMORY_ORDER_ARG_RE = re.compile(r"memory_order_(\w+)")
 WIRE_DIRS = ("src/agg",)
 WIRE_RE = re.compile(
     r"(?<![\w:])(?:std::)?memcpy\s*\(|(?<![\w:])reinterpret_cast\s*<"
+)
+
+# Rule: datapath-bounds — src/datapath only. Capture parsing is the one
+# place where attacker-controlled lengths meet raw buffers; every access
+# must go through ByteCursor's checked reads. byte_cursor.h IS the
+# sanctioned primitive, so it is exempt.
+DATAPATH_DIRS = ("src/datapath",)
+DATAPATH_EXEMPT_FILES = {"src/datapath/byte_cursor.h"}
+DATAPATH_RE = re.compile(
+    r"(?<![\w:])reinterpret_cast\s*<"
+    r"|(?<![\w:])(?:std::)?mem(?:cpy|move|set)\s*\("
+    r"|\.\s*data\s*\(\s*\)\s*(?:\+|\[)"
 )
 
 # Rules: guarded-field / hot-path-* — src/ only.
@@ -682,6 +704,7 @@ def lint_file(
     check_threads = in_dirs(THREAD_DIRS)
     check_atomics = in_dirs(ATOMIC_DIRS) and not in_dirs(ATOMIC_EXEMPT_DIRS)
     check_wire = in_dirs(WIRE_DIRS)
+    check_datapath = in_dirs(DATAPATH_DIRS) and rel not in DATAPATH_EXEMPT_FILES
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         if check_narrowing and NARROWING_RE.search(line):
@@ -723,6 +746,16 @@ def lint_file(
                 "encoded byte-at-a-time through WireWriter/WireReader "
                 "(explicit little-endian, no struct dumps) "
                 "(or '// fcm-lint: allow(wire-encoding)')",
+            )
+        if check_datapath and DATAPATH_RE.search(line):
+            add(
+                lineno,
+                "datapath-bounds",
+                "raw byte access in the capture datapath "
+                "(reinterpret_cast / mem* / pointer arithmetic off .data()); "
+                "hostile captures control every length field — go through "
+                "the bounds-checked ByteCursor (byte_cursor.h) "
+                "(or '// fcm-lint: allow(datapath-bounds)')",
             )
         if check_threads and THREAD_RE.search(line):
             add(

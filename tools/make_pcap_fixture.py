@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Deterministic pcap fixture generator for the datapath test suite.
+
+Writes a classic little-endian microsecond pcap (< 95 KB) with a Zipf-skewed
+flow mix over IPv4 TCP/UDP, VLAN-tagged frames, IPv6, ICMP, and a sprinkle of
+non-IP (ARP) frames that the parser must count as typed failures. The output
+is byte-for-byte reproducible: fixed seed, fixed iteration order, no
+timestamps from the host. Regenerate with
+
+    python3 tools/make_pcap_fixture.py tests/data/fixture.pcap
+
+and re-record the golden bands in tests/test_golden_metrics.cpp if the
+traffic mix changes.
+"""
+
+import random
+import struct
+import sys
+
+SEED = 0xF1B2E
+PACKETS = 1150
+UNIVERSE = 240          # distinct flows
+ZIPF_ALPHA = 1.2
+ARP_EVERY = 101         # deliberate parse failures, prime stride
+VLAN_EVERY = 7
+IPV6_EVERY = 13
+ICMP_EVERY = 29
+SNAPLEN = 65535
+
+
+def eth(payload: bytes, ether_type: int, vlan: bool) -> bytes:
+    header = bytes(range(12))  # fixed MACs
+    if vlan:
+        header += struct.pack(">HH", 0x8100, 100)
+    return header + struct.pack(">H", ether_type) + payload
+
+
+def ipv4(src: int, dst: int, proto: int, payload: bytes) -> bytes:
+    total = 20 + len(payload)
+    return (
+        struct.pack(">BBHHHBBH", 0x45, 0, total, 0x1234, 0, 64, proto, 0)
+        + struct.pack(">II", src, dst)
+        + payload
+    )
+
+
+def ipv6(src_low: int, dst_low: int, nxt: int, payload: bytes) -> bytes:
+    src = bytes([0x20] * 15) + bytes([src_low & 0xFF])
+    dst = bytes([0x20] * 15) + bytes([dst_low & 0xFF])
+    return (
+        struct.pack(">IHBB", 0x60000000, len(payload), nxt, 64)
+        + src
+        + dst
+        + payload
+    )
+
+
+def tcp(sport: int, dport: int) -> bytes:
+    return struct.pack(">HHIIBBHHH", sport, dport, 0, 0, 5 << 4, 0x10, 0xFFFF, 0, 0)
+
+
+def udp(sport: int, dport: int) -> bytes:
+    return struct.pack(">HHHH", sport, dport, 8, 0)
+
+
+def icmp() -> bytes:
+    return struct.pack(">BBH", 8, 0, 0)
+
+
+def zipf_weights(n: int, alpha: float) -> list:
+    return [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "tests/data/fixture.pcap"
+    rng = random.Random(SEED)
+    weights = zipf_weights(UNIVERSE, ZIPF_ALPHA)
+
+    out = bytearray()
+    # Global header: LE micro magic, v2.4, snaplen, LINKTYPE_ETHERNET.
+    out += struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, SNAPLEN, 1)
+
+    for index in range(PACKETS):
+        flow = rng.choices(range(UNIVERSE), weights=weights)[0]
+        src = 0x0A000000 + flow
+        dst = 0xC0A80000 + (flow % 16)
+        sport = 1024 + flow
+        dport = 80 if flow % 2 == 0 else 443
+
+        if index % ARP_EVERY == 0:
+            frame = eth(bytes(28), 0x0806, vlan=False)
+        elif index % IPV6_EVERY == 0:
+            frame = eth(ipv6(flow, flow % 16, 17, udp(sport, dport)), 0x86DD, False)
+        elif index % ICMP_EVERY == 0:
+            frame = eth(ipv4(src, dst, 1, icmp()), 0x0800, False)
+        else:
+            transport = tcp(sport, dport) if flow % 3 else udp(sport, dport)
+            proto = 6 if flow % 3 else 17
+            frame = eth(ipv4(src, dst, proto, transport), 0x0800,
+                        vlan=(index % VLAN_EVERY == 0))
+
+        seconds = 1_600_000_000 + index // 250
+        micros = (index * 4003) % 1_000_000
+        out += struct.pack("<IIII", seconds, micros, len(frame), len(frame))
+        out += frame
+
+    assert len(out) < 95 * 1024, f"fixture too large: {len(out)} bytes"
+    with open(path, "wb") as handle:
+        handle.write(out)
+    print(f"wrote {path}: {PACKETS} packets, {len(out)} bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
