@@ -14,6 +14,8 @@
 // records the relative cost (DESIGN.md §8 budgets it at < 2%).
 //
 // Flags: --scaling-only        run just the scaling study (skip micro-benches)
+//        --sweep               run the flush_batch x queue_capacity operating-
+//                              point sweep instead (table for EXPERIMENTS.md)
 //        --json=PATH           where to write the JSON (default
 //                              BENCH_throughput.json in the CWD)
 //        --seed=N              trace seed (default 1; common/random.h PRNG)
@@ -211,9 +213,17 @@ struct ScalingPoint {
   double batch_speedup = 1.0;    // batch_pps / scalar_pps (same config)
   double speedup_vs_serial = 1.0;  // batch_pps vs. the serial batch column
   double batch_pps_metrics = 0.0;  // batch path, global registry wired
-  // (batch_pps - batch_pps_metrics) / batch_pps; negative values are timer
-  // noise, meaning the instrumented run happened to be faster.
+  // max(0, (batch_pps - batch_pps_metrics) / batch_pps): both columns are
+  // best-of the SAME interleaved repeats, so any residual negative value is
+  // timer noise (the instrumented run happened to land on a quieter slice)
+  // and the column is clamped to zero rather than reporting a nonsensical
+  // "metrics make it faster".
   double metrics_overhead_pct = 0.0;
+  // v4 characterization columns (one dedicated run, flush_interval = 1ms):
+  // per-shard ring-occupancy high-water as a fraction of ring blocks, and
+  // the mean block residency from open to publish.
+  std::vector<double> queue_high_water;
+  double flush_latency_mean_seconds = 0.0;
 };
 
 // Interleaved best-of-9 (EXPERIMENTS.md): each repeat times every column
@@ -287,7 +297,31 @@ std::vector<ScalingPoint> run_scaling_study(const flow::Trace& trace) {
     });
   };
 
-  // All three columns (scalar, batch, batch+metrics) are interleaved
+  // One dedicated (untimed-column) run per shard count that characterizes
+  // the block hand-off: flush_interval > 0 turns on block-residency
+  // timestamps, a private registry collects the flush-latency histogram, and
+  // queue_high_water() reads the ring occupancy peaks after the rotation.
+  const auto characterize = [&](ScalingPoint& point) {
+    obs::MetricsRegistry registry;
+    runtime::ShardedFcmFramework::Options options;
+    options.framework = fw;
+    options.shard_count = point.shards;
+    options.fanout = runtime::ShardedFcmFramework::Fanout::kHashByKey;
+    options.flush_interval = std::chrono::milliseconds(1);
+    options.metrics = &registry;
+    runtime::ShardedFcmFramework sharded(options);
+    sharded.ingest(key_span);
+    sharded.rotate();
+    point.queue_high_water = sharded.queue_high_water();
+    const obs::Histogram& latency = registry.histogram(
+        "fcm_runtime_flush_latency_seconds", obs::Histogram::latency_bounds());
+    if (latency.count() > 0) {
+      point.flush_latency_mean_seconds =
+          latency.sum() / static_cast<double>(latency.count());
+    }
+  };
+
+  // All three timed columns (scalar, batch, batch+metrics) are interleaved
   // repeat-by-repeat so scheduler and frequency drift hit them equally;
   // best-of-9 per column then isolates the kernel speedup and the
   // instrumentation cost (the latter budgeted < 2%, DESIGN.md §8).
@@ -303,11 +337,64 @@ std::vector<ScalingPoint> run_scaling_study(const flow::Trace& trace) {
     }
     point.batch_speedup = point.batch_pps / point.scalar_pps;
     point.speedup_vs_serial = point.batch_pps / serial.batch_pps;
-    point.metrics_overhead_pct =
-        100.0 * (point.batch_pps - point.batch_pps_metrics) / point.batch_pps;
+    point.metrics_overhead_pct = std::max(
+        0.0,
+        100.0 * (point.batch_pps - point.batch_pps_metrics) / point.batch_pps);
+    characterize(point);
     points.push_back(point);
   }
   return points;
+}
+
+// --- block/ring operating-point sweep (--sweep) -------------------------------
+
+// Grid over the two hand-off knobs: flush_batch (block size == the
+// process_batch run length workers pop) and queue_capacity (ring depth in
+// items; blocks = capacity / flush_batch). Printed as a table for
+// EXPERIMENTS.md — the defaults committed in Options are chosen from this
+// sweep, not hard-coded on faith. Best-of-3 per cell (a full grid at
+// best-of-9 would run for minutes without changing the ranking).
+void run_block_sweep(const flow::Trace& trace) {
+  framework::FcmFramework::Options fw;
+  fw.fcm = core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32});
+  std::vector<flow::FlowKey> keys;
+  keys.reserve(trace.size());
+  for (const flow::Packet& packet : trace.packets()) keys.push_back(packet.key);
+  const std::span<const flow::FlowKey> key_span(keys);
+
+  constexpr std::size_t kFlushBatches[] = {16, 32, 64, 128, 256};
+  constexpr std::size_t kCapacities[] = {1 << 12, 1 << 14, 1 << 16};
+  for (const std::size_t shards : {1u, 4u}) {
+    std::printf("\nblock sweep, %u shard%s (batch ingest pps, best of 3)\n",
+                static_cast<unsigned>(shards), shards == 1 ? "" : "s");
+    std::printf("%-14s", "flush_batch");
+    for (const std::size_t capacity : kCapacities) {
+      std::printf(" %11s=%-5zu", "capacity", capacity);
+    }
+    std::printf("\n");
+    for (const std::size_t flush_batch : kFlushBatches) {
+      std::printf("%-14zu", flush_batch);
+      for (const std::size_t capacity : kCapacities) {
+        double best = 0.0;
+        for (int r = 0; r < 3; ++r) {
+          runtime::ShardedFcmFramework::Options options;
+          options.framework = fw;
+          options.shard_count = shards;
+          options.fanout = runtime::ShardedFcmFramework::Fanout::kHashByKey;
+          options.flush_batch = flush_batch;
+          options.queue_capacity = capacity;
+          options.metrics = nullptr;
+          runtime::ShardedFcmFramework sharded(options);
+          best = std::max(best, time_packets_per_sec(trace, [&] {
+                            sharded.ingest(key_span);
+                            sharded.rotate();
+                          }));
+        }
+        std::printf(" %17.0f", best);
+      }
+      std::printf("\n");
+    }
+  }
 }
 
 // --- heavy-flow-cache study --------------------------------------------------
@@ -384,7 +471,7 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
   }
   out << "{\n";
   out << "  \"bench\": \"sharded_runtime_scaling\",\n";
-  out << "  \"schema\": \"fcm.bench.throughput.v3\",\n";
+  out << "  \"schema\": \"fcm.bench.throughput.v4\",\n";
   out << "  \"packet_count\": " << trace.size() << ",\n";
   out << "  \"seed\": " << g_trace_seed << ",\n";
   out << "  \"repeats\": " << kInterleavedRepeats << ",\n";
@@ -414,7 +501,14 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
         << ", \"batch_speedup\": " << p.batch_speedup
         << ", \"speedup_vs_serial\": " << p.speedup_vs_serial
         << ", \"batch_packets_per_sec_metrics\": " << p.batch_pps_metrics
-        << ", \"metrics_overhead_pct\": " << p.metrics_overhead_pct << "}";
+        << ", \"metrics_overhead_pct\": " << p.metrics_overhead_pct
+        << ", \"queue_high_water\": [";
+    for (std::size_t i = 0; i < p.queue_high_water.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << p.queue_high_water[i];
+    }
+    out << "], \"flush_latency_mean_seconds\": "
+        << p.flush_latency_mean_seconds << "}";
   }
   out << "\n  ]\n}\n";
 }
@@ -423,14 +517,21 @@ void print_scaling(const std::vector<ScalingPoint>& points) {
   std::printf("\nsharded-runtime scaling (hash fanout, %u hardware threads, "
               "best of %d interleaved)\n",
               std::thread::hardware_concurrency(), kInterleavedRepeats);
-  std::printf("%-10s %14s %14s %8s %8s %14s %9s\n", "config", "scalar pps",
-              "batch pps", "batch x", "vs ser", "w/metrics", "overhead");
+  std::printf("%-10s %14s %14s %8s %8s %14s %9s %9s %10s\n", "config",
+              "scalar pps", "batch pps", "batch x", "vs ser", "w/metrics",
+              "overhead", "occ max", "flush us");
   for (const ScalingPoint& p : points) {
-    std::printf("%-10s %14.0f %14.0f %7.2fx %7.2fx %14.0f %8.2f%%\n",
+    const double occupancy_max =
+        p.queue_high_water.empty()
+            ? 0.0
+            : *std::max_element(p.queue_high_water.begin(),
+                                p.queue_high_water.end());
+    std::printf("%-10s %14.0f %14.0f %7.2fx %7.2fx %14.0f %8.2f%% %8.1f%% %10.2f\n",
                 p.shards == 0 ? "serial"
                               : (std::to_string(p.shards) + " shards").c_str(),
                 p.scalar_pps, p.batch_pps, p.batch_speedup, p.speedup_vs_serial,
-                p.batch_pps_metrics, p.metrics_overhead_pct);
+                p.batch_pps_metrics, p.metrics_overhead_pct,
+                100.0 * occupancy_max, 1e6 * p.flush_latency_mean_seconds);
   }
   std::printf("acceptance: serial batch_speedup >= 1.5x; metrics overhead "
               "< 2%% (DESIGN.md §8/§9)\n");
@@ -457,6 +558,7 @@ int main(int argc, char** argv) {
   g_trace_seed = cli.seed;
 
   bool scaling_only = false;
+  bool sweep = false;
   std::string json_path = "BENCH_throughput.json";
   std::vector<char*> forwarded;
   for (std::size_t i = 0; i < cli.forwarded.size(); ++i) {
@@ -465,6 +567,8 @@ int main(int argc, char** argv) {
       forwarded.push_back(cli.forwarded[i]);  // argv[0]
     } else if (arg == "--scaling-only") {
       scaling_only = true;
+    } else if (arg == "--sweep") {
+      sweep = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else {
@@ -473,6 +577,13 @@ int main(int argc, char** argv) {
   }
 
   const fcm::flow::Trace& trace = scaling_trace();
+  if (sweep) {
+    // Operating-point sweep only: the table EXPERIMENTS.md records the
+    // flush_batch / queue_capacity choice from.
+    run_block_sweep(trace);
+    cli.finish();
+    return 0;
+  }
   const std::vector<ScalingPoint> points = run_scaling_study(trace);
   print_scaling(points);
   const CacheStudy cache = run_cache_study(cache_trace());

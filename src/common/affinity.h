@@ -1,0 +1,42 @@
+// Core-pinning portability shim.
+//
+// The sharded runtime optionally pins each shard worker to a core
+// (Options::pin_workers, DESIGN.md §13) so the per-shard replica and its
+// ring stay resident in one L1/L2 and the scheduler cannot migrate a worker
+// mid-epoch. Affinity syscalls are platform-specific; this header confines
+// the #ifdef so the runtime stays portable — on platforms without an
+// affinity API the call is a no-op and pinning silently degrades to the
+// scheduler's placement (pinning is a performance hint, never a correctness
+// requirement).
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace fcm::common {
+
+// Pins the calling thread to logical CPU `cpu % hardware_concurrency()`.
+// Returns true when the affinity change took effect, false when the platform
+// has no affinity API or the syscall failed (e.g. the process runs in a
+// restricted cpuset that does not include the requested CPU). Callers must
+// treat false as "keep going unpinned".
+inline bool pin_current_thread(std::size_t cpu) noexcept {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % hw), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace fcm::common

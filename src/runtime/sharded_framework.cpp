@@ -1,22 +1,42 @@
 #include "runtime/sharded_framework.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/affinity.h"
+#include "common/block_queue.h"
 #include "common/contracts.h"
 #include "common/hash.h"
-#include "common/spsc_queue.h"
 
 namespace fcm::runtime {
 
 namespace {
 
-// Worker-side dequeue batch.
-constexpr std::size_t kPopBatch = 256;
+// Block payload tags (BlockQueue header `kind`, DESIGN.md §13). The queue is
+// kind-agnostic; the runtime's producer/worker pair agrees on these.
+enum BlockKind : std::uint32_t {
+  // `count` FlowKeys, each one packet — fed to process_batch in place.
+  kUnitKeys = 0,
+  // Byte-count mode: count/2 (key, byte-count) pairs interleaved in the
+  // payload (byte counts are data-dependent, so the +1-only batch kernel
+  // does not apply; pairs keep one ring for both modes).
+  kPairs = 1,
+  // One flow key in slot 0 carrying `aux` packets/bytes (a heavy-flow-cache
+  // demotion). aux is the full u64 weight — no u32 chunking on the ring.
+  kWeighted = 2,
+  // In-band epoch marker (driver rings only; count == 0).
+  kMarker = 3,
+};
+
+// Flow -> shard hash seed (any fixed constant; independent of the sketch
+// hash family, which is seeded per tree from FcmConfig).
+constexpr std::uint32_t kShardHashSeed = 0x51a8d5;
 
 // Progressive backoff for spin loops (producer backpressure, idle workers,
 // blocked marker pushes). Yield first; park briefly once clearly idle so a
@@ -32,21 +52,16 @@ void backoff(unsigned& spins) {
 
 }  // namespace
 
-// One ring-buffer slot. count == 0 is the in-band epoch marker; packet items
-// carry count == 1 (packet mode) or the packet's byte size (byte mode, which
-// ingest() guards to be positive).
-struct Item {
-  flow::FlowKey key{};
-  std::uint32_t count = 0;
-};
-
 // Registry series the runtime writes (DESIGN.md §8). Handles are resolved
 // once at construction; every hot-path touch is a relaxed atomic on a
-// cache-line-private cell. Queue-depth gauges are pull-style callbacks
-// (sampled at scrape from SpscQueue::size_approx, itself acquire-ordered),
-// so idle periods cost nothing.
+// cache-line-private cell, batched per BLOCK, never per packet. Queue-depth
+// gauges are pull-style callbacks (sampled at scrape from
+// BlockQueue::size_approx_blocks, itself acquire-ordered), so idle periods
+// cost nothing.
 struct ShardedFcmFramework::Instruments {
   obs::Counter* backpressure_spins = nullptr;   // producer spins on full rings
+  obs::Counter* blocks_published = nullptr;     // block publications (all kinds)
+  obs::Counter* partial_flushes = nullptr;      // blocks published < flush_batch
   obs::Counter* cache_hits = nullptr;           // heavy-flow cache, driver side
   obs::Counter* cache_misses = nullptr;
   obs::Counter* cache_evictions = nullptr;
@@ -54,6 +69,7 @@ struct ShardedFcmFramework::Instruments {
   obs::Counter* epochs_merged = nullptr;        // epochs published
   obs::Counter* overflow_promotions = nullptr;  // FCM overflow trips (merged)
   obs::Counter* cardinality_saturations = nullptr;
+  obs::Histogram* flush_latency_seconds = nullptr;  // block open -> publish
   obs::Histogram* merge_seconds = nullptr;          // coordinator merge time
   obs::Histogram* rotation_wait_seconds = nullptr;  // driver stall per rotate
   obs::Gauge* epoch_packets = nullptr;          // last epoch's packet count
@@ -65,16 +81,23 @@ struct ShardedFcmFramework::Instruments {
 struct ShardedFcmFramework::Shard {
   Shard(std::size_t shard_index,
         const framework::FcmFramework::Options& replica_options,
-        std::size_t queue_capacity, std::size_t flush_batch)
-      : index(shard_index), queue(queue_capacity) {
+        std::size_t block_count, std::size_t block_size,
+        std::size_t producer_count)
+      : index(shard_index) {
     replicas.reserve(2);
     replicas.emplace_back(replica_options);
     replicas.emplace_back(replica_options);
-    staging.reserve(flush_batch);
+    rings.reserve(producer_count);
+    for (std::size_t p = 0; p < producer_count; ++p) {
+      rings.push_back(std::make_unique<common::BlockQueue<flow::FlowKey>>(
+          block_count, block_size));
+    }
   }
 
   const std::size_t index;  // shard number (stripe + label value)
-  common::SpscQueue<Item> queue;
+  // One strictly-SPSC block ring per producer; rings[0] is the driver's and
+  // the only one that carries epoch markers.
+  std::vector<std::unique_ptr<common::BlockQueue<flow::FlowKey>>> rings;
   // Double-buffered generations: `active` is worker-local; the coordinator
   // only touches replicas[g] after every worker has flipped away from g
   // (ordered through mutex_-guarded flip counters).
@@ -84,15 +107,13 @@ struct ShardedFcmFramework::Shard {
   // (The flip counter lives in ShardedFcmFramework::shard_flips_, guarded by
   // its mutex_, so the analysis can name the guarding capability.)
 
-  std::vector<Item> staging;  // driver thread only
-
   // Started last so every field above is constructed first; jthread joins on
   // destruction, keeping teardown exception-safe.
   std::jthread worker;
 };
 
 ShardedFcmFramework::ShardedFcmFramework(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), shard_hash_(kShardHashSeed) {
   // The constructing thread owns the driver role until the instance is handed
   // to the (single) ingest thread; needed so cache_ setup below type-checks.
   driver_role_.assert_held();
@@ -106,8 +127,18 @@ ShardedFcmFramework::ShardedFcmFramework(Options options)
   FCM_REQUIRE(options_.flush_batch >= 1 &&
                   options_.flush_batch <= options_.queue_capacity,
               "ShardedFcmFramework: flush_batch must be in [1, queue_capacity]");
+  FCM_REQUIRE(options_.producer_count >= 1 && options_.producer_count <= 64,
+              "ShardedFcmFramework: producer_count must be in [1, 64]");
+  FCM_REQUIRE(options_.flush_interval.count() >= 0,
+              "ShardedFcmFramework: flush_interval must be >= 0");
   FCM_REQUIRE(options_.retained_epochs >= 1,
               "ShardedFcmFramework: must retain at least one epoch");
+  byte_mode_ = options_.framework.count_mode ==
+               framework::FcmFramework::CountMode::kBytes;
+  FCM_REQUIRE(!byte_mode_ || options_.flush_batch >= 2,
+              "ShardedFcmFramework: byte-count mode stages (key, bytes) pairs "
+              "and needs flush_batch >= 2");
+  track_block_time_ = options_.flush_interval.count() > 0;
   if (options_.heavy_change_threshold == 0) {
     options_.heavy_change_threshold = options_.framework.heavy_hitter_threshold;
   }
@@ -129,10 +160,21 @@ ShardedFcmFramework::ShardedFcmFramework(Options options)
     replica_options.heavy_hitter_threshold = per_shard_hh_threshold_;
   }
 
+  // queue_capacity is specified in items for continuity with the item-ring
+  // era; the block ring holds capacity/flush_batch whole blocks (>= 1 by the
+  // flush_batch <= queue_capacity contract above).
+  const std::size_t block_count = options_.queue_capacity / options_.flush_batch;
+
   shards_.reserve(options_.shard_count);
   for (std::size_t s = 0; s < options_.shard_count; ++s) {
-    shards_.push_back(std::make_unique<Shard>(
-        s, replica_options, options_.queue_capacity, options_.flush_batch));
+    shards_.push_back(std::make_unique<Shard>(s, replica_options, block_count,
+                                              options_.flush_batch,
+                                              options_.producer_count));
+  }
+  handles_.reserve(options_.producer_count);
+  for (std::size_t p = 0; p < options_.producer_count; ++p) {
+    handles_.push_back(
+        std::unique_ptr<IngestHandle>(new IngestHandle(*this, p)));
   }
   if (options_.cache_entries > 0) {
     datapath::HeavyFlowCache::Options cache_options;
@@ -174,6 +216,13 @@ void ShardedFcmFramework::init_instruments() {
   instruments->backpressure_spins = &registry->counter(
       "fcm_runtime_backpressure_spins_total", base_labels(),
       "Producer spin iterations while a shard ring was full");
+  instruments->blocks_published = &registry->counter(
+      "fcm_runtime_blocks_published_total", base_labels(),
+      "Staged blocks published to shard rings (all producers, all kinds)");
+  instruments->partial_flushes = &registry->counter(
+      "fcm_runtime_partial_flushes_total", base_labels(),
+      "Blocks published before reaching flush_batch keys (deadline flush, "
+      "rotation, weighted hand-off)");
   if (options_.cache_entries > 0) {
     instruments->cache_hits = &registry->counter(
         "fcm_datapath_cache_hits_total", base_labels(),
@@ -197,6 +246,9 @@ void ShardedFcmFramework::init_instruments() {
   instruments->cardinality_saturations = &registry->counter(
       "fcm_sketch_cardinality_saturations_total", base_labels(),
       "Linear-counting cardinality estimates that hit the full-table guard");
+  instruments->flush_latency_seconds = &registry->histogram(
+      "fcm_runtime_flush_latency_seconds", obs::Histogram::latency_bounds(),
+      base_labels(), "Block residency from open to publish");
   instruments->merge_seconds = &registry->histogram(
       "fcm_runtime_merge_seconds", obs::Histogram::latency_bounds(),
       base_labels(), "Coordinator N-way merge + requalify wall time");
@@ -224,8 +276,25 @@ void ShardedFcmFramework::init_instruments() {
       Shard* raw = shard.get();
       instruments->queue_depth_gauges.push_back(registry->gauge_callback(
           "fcm_runtime_queue_depth", shard_labels(raw->index),
-          [raw] { return static_cast<double>(raw->queue.size_approx()); },
-          "SPSC ring occupancy (sampled at scrape)"));
+          [raw, this] {
+            std::size_t blocks = 0;
+            for (const auto& ring : raw->rings) {
+              blocks += ring->size_approx_blocks();
+            }
+            return static_cast<double>(blocks * options_.flush_batch);
+          },
+          "Ring occupancy in staged items, summed over producers (sampled at "
+          "scrape)"));
+      instruments->queue_depth_gauges.push_back(registry->gauge_callback(
+          "fcm_runtime_queue_high_water_blocks", shard_labels(raw->index),
+          [raw] {
+            std::size_t high = 0;
+            for (const auto& ring : raw->rings) {
+              high = std::max(high, ring->high_water_blocks());
+            }
+            return static_cast<double>(high);
+          },
+          "Peak ring occupancy in blocks (max across producers)"));
     }
   } catch (const std::logic_error&) {
     instruments->queue_depth_gauges.clear();
@@ -235,56 +304,252 @@ void ShardedFcmFramework::init_instruments() {
 
 ShardedFcmFramework::~ShardedFcmFramework() { stop(); }
 
+// --- ingest handles (block staging) ------------------------------------------
+
+ShardedFcmFramework::IngestHandle::IngestHandle(ShardedFcmFramework& owner,
+                                                std::size_t producer)
+    : owner_(owner), producer_(producer) {
+  role_.assert_held();  // constructing thread; real owner asserts per call
+  open_.resize(owner_.shards_.size());
+}
+
+ShardedFcmFramework::IngestHandle& ShardedFcmFramework::ingest_handle(
+    std::size_t producer) {
+  FCM_REQUIRE(producer >= 1 && producer < handles_.size(),
+              "ShardedFcmFramework: secondary producer index out of range "
+              "(handle 0 is the driver's own; see Options::producer_count)");
+  return *handles_[producer];
+}
+
+void ShardedFcmFramework::IngestHandle::open_block(std::size_t shard) {
+  auto& ring = *owner_.shards_[shard]->rings[producer_];
+  ring.assume_producer();  // this handle's thread IS the ring's producer
+  OpenBlock& open = open_[shard];
+  flow::FlowKey* slots = ring.try_open();
+  if (slots == nullptr) [[unlikely]] {
+    unsigned spins = 0;
+    do {
+      backoff(spins);  // ring full: backpressure
+      slots = ring.try_open();
+    } while (slots == nullptr);
+    if (owner_.instruments_ != nullptr) {
+      owner_.instruments_->backpressure_spins->inc_at(shard, spins);
+    }
+  }
+  open.slots = slots;
+  open.fill = 0;
+  if (owner_.track_block_time_) open.opened = std::chrono::steady_clock::now();
+}
+
+void ShardedFcmFramework::IngestHandle::publish_block(std::size_t shard,
+                                                      std::uint32_t kind,
+                                                      std::uint64_t aux) {
+  OpenBlock& open = open_[shard];
+  auto& ring = *owner_.shards_[shard]->rings[producer_];
+  ring.assume_producer();
+  ring.publish(open.fill, kind, aux);
+  if (owner_.instruments_ != nullptr) {
+    Instruments& ins = *owner_.instruments_;
+    ins.blocks_published->inc_at(shard);
+    if (open.fill < owner_.options_.flush_batch) {
+      ins.partial_flushes->inc_at(shard);
+    }
+    if (ins.flush_latency_seconds != nullptr && owner_.track_block_time_) {
+      ins.flush_latency_seconds->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        open.opened)
+              .count());
+    }
+  }
+  open.slots = nullptr;
+  open.fill = 0;
+}
+
+void ShardedFcmFramework::IngestHandle::stage_unit(std::size_t shard,
+                                                   flow::FlowKey key) {
+  OpenBlock& open = open_[shard];
+  if (open.slots == nullptr) [[unlikely]] open_block(shard);
+  open.slots[open.fill++] = key;
+  if (open.fill == owner_.options_.flush_batch) {
+    publish_block(shard, kUnitKeys, 0);
+  }
+}
+
+void ShardedFcmFramework::IngestHandle::stage_pair(std::size_t shard,
+                                                   flow::FlowKey key,
+                                                   std::uint32_t bytes) {
+  OpenBlock& open = open_[shard];
+  // flush_batch may be odd: a pair never splits across blocks, so publish a
+  // fill_batch-1 partial first when only one slot is left.
+  if (open.slots != nullptr &&
+      open.fill + 2 > owner_.options_.flush_batch) [[unlikely]] {
+    publish_block(shard, kPairs, 0);
+  }
+  if (open.slots == nullptr) [[unlikely]] open_block(shard);
+  open.slots[open.fill] = key;
+  open.slots[open.fill + 1] = std::bit_cast<flow::FlowKey>(bytes);
+  open.fill += 2;
+  if (open.fill + 2 > owner_.options_.flush_batch) {
+    publish_block(shard, kPairs, 0);
+  }
+}
+
+void ShardedFcmFramework::IngestHandle::stage_weighted(std::size_t shard,
+                                                       flow::FlowKey key,
+                                                       std::uint64_t weight) {
+  // Keep per-shard arrival order: close out any staged traffic first, then
+  // publish the weight as a single-key block with the full u64 in aux.
+  OpenBlock& open = open_[shard];
+  if (open.slots != nullptr && open.fill > 0) {
+    publish_block(shard, owner_.byte_mode_ ? kPairs : kUnitKeys, 0);
+  }
+  if (open.slots == nullptr) open_block(shard);
+  open.slots[0] = key;
+  open.fill = 1;
+  publish_block(shard, kWeighted, weight);
+}
+
+std::size_t ShardedFcmFramework::IngestHandle::route_shard(flow::FlowKey key) {
+  const std::size_t shard_count = owner_.shards_.size();
+  if (shard_count == 1) return 0;
+  if (owner_.options_.fanout == Fanout::kHashByKey) {
+    return owner_.shard_hash_.index(key, shard_count);
+  }
+  const std::size_t shard = rr_next_;
+  rr_next_ = rr_next_ + 1 == shard_count ? 0 : rr_next_ + 1;
+  return shard;
+}
+
+void ShardedFcmFramework::IngestHandle::ingest_keys(
+    std::span<const flow::FlowKey> keys) {
+  const std::size_t shard_count = owner_.shards_.size();
+  const std::size_t block = owner_.options_.flush_batch;
+  if (shard_count == 1) {
+    // Single shard: no routing hash at all — memcpy runs straight into the
+    // in-ring block. This is the path the 1-shard-vs-serial floor measures.
+    std::span<const flow::FlowKey> rest = keys;
+    OpenBlock& open = open_[0];
+    while (!rest.empty()) {
+      if (open.slots == nullptr) open_block(0);
+      const std::size_t room = block - open.fill;
+      const std::size_t n = std::min(room, rest.size());
+      std::memcpy(open.slots + open.fill, rest.data(),
+                  n * sizeof(flow::FlowKey));
+      open.fill += common::checked_narrow<std::uint32_t>(n);
+      rest = rest.subspan(n);
+      if (open.fill == block) publish_block(0, kUnitKeys, 0);
+    }
+  } else if (owner_.options_.fanout == Fanout::kHashByKey) {
+    // Bulk shard hashing: one vectorizable index_batch per kBatchBlock chunk
+    // (bit-identical to the per-item route_shard above), then scatter into
+    // the per-shard open blocks.
+    std::uint32_t shard_index[common::kBatchBlock];
+    std::span<const flow::FlowKey> rest = keys;
+    while (!rest.empty()) {
+      const std::size_t n = std::min(rest.size(), common::kBatchBlock);
+      const std::span<const flow::FlowKey> chunk = rest.first(n);
+      owner_.shard_hash_.index_batch(
+          chunk, shard_count, std::span<std::uint32_t>(shard_index, n));
+      for (std::size_t i = 0; i < n; ++i) {
+        stage_unit(shard_index[i], chunk[i]);
+      }
+      rest = rest.subspan(n);
+    }
+  } else {
+    for (const flow::FlowKey key : keys) stage_unit(route_shard(key), key);
+  }
+  maybe_deadline_flush();
+}
+
+void ShardedFcmFramework::IngestHandle::ingest_packets(
+    std::span<const flow::Packet> packets) {
+  if (owner_.byte_mode_) {
+    for (const flow::Packet& packet : packets) {
+      // count == 0 is reserved (a marker-like empty pair makes no sense).
+      FCM_REQUIRE(packet.bytes > 0,
+                  "ShardedFcmFramework: zero-byte packet in byte-count mode");
+      stage_pair(route_shard(packet.key), packet.key, packet.bytes);
+    }
+  } else {
+    for (const flow::Packet& packet : packets) {
+      stage_unit(route_shard(packet.key), packet.key);
+    }
+  }
+  maybe_deadline_flush();
+}
+
+void ShardedFcmFramework::IngestHandle::maybe_deadline_flush() {
+  if (owner_.options_.flush_interval.count() == 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < open_.size(); ++s) {
+    OpenBlock& open = open_[s];
+    if (open.slots != nullptr && open.fill > 0 &&
+        now - open.opened >= owner_.options_.flush_interval) {
+      publish_block(s, owner_.byte_mode_ ? kPairs : kUnitKeys, 0);
+    }
+  }
+}
+
+void ShardedFcmFramework::IngestHandle::flush() {
+  role_.assert_held();
+  for (std::size_t s = 0; s < open_.size(); ++s) {
+    OpenBlock& open = open_[s];
+    if (open.slots == nullptr) continue;
+    if (open.fill > 0) {
+      publish_block(s, owner_.byte_mode_ ? kPairs : kUnitKeys, 0);
+    } else {
+      // Reserved but never filled: hand the slot back without publishing.
+      auto& ring = *owner_.shards_[s]->rings[producer_];
+      ring.assume_producer();
+      ring.abandon();
+      open.slots = nullptr;
+    }
+  }
+}
+
+void ShardedFcmFramework::IngestHandle::ingest(flow::FlowKey key) {
+  role_.assert_held();
+  FCM_ASSERT(!owner_.stop_.load(std::memory_order_acquire),
+             "ShardedFcmFramework: handle ingest after stop()");
+  stage_unit(route_shard(key), key);
+  maybe_deadline_flush();
+}
+
+void ShardedFcmFramework::IngestHandle::ingest(const flow::Packet& packet) {
+  role_.assert_held();
+  FCM_ASSERT(!owner_.stop_.load(std::memory_order_acquire),
+             "ShardedFcmFramework: handle ingest after stop()");
+  ingest_packets(std::span<const flow::Packet>(&packet, 1));
+}
+
+void ShardedFcmFramework::IngestHandle::ingest(
+    std::span<const flow::FlowKey> keys) {
+  role_.assert_held();
+  FCM_ASSERT(!owner_.stop_.load(std::memory_order_acquire),
+             "ShardedFcmFramework: handle ingest after stop()");
+  ingest_keys(keys);
+}
+
+void ShardedFcmFramework::IngestHandle::ingest(
+    std::span<const flow::Packet> packets) {
+  role_.assert_held();
+  FCM_ASSERT(!owner_.stop_.load(std::memory_order_acquire),
+             "ShardedFcmFramework: handle ingest after stop()");
+  ingest_packets(packets);
+}
+
 // --- data plane (driver thread) --------------------------------------------
 
-void ShardedFcmFramework::route(flow::FlowKey key, std::uint32_t count) {
-  std::size_t shard_index;
-  if (options_.fanout == Fanout::kHashByKey) {
-    shard_index = static_cast<std::size_t>(common::mix64(key.value)) %
-                  shards_.size();
+void ShardedFcmFramework::route_item(flow::FlowKey key, std::uint32_t count) {
+  IngestHandle& handle = *handles_[0];
+  handle.role_.assert_held();  // the driver thread IS producer 0
+  if (byte_mode_) {
+    handle.stage_pair(handle.route_shard(key), key, count);
+  } else if (count == 1) {
+    handle.stage_unit(handle.route_shard(key), key);
   } else {
-    shard_index = rr_next_;
-    rr_next_ = rr_next_ + 1 == shards_.size() ? 0 : rr_next_ + 1;
+    handle.stage_weighted(handle.route_shard(key), key, count);
   }
-  Shard& shard = *shards_[shard_index];
-  shard.staging.push_back(Item{key, count});
-  if (shard.staging.size() >= options_.flush_batch) flush_shard(shard);
-}
-
-void ShardedFcmFramework::flush_shard(Shard& shard) {
-  shard.queue.assume_producer();  // the driver IS the single SPSC producer
-  std::span<const Item> pending(shard.staging);
-  unsigned spins = 0;
-  while (!pending.empty()) {
-    const std::size_t pushed = shard.queue.try_push_bulk(pending);
-    pending = pending.subspan(pushed);
-    if (!pending.empty()) backoff(spins);  // ring full: backpressure
-  }
-  if (spins > 0 && instruments_ != nullptr) {
-    // One relaxed add per *stalled* flush — the uncontended path records
-    // nothing.
-    instruments_->backpressure_spins->inc_at(shard.index, spins);
-  }
-  shard.staging.clear();
-}
-
-void ShardedFcmFramework::flush_all() {
-  for (auto& shard : shards_) {
-    if (!shard->staging.empty()) flush_shard(*shard);
-  }
-}
-
-void ShardedFcmFramework::route_weighted(flow::FlowKey key,
-                                         std::uint64_t count) {
-  // Ring items carry a u32 count (0 is the epoch marker); oversized demotions
-  // split into saturated chunks. kHashByKey sends every chunk to the flow's
-  // shard, so per-shard heavy-hitter detection still sees the whole count.
-  constexpr std::uint64_t kMaxItemCount = 0xffffffff;
-  while (count > kMaxItemCount) {
-    route(key, common::checked_narrow<std::uint32_t>(kMaxItemCount));
-    count -= kMaxItemCount;
-  }
-  if (count > 0) route(key, common::checked_narrow<std::uint32_t>(count));
 }
 
 void ShardedFcmFramework::offer_cached(flow::FlowKey key, std::uint32_t count) {
@@ -293,11 +558,15 @@ void ShardedFcmFramework::offer_cached(flow::FlowKey key, std::uint32_t count) {
     case datapath::HeavyFlowCache::Result::Outcome::kHit:
     case datapath::HeavyFlowCache::Result::Outcome::kInserted:
       return;  // absorbed at the driver; nothing crosses a ring
-    case datapath::HeavyFlowCache::Result::Outcome::kEvicted:
-      route_weighted(result.evicted_key, result.evicted_count);
+    case datapath::HeavyFlowCache::Result::Outcome::kEvicted: {
+      IngestHandle& handle = *handles_[0];
+      handle.role_.assert_held();
+      handle.stage_weighted(handle.route_shard(result.evicted_key),
+                            result.evicted_key, result.evicted_count);
       return;
+    }
     case datapath::HeavyFlowCache::Result::Outcome::kBypass:
-      route(key, count);  // flow 0: the cache's empty-slot sentinel
+      route_item(key, count);  // flow 0: the cache's empty-slot sentinel
       return;
   }
 }
@@ -308,7 +577,7 @@ void ShardedFcmFramework::drain_cache() {
   // published baselines reset with it below.
   publish_cache_metrics();
   // Collect, then route from THIS scope (not a lambda) so the thread-safety
-  // analysis sees the driver capability at every route_weighted call site.
+  // analysis sees the driver capability at every staging call site.
   std::vector<std::pair<flow::FlowKey, std::uint64_t>> resident;
   resident.reserve(cache_->resident_flows());
   cache_->for_each([&resident](flow::FlowKey key, std::uint64_t count) {
@@ -316,7 +585,11 @@ void ShardedFcmFramework::drain_cache() {
   });
   cache_->clear();
   cache_published_hits_ = cache_published_misses_ = cache_published_evictions_ = 0;
-  for (const auto& [key, count] : resident) route_weighted(key, count);
+  IngestHandle& handle = *handles_[0];
+  handle.role_.assert_held();
+  for (const auto& [key, count] : resident) {
+    handle.stage_weighted(handle.route_shard(key), key, count);
+  }
 }
 
 void ShardedFcmFramework::publish_cache_metrics() {
@@ -333,63 +606,68 @@ void ShardedFcmFramework::publish_cache_metrics() {
 void ShardedFcmFramework::ingest(flow::FlowKey key) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
+  IngestHandle& handle = *handles_[0];
+  handle.role_.assert_held();
   if (cache_ != nullptr) {
     offer_cached(key, 1);
   } else {
-    route(key, 1);
+    handle.stage_unit(handle.route_shard(key), key);
   }
+  handle.maybe_deadline_flush();
 }
 
 void ShardedFcmFramework::ingest(const flow::Packet& packet) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
   std::uint32_t count = 1;
-  if (options_.framework.count_mode ==
-      framework::FcmFramework::CountMode::kBytes) {
-    // count == 0 is reserved for the in-band epoch marker.
+  if (byte_mode_) {
+    // count == 0 is reserved.
     FCM_REQUIRE(packet.bytes > 0,
                 "ShardedFcmFramework: zero-byte packet in byte-count mode");
     count = packet.bytes;
   }
+  IngestHandle& handle = *handles_[0];
+  handle.role_.assert_held();
   if (cache_ != nullptr) {
     offer_cached(packet.key, count);
   } else {
-    route(packet.key, count);
+    route_item(packet.key, count);
   }
+  handle.maybe_deadline_flush();
 }
 
 void ShardedFcmFramework::ingest(std::span<const flow::Packet> packets) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
-  const bool byte_mode = options_.framework.count_mode ==
-                         framework::FcmFramework::CountMode::kBytes;
-  const bool cached = cache_ != nullptr;
-  if (byte_mode) {
+  IngestHandle& handle = *handles_[0];
+  handle.role_.assert_held();
+  if (cache_ == nullptr) {
+    handle.ingest_packets(packets);
+    return;
+  }
+  if (byte_mode_) {
     for (const flow::Packet& packet : packets) {
-      // count == 0 is reserved for the in-band epoch marker.
       FCM_REQUIRE(packet.bytes > 0,
                   "ShardedFcmFramework: zero-byte packet in byte-count mode");
-      if (cached) {
-        offer_cached(packet.key, packet.bytes);
-      } else {
-        route(packet.key, packet.bytes);
-      }
+      offer_cached(packet.key, packet.bytes);
     }
-  } else if (cached) {
-    for (const flow::Packet& packet : packets) offer_cached(packet.key, 1);
   } else {
-    for (const flow::Packet& packet : packets) route(packet.key, 1);
+    for (const flow::Packet& packet : packets) offer_cached(packet.key, 1);
   }
+  handle.maybe_deadline_flush();
 }
 
 void ShardedFcmFramework::ingest(std::span<const flow::FlowKey> keys) {
   driver_role_.assert_held();
   FCM_ASSERT(!stopped_, "ShardedFcmFramework: ingest after stop()");
-  if (cache_ != nullptr) {
-    for (const flow::FlowKey key : keys) offer_cached(key, 1);
-  } else {
-    for (const flow::FlowKey key : keys) route(key, 1);
+  IngestHandle& handle = *handles_[0];
+  handle.role_.assert_held();
+  if (cache_ == nullptr) {
+    handle.ingest_keys(keys);
+    return;
   }
+  for (const flow::FlowKey key : keys) offer_cached(key, 1);
+  handle.maybe_deadline_flush();
 }
 
 // --- epoch rotation ---------------------------------------------------------
@@ -412,12 +690,22 @@ std::size_t ShardedFcmFramework::rotate_async() {
   // flow into its shard BEFORE the markers, so the merged epoch conserves
   // totals exactly (each flow's units reach the sketch ahead of the flip).
   drain_cache();
-  flush_all();
-  const Item marker{};  // count == 0
+  // Publish the driver's partial blocks; secondary handles must already be
+  // flushed and quiescent (ownership rules in the class comment) — the
+  // workers drain their rings to empty when they pop the marker below.
+  IngestHandle& handle = *handles_[0];
+  handle.role_.assert_held();
+  handle.flush();
   for (auto& shard : shards_) {
-    shard->queue.assume_producer();
+    auto& ring = *shard->rings[0];
+    ring.assume_producer();
+    flow::FlowKey* slots = ring.try_open();
     unsigned spins = 0;
-    while (!shard->queue.try_push(marker)) backoff(spins);
+    while (slots == nullptr) {
+      backoff(spins);
+      slots = ring.try_open();
+    }
+    ring.publish(0, kMarker, 0);
   }
   std::size_t epoch;
   {
@@ -445,74 +733,107 @@ ShardedFcmFramework::EpochReport ShardedFcmFramework::wait_epoch(
 // --- worker -----------------------------------------------------------------
 
 void ShardedFcmFramework::worker_loop(Shard& shard) {
-  shard.queue.assume_consumer();  // this worker IS the single SPSC consumer
-  const bool byte_mode = options_.framework.count_mode ==
-                         framework::FcmFramework::CountMode::kBytes;
-  std::vector<Item> batch(kPopBatch);
-  // Packet-mode keys accumulated from the current pop batch, consumed through
-  // the batched ingest kernel (FcmFramework::process_batch). Must drain before
-  // a generation flip: the pending keys belong to the epoch being closed.
-  flow::FlowKey keys[kPopBatch];
-  std::size_t pending = 0;
-  std::uint64_t data_items = 0;  // batched into one relaxed add below
-  const auto drain = [&] {
-    if (pending == 0) return;
-    shard.replicas[shard.active].process_batch(
-        std::span<const flow::FlowKey>(keys, pending));
-    shard.packets_in_generation[shard.active] += pending;
-    data_items += pending;
-    pending = 0;
+  if (options_.pin_workers) {
+    // Best-effort: false (no affinity API / restricted cpuset) runs unpinned.
+    common::pin_current_thread(shard.index);
+  }
+  // Applies one published block to the active generation. Unit-key blocks
+  // feed the batched kernel IN PLACE from ring memory — the span is only
+  // valid until release(), which every caller performs right after.
+  std::uint64_t data_items = 0;
+  const auto apply_block =
+      [&](const common::BlockQueue<flow::FlowKey>::View& view) {
+        switch (view.kind) {
+          case kUnitKeys:
+            shard.replicas[shard.active].process_batch(
+                std::span<const flow::FlowKey>(view.data, view.count));
+            shard.packets_in_generation[shard.active] += view.count;
+            data_items += view.count;
+            break;
+          case kPairs:
+            for (std::uint32_t i = 0; i + 1 < view.count; i += 2) {
+              shard.replicas[shard.active].process(flow::Packet{
+                  view.data[i], std::bit_cast<std::uint32_t>(view.data[i + 1]),
+                  0});
+            }
+            shard.packets_in_generation[shard.active] += view.count / 2;
+            data_items += view.count / 2;
+            break;
+          case kWeighted: {
+            shard.replicas[shard.active].process_weighted(view.data[0],
+                                                          view.aux);
+            // In byte mode a demotion is one ring item (see Options docs);
+            // in packet mode it carries `aux` packets.
+            const std::uint64_t units = byte_mode_ ? 1 : view.aux;
+            shard.packets_in_generation[shard.active] += units;
+            data_items += units;
+            break;
+          }
+          default:
+            FCM_ASSERT(false, "ShardedFcmFramework: unknown block kind");
+        }
+      };
+  const auto publish_data_items = [&] {
+    if (data_items > 0 && instruments_ != nullptr) {
+      // Per-block, not per-packet: one relaxed fetch_add on this worker's
+      // own cache-line-aligned cell covers a whole block run.
+      instruments_->shard_packets[shard.index]->inc_at(shard.index, data_items);
+    }
+    data_items = 0;
   };
+  // Drains one secondary ring to empty; returns true if anything was popped.
+  const auto drain_ring = [&](common::BlockQueue<flow::FlowKey>& ring) {
+    ring.assume_consumer();
+    common::BlockQueue<flow::FlowKey>::View view;
+    bool popped = false;
+    while (ring.try_front(view)) {
+      apply_block(view);
+      ring.release();
+      popped = true;
+    }
+    return popped;
+  };
+
+  auto& driver_ring = *shard.rings[0];
+  driver_ring.assume_consumer();  // this worker IS each ring's single consumer
   unsigned spins = 0;
   for (;;) {
-    const std::size_t n = shard.queue.try_pop_bulk(std::span<Item>(batch));
-    if (n == 0) {
-      // Check AFTER a failed pop so a queue filled before stop() is drained.
-      if (stop_.load(std::memory_order_acquire)) return;
-      backoff(spins);
-      continue;
-    }
-    spins = 0;
-    data_items = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Item item = batch[i];
-      if (item.count == 0) {
-        // Epoch marker: drain pending keys into the closing generation, then
-        // flip to the other one and publish the flip. The mutex makes every
-        // replica write above happen-before the coordinator's reads once it
-        // observes the new flip count.
-        drain();
+    bool any = false;
+    common::BlockQueue<flow::FlowKey>::View view;
+    // The driver ring carries data AND epoch markers.
+    while (driver_ring.try_front(view)) {
+      any = true;
+      if (view.kind == kMarker) {
+        // Epoch boundary. Secondary producers are quiesced across rotation
+        // (ownership rules), so draining their rings to empty hands the
+        // closing generation exactly its traffic. Then flip and publish the
+        // flip: the mutex makes every replica write above happen-before the
+        // coordinator's reads once it observes the new flip count.
+        for (std::size_t p = 1; p < shard.rings.size(); ++p) {
+          drain_ring(*shard.rings[p]);
+        }
+        publish_data_items();
         {
           common::MutexLock lock(mutex_);
           shard.active ^= 1;
           ++shard_flips_[shard.index];
         }
         cv_.notify_all();
-        continue;
-      }
-      if (byte_mode) {
-        // Byte counts are data-dependent; the batched kernel is +1-only.
-        shard.replicas[shard.active].process(
-            flow::Packet{item.key, item.count, 0});
-        ++shard.packets_in_generation[shard.active];
-        ++data_items;
-      } else if (item.count == 1) {
-        keys[pending++] = item.key;
       } else {
-        // Weighted item: a heavy-flow-cache demotion carrying `count`
-        // packets of one flow. Keep sketch-write order: drain the pending
-        // +1 run first, then apply the bulk add.
-        drain();
-        shard.replicas[shard.active].process_weighted(item.key, item.count);
-        shard.packets_in_generation[shard.active] += item.count;
-        data_items += item.count;
+        apply_block(view);
       }
+      driver_ring.release();
     }
-    drain();
-    if (data_items > 0 && instruments_ != nullptr) {
-      // Per-batch, not per-packet: one relaxed fetch_add on this worker's
-      // own cache-line-aligned cell covers up to kPopBatch packets.
-      instruments_->shard_packets[shard.index]->inc_at(shard.index, data_items);
+    for (std::size_t p = 1; p < shard.rings.size(); ++p) {
+      any |= drain_ring(*shard.rings[p]);
+    }
+    publish_data_items();
+    if (!any) {
+      // Check AFTER a failed drain so rings filled before stop() empty out.
+      if (stop_.load(std::memory_order_acquire)) return;
+      backoff(spins);
+    } else {
+      spins = 0;
     }
   }
 }
@@ -625,8 +946,14 @@ void ShardedFcmFramework::coordinator_loop() {
 void ShardedFcmFramework::stop() {
   driver_role_.assert_held();
   if (stopped_) return;
-  drain_cache();  // un-rotated tail: hand it to the workers like flush_all()
-  flush_all();
+  drain_cache();  // un-rotated tail: hand it to the workers like a flush
+  {
+    // Secondary handles must already be flushed by their owning threads
+    // (ownership rules); the driver can only flush its own staging.
+    IngestHandle& handle = *handles_[0];
+    handle.role_.assert_held();
+    handle.flush();
+  }
   stop_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -666,6 +993,20 @@ std::uint64_t ShardedFcmFramework::flow_size(flow::FlowKey key) const {
 std::size_t ShardedFcmFramework::epochs_completed() const {
   common::MutexLock lock(mutex_);
   return epochs_merged_;
+}
+
+std::vector<double> ShardedFcmFramework::queue_high_water() const {
+  std::vector<double> high_water;
+  high_water.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::size_t high = 0;
+    for (const auto& ring : shard->rings) {
+      high = std::max(high, ring->high_water_blocks());
+    }
+    high_water.push_back(static_cast<double>(high) /
+                         static_cast<double>(shard->rings[0]->block_count()));
+  }
+  return high_water;
 }
 
 void ShardedFcmFramework::check_invariants() const {

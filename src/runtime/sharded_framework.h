@@ -1,25 +1,51 @@
-// Sharded ingestion runtime (DESIGN.md §7).
+// Sharded ingestion runtime (DESIGN.md §7, block-staged hand-off §13).
 //
 // The paper's data plane sustains line rate because every FCM update is an
 // independent O(1) register op; this runtime recovers that parallelism in
-// software. A single driver thread fans packets out to N shard workers over
-// lock-free SPSC rings (common/spsc_queue.h); each worker owns a private
-// FcmFramework replica (plain FCM or FCM+TopK), so the hot path is entirely
-// unsynchronized. FCM counters are linear, so at each epoch boundary the N
+// software. Producer threads hash-partition traffic into per-shard blocks
+// and hand WHOLE blocks to N shard workers over lock-free block rings
+// (common/block_queue.h); each worker owns a private FcmFramework replica
+// (plain FCM or FCM+TopK) and feeds popped blocks straight into the batched
+// ingest kernel (FcmFramework::process_batch), so the hot path is entirely
+// unsynchronized and pays one release store per ~flush_batch packets instead
+// of per packet. FCM counters are linear, so at each epoch boundary the N
 // shard replicas are merged into ONE logical sketch — bit-exact equal, for
 // the plain-FCM plane, to the sketch a serial run would hold (FcmTree::merge)
 // — and handed to the existing control plane (EM/FSD, entropy, heavy change)
 // unchanged.
 //
+// Block staging (DESIGN.md §13): every producer keeps one OPEN block per
+// shard, reserved in place inside that shard's ring (zero staging copy).
+// Span ingest bulk-hashes shard indices a kBatchBlock chunk at a time
+// (SeededHash::index_batch — the same vectorizable kernel the sketch hashes
+// use) and scatters keys into the open blocks; a block that reaches
+// flush_batch keys is published with one release store. Optional adaptive
+// flush (Options::flush_interval) publishes a partial block once it has been
+// open longer than the deadline, so trickle traffic reaches the workers with
+// bounded latency instead of waiting for a rotation.
+//
+// Multi-producer ingest: Options::producer_count > 1 gives each extra
+// producer thread its own IngestHandle — per-producer staging plus a private
+// ring per (producer, shard) pair, so every ring stays strictly SPSC.
+// Ownership rules (machine-checked per handle via its ThreadRole):
+//   - exactly one thread drives each handle (and the driver thread, which
+//     owns handle 0 implicitly, is the only one that may rotate/stop);
+//   - secondary handles must be flushed and quiescent from before
+//     rotate_async()/stop() until the rotation completes (wait_epoch
+//     returns) — epoch markers travel only on the driver's rings, and a
+//     worker that pops one drains the secondary rings to empty to close the
+//     epoch, which is exact precisely because quiesced producers cannot be
+//     mid-publish.
+//
 // Epoch double-buffering: each worker holds TWO replica generations, active
-// and draining. rotate_async() pushes an in-band epoch marker into every
-// ring; a worker that pops the marker flips to the other generation and
-// keeps consuming — ingest never stalls on a rotation. A background epoch
-// coordinator waits until every worker has flipped, merges the drained
-// generation (off the ingest path), derives the epoch report (cardinality,
-// re-qualified heavy hitters, heavy changes vs. the previous epoch, optional
-// EM analysis), clears the drained replicas for reuse, and publishes the
-// merged framework into a bounded history.
+// and draining. rotate_async() pushes an in-band epoch marker block into
+// every driver ring; a worker that pops the marker flips to the other
+// generation and keeps consuming — ingest never stalls on a rotation. A
+// background epoch coordinator waits until every worker has flipped, merges
+// the drained generation (off the ingest path), derives the epoch report
+// (cardinality, re-qualified heavy hitters, heavy changes vs. the previous
+// epoch, optional EM analysis), clears the drained replicas for reuse, and
+// publishes the merged framework into a bounded history.
 //
 // Heavy hitters under sharding: a flow split across shards can cross the
 // global threshold T only in aggregate, so shard replicas record candidates
@@ -31,18 +57,18 @@
 //
 // Thread discipline (machine-checked, DESIGN.md §10): ingest(),
 // rotate_async(), rotate() and stop() must all be called from ONE driver
-// thread (the SPSC producer) — expressed as the driver_role_ capability:
-// the public driver entry points assert it, the private staging helpers
-// REQUIRE it, and the staging state is GUARDED_BY it, so Clang's
-// -Wthread-safety proves no other path can touch driver-only state.
-// wait_epoch()/merged_epoch()/last_report() are safe from any thread (they
-// only read mutex_-guarded published state). The destructor stops and joins
-// all threads; workers are std::jthread, so teardown is exception-safe
-// (tools/fcm_lint.py bans plain std::thread in src/ for exactly this
-// reason).
+// thread — expressed as the driver_role_ capability: the public driver entry
+// points assert it, the private helpers REQUIRE it, and driver-only state is
+// GUARDED_BY it. Each IngestHandle carries its own role capability guarding
+// its staging state the same way. wait_epoch()/merged_epoch()/last_report()
+// are safe from any thread (they only read mutex_-guarded published state).
+// The destructor stops and joins all threads; workers are std::jthread, so
+// teardown is exception-safe (tools/fcm_lint.py bans plain std::thread in
+// src/ for exactly this reason).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -53,6 +79,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/thread_annotations.h"
 #include "datapath/heavy_flow_cache.h"
 #include "framework/fcm_framework.h"
@@ -68,9 +95,9 @@ class ShardedFcmFramework {
     // per-shard heavy-hitter detection sees whole flows; load balance
     // follows the flow-size distribution.
     kHashByKey,
-    // Strict round-robin. Perfect load balance; flows are split across
-    // shards (merge keeps counts exact; heavy hitters rely on the ceil(T/N)
-    // per-shard threshold + post-merge re-qualification).
+    // Strict round-robin (per producer). Perfect load balance; flows are
+    // split across shards (merge keeps counts exact; heavy hitters rely on
+    // the ceil(T/N) per-shard threshold + post-merge re-qualification).
     kRoundRobin,
   };
 
@@ -79,28 +106,46 @@ class ShardedFcmFramework {
     // (with the heavy-hitter threshold lowered to ceil(T / shard_count)).
     framework::FcmFramework::Options framework;
     std::size_t shard_count = 4;
-    // SPSC ring slots per shard; must be a power of two >= 2. Ingest applies
-    // backpressure (spins) when a ring is full.
+    // Ring capacity per (producer, shard) pair, in ITEMS; must be a power of
+    // two >= 2 and >= flush_batch. The ring actually holds
+    // queue_capacity / flush_batch whole blocks. Ingest applies backpressure
+    // (spins) when a ring is full.
     std::size_t queue_capacity = 1 << 14;
-    // Producer-side staging: items are buffered per shard and published in
-    // batches of this size so one release store covers many packets.
+    // Block size: keys are staged per shard directly into the in-ring block
+    // and published flush_batch at a time, so one release store covers a
+    // whole process_batch-sized run. Byte-count mode stages (key, bytes)
+    // pairs, so it needs flush_batch >= 2.
     std::size_t flush_batch = 64;
+    // Ingest handles (producer threads). Handle 0 is the driver thread's own
+    // (the plain ingest() entry points); handles 1..producer_count-1 are
+    // claimed with ingest_handle() and may run on other threads. Each extra
+    // producer costs one ring per shard.
+    std::size_t producer_count = 1;
     Fanout fanout = Fanout::kHashByKey;
+    // Adaptive flush deadline: 0 (default) publishes blocks only when full
+    // (or at rotation/stop). > 0 bounds staging latency — a partial block
+    // older than this is published at the next ingest call on its handle, so
+    // trickle traffic reaches the workers without waiting for a rotation.
+    std::chrono::nanoseconds flush_interval{0};
+    // Pin each shard worker to logical CPU (shard index mod hardware
+    // concurrency) via common/affinity.h. A performance hint: platforms
+    // without an affinity API (or restricted cpusets) run unpinned.
+    bool pin_workers = false;
     // Merged epoch snapshots retained for cross-epoch queries (>= 1).
     std::size_t retained_epochs = 4;
     // 0: reuse framework.heavy_hitter_threshold for heavy-change detection.
     std::uint64_t heavy_change_threshold = 0;
     // Exact-match heavy-flow cache in FRONT of the fan-out (DESIGN.md §12):
     // 0 disables it. Hot flows are absorbed at the DRIVER — a cache hit
-    // never crosses an SPSC ring at all — and are demoted as one weighted
-    // item on eviction and at every rotation, so each merged epoch holds
+    // never crosses a ring at all — and are demoted as one weighted
+    // block on eviction and at every rotation, so each merged epoch holds
     // exactly the traffic ingested into it (the plain-FCM merged COUNTER
     // state is bit-exact equal to a cache-off run; the on-path HH ledger is
     // trajectory-dependent but never misses a truly heavy flow — the
     // differential battery checks both). With the cache enabled,
     // EpochReport::packets still counts true
     // packets in kPackets mode, but in kBytes mode demotions collapse many
-    // packets into one ring item, so `packets` counts items there.
+    // packets into one ring block, so `packets` counts items there.
     std::size_t cache_entries = 0;
     std::size_t cache_ways = 4;       // set associativity (see HeavyFlowCache)
     std::uint64_t cache_seed = 0xcac4e;
@@ -112,8 +157,8 @@ class ShardedFcmFramework {
     // the whole runtime: it is propagated into framework.metrics at
     // construction, so the control plane (analyze_on_rotate / EM) follows
     // the same knob. The registry must outlive this framework. Per-packet
-    // cost is one batched relaxed fetch_add per pop batch — measured < 1%
-    // on the 8-shard ingest path.
+    // cost is a handful of batched relaxed fetch_adds per BLOCK — measured
+    // < 1% on the 8-shard ingest path.
     obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
     // Label value distinguishing this instance's series when several
     // sharded frameworks share one registry ("" = unlabeled; two live
@@ -139,6 +184,66 @@ class ShardedFcmFramework {
     double fanout_imbalance = 1.0;
   };
 
+  // One producer's ingest endpoint: per-shard open blocks staged in place in
+  // that producer's private rings. Exactly ONE thread may drive a handle
+  // (its ThreadRole capability guards the staging state); see the ownership
+  // rules in the file comment for how handles interact with rotation.
+  class IngestHandle {
+   public:
+    IngestHandle(const IngestHandle&) = delete;
+    IngestHandle& operator=(const IngestHandle&) = delete;
+
+    void ingest(flow::FlowKey key);
+    void ingest(const flow::Packet& packet);
+    void ingest(std::span<const flow::FlowKey> keys);
+    void ingest(std::span<const flow::Packet> packets);
+    // Publishes every non-empty open block (partial blocks included) and
+    // hands empty reserved blocks back. REQUIRED before the driver rotates
+    // or stops (see ownership rules).
+    void flush();
+
+    std::size_t producer_index() const noexcept { return producer_; }
+
+   private:
+    friend class ShardedFcmFramework;
+
+    // A block reserved in the ring for one shard, being filled in place.
+    struct OpenBlock {
+      flow::FlowKey* slots = nullptr;  // null => no block reserved
+      std::uint32_t fill = 0;
+      // Set at first staging into the block when deadline flushing or the
+      // flush-latency histogram needs it.
+      std::chrono::steady_clock::time_point opened{};
+    };
+
+    IngestHandle(ShardedFcmFramework& owner, std::size_t producer);
+
+    void open_block(std::size_t shard) FCM_REQUIRES(role_);
+    void publish_block(std::size_t shard, std::uint32_t kind,
+                       std::uint64_t aux) FCM_REQUIRES(role_);
+    void stage_unit(std::size_t shard, flow::FlowKey key) FCM_REQUIRES(role_);
+    void stage_pair(std::size_t shard, flow::FlowKey key, std::uint32_t bytes)
+        FCM_REQUIRES(role_);
+    void stage_weighted(std::size_t shard, flow::FlowKey key,
+                        std::uint64_t weight) FCM_REQUIRES(role_);
+    void ingest_keys(std::span<const flow::FlowKey> keys) FCM_REQUIRES(role_);
+    void ingest_packets(std::span<const flow::Packet> packets)
+        FCM_REQUIRES(role_);
+    std::size_t route_shard(flow::FlowKey key) FCM_REQUIRES(role_);
+    // Deadline flush: publishes partial blocks older than flush_interval.
+    // Checked at the end of every public ingest call on this handle.
+    void maybe_deadline_flush() FCM_REQUIRES(role_);
+
+    ShardedFcmFramework& owner_;
+    const std::size_t producer_;
+    // The one-thread-per-handle contract as a capability (the producer
+    // analogue of driver_role_); all staging state below is guarded by it.
+    common::ThreadRole role_;
+    std::vector<OpenBlock> open_ FCM_GUARDED_BY(role_);
+    // Per-producer round-robin cursor (kRoundRobin fanout).
+    std::size_t rr_next_ FCM_GUARDED_BY(role_) = 0;
+  };
+
   explicit ShardedFcmFramework(Options options);
   ~ShardedFcmFramework();
 
@@ -148,14 +253,20 @@ class ShardedFcmFramework {
   // --- data plane (driver thread only) -----------------------------------
   void ingest(flow::FlowKey key);
   void ingest(const flow::Packet& packet);
-  // Span overloads (DESIGN.md §9): same routing as the per-item calls, with
-  // the per-call overhead (stopped/mode checks) hoisted out of the loop.
-  // Items still stage per shard and publish in flush_batch blocks, so one
-  // release store on the ring covers a whole block. Workers feed popped
-  // blocks into FcmFramework::process_batch, so the span path engages the
-  // batched ingest kernel end to end.
+  // Span overloads (DESIGN.md §9/§13): shard indices are bulk-hashed a
+  // kBatchBlock chunk at a time and keys scattered into per-shard in-ring
+  // blocks, so one release store on the ring covers a whole block and
+  // workers feed popped blocks into FcmFramework::process_batch — the
+  // batched ingest kernel end to end, with no per-item ring traffic.
   void ingest(std::span<const flow::Packet> packets);
   void ingest(std::span<const flow::FlowKey> keys);
+
+  // Secondary producer endpoint `producer` in [1, producer_count): claim it
+  // once and drive it from exactly one thread. Handle 0 is the driver's own
+  // staging (used by the ingest() overloads above) and cannot be claimed —
+  // it routes through the heavy-flow cache and marker protocol, which are
+  // driver-only.
+  IngestHandle& ingest_handle(std::size_t producer);
 
   // Closes the current epoch without stalling ingest: pushes epoch markers
   // and returns immediately; the coordinator thread drains, merges, and
@@ -163,6 +274,7 @@ class ShardedFcmFramework {
   // At most one rotation is in flight: if the previous epoch is still
   // merging, this call first waits for it (ingest from this thread pauses,
   // but the workers keep draining their rings meanwhile).
+  // Secondary handles must be flushed and quiescent (ownership rules above).
   // Returns the epoch index to pass to wait_epoch().
   std::size_t rotate_async();
 
@@ -171,7 +283,8 @@ class ShardedFcmFramework {
 
   // Flushes staged items, drains and joins all threads. Implicit un-rotated
   // tail traffic is discarded with the active generation (rotate first if it
-  // matters). Idempotent; called by the destructor.
+  // matters). Secondary handles must be flushed and quiescent. Idempotent;
+  // called by the destructor.
   void stop();
 
   // --- results (any thread) ----------------------------------------------
@@ -192,6 +305,11 @@ class ShardedFcmFramework {
   std::size_t shard_count() const noexcept { return shards_.size(); }
   const Options& options() const noexcept { return options_; }
 
+  // Per-shard ring-occupancy high-water marks as a fraction of ring blocks
+  // (max across producers; approximate, see BlockQueue::high_water_blocks).
+  // The scaling study's occupancy column. Safe from any thread.
+  std::vector<double> queue_high_water() const;
+
   // Structural invariants of all shard replicas and retained merged epochs.
   // Only meaningful from the driver thread while no rotation is in flight,
   // or after stop().
@@ -207,10 +325,9 @@ class ShardedFcmFramework {
   struct Shard;
 
   void init_instruments();
-  void flush_shard(Shard& shard) FCM_REQUIRES(driver_role_);
-  void flush_all() FCM_REQUIRES(driver_role_);
-  void route(flow::FlowKey key, std::uint32_t count) FCM_REQUIRES(driver_role_);
-  void route_weighted(flow::FlowKey key, std::uint64_t count)
+  // Driver-side routing helpers delegate to handle 0's staging (the driver
+  // thread owns both capabilities).
+  void route_item(flow::FlowKey key, std::uint32_t count)
       FCM_REQUIRES(driver_role_);
   // Cache front end (no-ops when cache_ is null): per-item offer, epoch
   // drain into the rings, and counter publication.
@@ -222,15 +339,23 @@ class ShardedFcmFramework {
   void coordinator_loop();
 
   Options options_;
+  bool byte_mode_ = false;
+  // Record block open timestamps (needed by deadline flushing; also feeds
+  // the flush-latency histogram). Off when flush_interval == 0 so the
+  // full-block fast path never reads the clock. Set once at construction.
+  bool track_block_time_ = false;
+  // Flow -> shard mapping (kHashByKey): one SeededHash so the per-item path
+  // (index) and the span path (index_batch) are bit-identical by
+  // construction (common/hash.h pins that equivalence).
+  common::SeededHash shard_hash_;
   std::uint64_t per_shard_hh_threshold_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<IngestHandle>> handles_;
 
   // The "one driver thread" contract as a capability: the thread that calls
   // ingest()/rotate*/stop() owns this role (asserted at those entry points),
-  // and everything below it is driver-private staging state.
+  // and everything below it is driver-private state.
   common::ThreadRole driver_role_;
-  // Round-robin cursor.
-  std::size_t rr_next_ FCM_GUARDED_BY(driver_role_) = 0;
   bool stopped_ FCM_GUARDED_BY(driver_role_) = false;
   // Driver-side heavy-flow cache (null when cache_entries == 0) and the
   // cumulative counter values already pushed to the registry.

@@ -1,0 +1,62 @@
+// fcm-lint-path: src/runtime/broken_staging.cpp
+//
+// Corpus: staging-ownership — the block-staged ingest layer's ownership
+// contract (DESIGN.md §13). Per-producer staging state (open blocks,
+// staging buffers, round-robin cursors) must be FCM_GUARDED_BY a producer
+// role, and span-ingest bodies must hand off whole blocks — per-item
+// try_push is the fan-out tax the staging layer removes.
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace corpus {
+
+struct Block {
+  std::array<std::size_t, 64> slots{};
+  std::size_t fill = 0;
+};
+
+struct ItemRing {
+  bool try_push(std::size_t) { return true; }
+  bool try_push_bulk(const std::size_t*, std::size_t) { return true; }
+};
+
+class BrokenHandle {
+ public:
+  void ingest(std::span<const std::size_t> keys) FCM_REQUIRES(role_) {
+    for (std::size_t key : keys) {
+      while (!ring_.try_push(key)) {  // fcm-lint-expect: staging-ownership
+      }
+    }
+  }
+
+  void flush() FCM_REQUIRES(role_) {
+    ring_.try_push_bulk(nullptr, 0);  // fcm-lint-expect: staging-ownership
+  }
+
+  // Non-ingest helpers may still talk to item rings (e.g. control frames).
+  void send_control() FCM_REQUIRES(role_) { ring_.try_push(0); }
+
+ private:
+  fcm::common::ThreadRole role_;
+  ItemRing ring_;
+  std::vector<Block> open_;  // fcm-lint-expect: staging-ownership
+  std::size_t rr_next_ = 0;  // fcm-lint-expect: staging-ownership
+  std::array<std::size_t, 64> staging_buf_{};  // fcm-lint-expect: staging-ownership
+};
+
+class CleanHandle {
+ public:
+  std::size_t cursor() const FCM_REQUIRES(role_) { return rr_next_; }
+
+ private:
+  fcm::common::ThreadRole role_;
+  std::vector<Block> open_ FCM_GUARDED_BY(role_);
+  std::size_t rr_next_ FCM_GUARDED_BY(role_) = 0;
+  std::array<std::size_t, 64> staging_buf_ FCM_GUARDED_BY(role_){};
+};
+
+}  // namespace corpus

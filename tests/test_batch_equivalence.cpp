@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <random>
@@ -398,6 +399,91 @@ TEST(BatchEquivalence, ShardedSpanIngestInterleavedWithRotations) {
     expect_trees_identical(serial1.sketch(), sharded.merged_epoch(0).sketch());
     sharded.stop();
   }
+}
+
+TEST(BatchEquivalence, ShardedBlockStagedSpansBitExactAcrossSizesAndShards) {
+  // The block-staged hand-off matrix the ISSUE pins: N in {1, 2, 4, 8} and
+  // span sizes {1, block-1, block, block+1, 10*block} around the publication
+  // boundary (block == flush_batch), interleaved with rotations so partial
+  // blocks get flushed by the marker path mid-stream. Each merged epoch must
+  // be tree-bit-exact against a serial framework fed the same keys — the
+  // rotation boundary falls INSIDE a span-size cycle, so epochs end on
+  // ragged, partially-staged state.
+  constexpr std::size_t kBlock = 64;  // default Options::flush_batch
+  const std::size_t span_sizes[] = {1, kBlock - 1, kBlock, kBlock + 1,
+                                    10 * kBlock};
+  // One cycle consumes 1 + 63 + 64 + 65 + 640 = 833 keys; three cycles total.
+  const auto keys = skewed_keys(3 * 833, 123, 1200);
+
+  for (const std::size_t shards : {1ul, 2ul, 4ul, 8ul}) {
+    ShardedFcmFramework::Options options;
+    options.framework.fcm = small_config();
+    options.framework.heavy_hitter_threshold = 50;
+    options.framework.metrics = nullptr;
+    options.metrics = nullptr;
+    options.shard_count = shards;
+    ShardedFcmFramework sharded(options);
+
+    // Epoch 0: one full cycle of the span sizes (831 keys). Epoch 1: two
+    // more cycles. Serial twins consume the same split.
+    std::span<const FlowKey> rest(keys);
+    const auto feed_cycles = [&](std::size_t cycles) {
+      std::size_t fed = 0;
+      for (std::size_t c = 0; c < cycles; ++c) {
+        for (const std::size_t n : span_sizes) {
+          sharded.ingest(rest.subspan(0, n));
+          rest = rest.subspan(n);
+          fed += n;
+        }
+      }
+      return fed;
+    };
+    const std::size_t epoch0_keys = feed_cycles(1);
+    const std::size_t epoch0 = sharded.rotate_async();
+    const std::size_t epoch1_keys = feed_cycles(2);
+    const std::size_t epoch1 = sharded.rotate_async();
+    ASSERT_EQ(sharded.wait_epoch(epoch0).packets, epoch0_keys);
+    ASSERT_EQ(sharded.wait_epoch(epoch1).packets, epoch1_keys);
+
+    std::span<const FlowKey> all(keys);
+    FcmFramework::Options serial_options = options.framework;
+    FcmFramework serial0(serial_options);
+    serial0.process_batch(all.subspan(0, epoch0_keys));
+    FcmFramework serial1(serial_options);
+    serial1.process_batch(all.subspan(epoch0_keys, epoch1_keys));
+
+    expect_trees_identical(serial0.sketch(), sharded.merged_epoch(1).sketch());
+    expect_trees_identical(serial1.sketch(), sharded.merged_epoch(0).sketch());
+    sharded.stop();
+  }
+}
+
+TEST(BatchEquivalence, ShardedAdaptiveFlushStillBitExact) {
+  // A 1ns deadline forces a partial-block publish at EVERY ingest call — the
+  // maximally adversarial flush schedule. Early publication must be a pure
+  // latency change: merged state identical to the batch-only run and to
+  // serial.
+  const auto keys = skewed_keys(5000, 321, 900);
+  ShardedFcmFramework::Options options;
+  options.framework.fcm = small_config();
+  options.framework.metrics = nullptr;
+  options.metrics = nullptr;
+  options.shard_count = 4;
+  options.flush_interval = std::chrono::nanoseconds(1);
+  ShardedFcmFramework sharded(options);
+
+  std::span<const FlowKey> rest(keys);
+  while (!rest.empty()) {
+    const std::size_t n = std::min<std::size_t>(17, rest.size());
+    sharded.ingest(rest.subspan(0, n));
+    rest = rest.subspan(n);
+  }
+  sharded.rotate();
+
+  FcmFramework::Options serial_options = options.framework;
+  FcmFramework serial(serial_options);
+  serial.process_batch(std::span<const FlowKey>(keys));
+  expect_trees_identical(serial.sketch(), sharded.merged_epoch(0).sketch());
 }
 
 }  // namespace

@@ -15,22 +15,27 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <random>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/block_queue.h"
 #include "common/contracts.h"
 #include "common/spsc_queue.h"
 #include "flow/flow_key.h"
 #include "flow/packet.h"
 #include "framework/fcm_framework.h"
+#include "obs/metrics_registry.h"
 #include "runtime/sharded_framework.h"
 
 namespace {
 
+using fcm::common::BlockQueue;
 using fcm::common::ContractViolation;
 using fcm::common::SpscQueue;
 using fcm::core::FcmConfig;
@@ -201,6 +206,115 @@ TEST(SpscQueue, ThreadedHandoffDeliversEveryItemInOrder) {
       if (!pending.empty()) std::this_thread::yield();
     }
     next += n;
+  }
+}
+
+// --- BlockQueue: block hand-off semantics ------------------------------------
+
+TEST(BlockQueue, OpenPublishConsumeRoundTrip) {
+  BlockQueue<std::uint32_t> queue(4, 16);
+  queue.assume_producer();
+  queue.assume_consumer();
+  EXPECT_EQ(queue.block_count(), 4u);
+  EXPECT_EQ(queue.block_size(), 16u);
+
+  std::uint32_t* slots = queue.try_open();
+  ASSERT_NE(slots, nullptr);
+  for (std::uint32_t i = 0; i < 10; ++i) slots[i] = 100 + i;
+  queue.publish(10, /*kind=*/7, /*aux=*/0xabcdef);
+
+  BlockQueue<std::uint32_t>::View view;
+  ASSERT_TRUE(queue.try_front(view));
+  EXPECT_EQ(view.count, 10u);
+  EXPECT_EQ(view.kind, 7u);
+  EXPECT_EQ(view.aux, 0xabcdefu);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(view.data[i], 100 + i);
+  // try_front does not consume: same block again.
+  ASSERT_TRUE(queue.try_front(view));
+  EXPECT_EQ(view.count, 10u);
+  queue.release();
+  EXPECT_FALSE(queue.try_front(view)) << "released block still visible";
+}
+
+TEST(BlockQueue, AbandonHandsReservedSlotBack) {
+  BlockQueue<std::uint32_t> queue(2, 8);
+  queue.assume_producer();
+  queue.assume_consumer();
+  std::uint32_t* first = queue.try_open();
+  ASSERT_NE(first, nullptr);
+  queue.abandon();
+  // Nothing was published...
+  BlockQueue<std::uint32_t>::View view;
+  EXPECT_FALSE(queue.try_front(view));
+  // ...and the cursor did not advance: the same slot is handed out again.
+  EXPECT_EQ(queue.try_open(), first);
+  queue.publish(1, 0, 0);
+  ASSERT_TRUE(queue.try_front(view));
+  EXPECT_EQ(view.count, 1u);
+}
+
+TEST(BlockQueue, FullRingReturnsNullAndWrapsWithoutCorruption) {
+  BlockQueue<std::uint64_t> queue(3, 4);
+  queue.assume_producer();
+  queue.assume_consumer();
+  std::uint64_t next_in = 0;
+  std::uint64_t next_out = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::uint64_t* slots;
+    while ((slots = queue.try_open()) != nullptr) {
+      for (std::size_t i = 0; i < 4; ++i) slots[i] = next_in++;
+      queue.publish(4, 0, 0);
+    }
+    EXPECT_EQ(queue.size_approx_blocks(), 3u) << "null only when full";
+    BlockQueue<std::uint64_t>::View view;
+    while (queue.try_front(view)) {
+      for (std::uint32_t i = 0; i < view.count; ++i) {
+        ASSERT_EQ(view.data[i], next_out) << "blocks reordered or corrupted";
+        ++next_out;
+      }
+      queue.release();
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+  EXPECT_EQ(queue.high_water_blocks(), 3u);
+}
+
+// Cross-thread block hand-off (TSan target): every block arrives once, in
+// order, with header and payload consistent.
+TEST(BlockQueue, ThreadedBlockHandoffDeliversEveryBlockInOrder) {
+  constexpr std::uint64_t kBlocks = 20000;
+  constexpr std::uint32_t kBlockSize = 64;
+  BlockQueue<std::uint64_t> queue(8, kBlockSize);
+
+  std::jthread consumer([&queue] {
+    queue.assume_consumer();
+    std::uint64_t expected = 0;
+    std::uint64_t block_index = 0;
+    while (block_index < kBlocks) {
+      BlockQueue<std::uint64_t>::View view;
+      if (!queue.try_front(view)) {
+        std::this_thread::yield();
+        continue;
+      }
+      ASSERT_EQ(view.aux, block_index) << "header/payload tearing";
+      for (std::uint32_t i = 0; i < view.count; ++i) {
+        ASSERT_EQ(view.data[i], expected);
+        ++expected;
+      }
+      queue.release();
+      ++block_index;
+    }
+  });
+
+  queue.assume_producer();  // the test main thread is the producer
+  std::uint64_t next = 0;
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    std::uint64_t* slots;
+    while ((slots = queue.try_open()) == nullptr) std::this_thread::yield();
+    // Variable fill so partial blocks cross threads too.
+    const std::uint32_t fill = 1 + static_cast<std::uint32_t>(b % kBlockSize);
+    for (std::uint32_t i = 0; i < fill; ++i) slots[i] = next++;
+    queue.publish(fill, 0, /*aux=*/b);
   }
 }
 
@@ -536,6 +650,198 @@ TEST(ShardedRuntime, StopIsIdempotentAndDestructorIsSafeWithoutRotation) {
   }
 }
 
+// --- multi-producer ingest ----------------------------------------------------
+
+// Several capture threads feed one runtime through their own IngestHandles
+// (per-producer rings keep every ring strictly SPSC). FCM counters are linear
+// and order-independent, so the merged epoch must be bit-exact equal to a
+// serial run over the union of all slices — no matter how the producer
+// threads interleave. CI runs this under TSan: every handle/ring hand-off and
+// the quiesce-before-rotate protocol is exercised across real threads.
+TEST(ShardedRuntime, MultiProducerIngestBitExactVersusSerial) {
+  const std::vector<Packet> trace = fixed_trace(0x3097, 30000, 1200);
+  FcmFramework serial(small_framework_options());
+  for (const Packet& packet : trace) serial.process(packet.key);
+
+  std::vector<FlowKey> keys;
+  keys.reserve(trace.size());
+  for (const Packet& packet : trace) keys.push_back(packet.key);
+  const std::size_t third = keys.size() / 3;
+  const std::span<const FlowKey> all(keys);
+  const auto driver_slice = all.subspan(0, third);
+  const auto slice1 = all.subspan(third, third);
+  const auto slice2 = all.subspan(2 * third);
+
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 4;
+  options.producer_count = 3;
+  ShardedFcmFramework sharded(options);
+
+  {
+    // Secondary producers: one span-heavy, one per-key, both flushing before
+    // they exit — joined before rotate_async(), which is exactly the
+    // "flushed and quiescent across rotation" ownership rule.
+    std::jthread producer1([&sharded, slice1] {
+      auto& handle = sharded.ingest_handle(1);
+      std::span<const FlowKey> rest = slice1;
+      while (!rest.empty()) {
+        const std::size_t n = std::min<std::size_t>(333, rest.size());
+        handle.ingest(rest.subspan(0, n));
+        rest = rest.subspan(n);
+      }
+      handle.flush();
+    });
+    std::jthread producer2([&sharded, slice2] {
+      auto& handle = sharded.ingest_handle(2);
+      for (const FlowKey key : slice2) handle.ingest(key);
+      handle.flush();
+    });
+    sharded.ingest(driver_slice);  // the driver ingests its own slice meanwhile
+  }
+
+  const auto report = sharded.rotate();
+  EXPECT_EQ(report.packets, keys.size())
+      << "multi-producer traffic lost or double-counted";
+  const FcmFramework merged = sharded.merged_epoch();
+  for (const FlowKey key : distinct_keys(trace)) {
+    ASSERT_EQ(merged.flow_size(key), serial.flow_size(key));
+  }
+  sharded.check_invariants();
+}
+
+// A second epoch after the producers re-attach (new threads re-driving the
+// same handles) stays exact: the quiesce window only spans the rotation.
+TEST(ShardedRuntime, MultiProducerSecondEpochAfterRequiesce) {
+  const std::vector<Packet> window_a = fixed_trace(0x51, 8000, 500);
+  const std::vector<Packet> window_b = fixed_trace(0x52, 8000, 500);
+  FcmFramework serial_a(small_framework_options());
+  for (const Packet& packet : window_a) serial_a.process(packet.key);
+  FcmFramework serial_b(small_framework_options());
+  for (const Packet& packet : window_b) serial_b.process(packet.key);
+
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 2;
+  options.producer_count = 2;
+  options.retained_epochs = 2;
+  ShardedFcmFramework sharded(options);
+
+  const auto feed_epoch = [&sharded](const std::vector<Packet>& window) {
+    const std::size_t half = window.size() / 2;
+    std::jthread producer([&sharded, &window, half] {
+      auto& handle = sharded.ingest_handle(1);
+      for (std::size_t i = half; i < window.size(); ++i) {
+        handle.ingest(window[i].key);
+      }
+      handle.flush();
+    });
+    for (std::size_t i = 0; i < half; ++i) sharded.ingest(window[i].key);
+  };
+
+  feed_epoch(window_a);
+  const auto report_a = sharded.rotate();
+  feed_epoch(window_b);
+  const auto report_b = sharded.rotate();
+
+  EXPECT_EQ(report_a.packets, window_a.size());
+  EXPECT_EQ(report_b.packets, window_b.size());
+  const FcmFramework merged_b = sharded.merged_epoch(0);
+  const FcmFramework merged_a = sharded.merged_epoch(1);
+  for (const FlowKey key : distinct_keys(window_a)) {
+    ASSERT_EQ(merged_a.flow_size(key), serial_a.flow_size(key));
+  }
+  for (const FlowKey key : distinct_keys(window_b)) {
+    ASSERT_EQ(merged_b.flow_size(key), serial_b.flow_size(key));
+  }
+}
+
+// --- adaptive flush -----------------------------------------------------------
+
+// Trickle traffic: far fewer keys than flush_batch, NO rotation. With
+// flush_interval set, the deadline flush must publish the partial block, so
+// the per-shard packet counter advances while the epoch is still open. (With
+// flush_interval == 0 these keys would sit staged until rotate/stop.)
+TEST(ShardedRuntime, AdaptiveFlushPublishesPartialBlocksBeforeRotation) {
+  fcm::obs::MetricsRegistry registry;
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 1;
+  options.flush_batch = 64;
+  options.flush_interval = std::chrono::milliseconds(1);
+  options.metrics = &registry;
+  options.metrics_instance = "trickle";
+  ShardedFcmFramework sharded(options);
+
+  // The series the runtime publishes into (idempotent lookup by name+labels).
+  fcm::obs::Counter& shard_packets = registry.counter(
+      "fcm_runtime_shard_packets_total", {{"instance", "trickle"}, {"shard", "0"}});
+  fcm::obs::Counter& partial_flushes =
+      registry.counter("fcm_runtime_partial_flushes_total", {{"instance", "trickle"}});
+
+  for (std::uint32_t i = 1; i <= 5; ++i) sharded.ingest(FlowKey{i});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // This call finds the staged block past its deadline and publishes it
+  // (6 keys, block size 64 — a partial block by a wide margin).
+  sharded.ingest(FlowKey{6});
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (shard_packets.value() < 6 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(shard_packets.value(), 6u)
+      << "partial block never reached the worker without a rotation";
+  EXPECT_GE(partial_flushes.value(), 1u);
+
+  // The early publish must not change results.
+  sharded.rotate();
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    EXPECT_EQ(sharded.flow_size(FlowKey{i}), 1u);
+  }
+}
+
+// --- pinning and occupancy ----------------------------------------------------
+
+TEST(ShardedRuntime, PinWorkersIsExactAndDegradesGracefully) {
+  // Pinning is a performance hint (no-op where unsupported); results must be
+  // identical either way, on any core count.
+  const std::vector<Packet> trace = fixed_trace(0x919, 10000, 600);
+  FcmFramework serial(small_framework_options());
+  for (const Packet& packet : trace) serial.process(packet.key);
+
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 2;
+  options.pin_workers = true;
+  ShardedFcmFramework sharded(options);
+  for (const Packet& packet : trace) sharded.ingest(packet.key);
+  sharded.rotate();
+  const FcmFramework merged = sharded.merged_epoch();
+  for (const FlowKey key : distinct_keys(trace)) {
+    ASSERT_EQ(merged.flow_size(key), serial.flow_size(key));
+  }
+}
+
+TEST(ShardedRuntime, QueueHighWaterReportsPerShardFractions) {
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 2;
+  options.fanout = ShardedFcmFramework::Fanout::kRoundRobin;
+  ShardedFcmFramework sharded(options);
+  const std::vector<Packet> trace = fixed_trace(0x44, 20000, 800);
+  for (const Packet& packet : trace) sharded.ingest(packet.key);
+  sharded.rotate();
+
+  const std::vector<double> high_water = sharded.queue_high_water();
+  ASSERT_EQ(high_water.size(), 2u);
+  for (const double fraction : high_water) {
+    EXPECT_GT(fraction, 0.0) << "blocks were published, high water must move";
+    EXPECT_LE(fraction, 1.0);
+  }
+}
+
 // --- option validation --------------------------------------------------------
 
 TEST(ShardedRuntime, RejectsInvalidOptions) {
@@ -556,6 +862,34 @@ TEST(ShardedRuntime, RejectsInvalidOptions) {
                }),
                ContractViolation);
   EXPECT_THROW(make([](auto& o) { o.retained_epochs = 0; }), ContractViolation);
+  EXPECT_THROW(make([](auto& o) { o.producer_count = 0; }), ContractViolation);
+  EXPECT_THROW(make([](auto& o) { o.producer_count = 65; }), ContractViolation);
+  EXPECT_THROW(
+      make([](auto& o) { o.flush_interval = std::chrono::nanoseconds(-1); }),
+      ContractViolation);
+  // Byte mode stages (key, bytes) pairs: a 1-slot block cannot hold one.
+  EXPECT_THROW(make([](auto& o) {
+                 o.framework.count_mode = FcmFramework::CountMode::kBytes;
+                 o.flush_batch = 1;
+               }),
+               ContractViolation);
+}
+
+TEST(ShardedRuntime, IngestHandleClaimsValidated) {
+  ShardedFcmFramework::Options options;
+  options.framework = small_framework_options();
+  options.shard_count = 2;
+  options.producer_count = 2;
+  ShardedFcmFramework sharded(options);
+  EXPECT_THROW(sharded.ingest_handle(0), ContractViolation)
+      << "handle 0 is the driver's own staging";
+  EXPECT_THROW(sharded.ingest_handle(2), ContractViolation);
+  auto& handle = sharded.ingest_handle(1);
+  EXPECT_EQ(handle.producer_index(), 1u);
+  handle.ingest(FlowKey{42});
+  handle.flush();
+  sharded.rotate();
+  EXPECT_EQ(sharded.flow_size(FlowKey{42}), 1u);
 }
 
 TEST(ShardedRuntime, ByteModeRejectsZeroBytePackets) {

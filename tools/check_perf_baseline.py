@@ -28,6 +28,22 @@ Two baseline families, dispatched on the JSON ``schema`` field:
          traffic is not pulling its weight). Machine-local ratio, so this
          check stays fatal across machine classes.
 
+    v4 adds the block-staged sharded hand-off columns (DESIGN.md §13) and a
+    sharded-scaling section with its own provenance rule:
+      6. the CURRENT run must have ``hardware_concurrency >= 2`` — on a
+         single-core runner the sharded-scaling numbers measure nothing but
+         scheduler round-robin, so this section FAILS outright (not a
+         warning): a 1-core CI runner can never silently bless or re-pin a
+         scaling baseline. (ISSUE 9 satellite; absolute pps stays warn-only
+         across machine classes as before.)
+      7. in-run floors, fatal on any multi-core machine: 1-shard sharded
+         batch ingest >= 0.9x the serial batch path (the block hand-off tax
+         cap) and 1-shard in-shard batch_speedup >= 1.4x (batching must
+         survive the ring);
+      8. aggregate scaling: 4-shard batch pps >= 1.6x 1-shard batch pps,
+         enforced when the runner has >= 4 hardware threads (warned below
+         that, where 4 workers cannot actually run in parallel).
+
 ``fcm.bench.agg.v1`` (aggregation service, DESIGN.md §11)
     Compares a fresh ``bench_agg`` JSON against ``BENCH_agg.json``.
 
@@ -62,9 +78,14 @@ import sys
 KNOWN_SCHEMAS = (
     "fcm.bench.throughput.v2",
     "fcm.bench.throughput.v3",
+    "fcm.bench.throughput.v4",
     "fcm.bench.agg.v1",
 )
 CACHE_SPEEDUP_FLOOR = 1.2
+# v4 sharded-scaling floors (in-run ratios, DESIGN.md §13 / ISSUE 9):
+SHARDED_VS_SERIAL_FLOOR = 0.9  # 1-shard sharded batch vs serial batch
+SHARDED_BATCH_SPEEDUP_FLOOR = 1.4  # in-shard batch vs scalar at 1 shard
+SHARDED_4V1_FLOOR = 1.6  # 4-shard vs 1-shard aggregate batch pps
 
 
 def load(path: str) -> dict:
@@ -135,7 +156,8 @@ def check_throughput(baseline: dict, current: dict, args) -> int:
         )
         failed = True
 
-    if baseline["schema"] == "fcm.bench.throughput.v3":
+    if baseline["schema"] in ("fcm.bench.throughput.v3",
+                              "fcm.bench.throughput.v4"):
         base_cache = baseline["cache"]["cache_speedup"]
         cur_cache = current["cache"]["cache_speedup"]
         cache_floor = base_cache * (1.0 - args.tolerance)
@@ -167,6 +189,125 @@ def check_throughput(baseline: dict, current: dict, args) -> int:
                 file=sys.stderr,
             )
             failed = True
+
+    if baseline["schema"] == "fcm.bench.throughput.v4":
+        if check_sharded_scaling(baseline, current, args):
+            failed = True
+    return 1 if failed else 0
+
+
+def check_sharded_scaling(baseline: dict, current: dict, args) -> int:
+    """The v4 block-staged hand-off section: in-run ratio floors, plus the
+    provenance rule that a single-core runner FAILS rather than warns."""
+    failed = False
+    cur_cores = current.get("hardware_concurrency")
+
+    if cur_cores is None or cur_cores < 2:
+        # The satellite fix: scheduling N workers onto one core measures
+        # nothing about the hand-off, and warn-only behavior here is how the
+        # repo's previous scaling baseline got recorded on a 1-core container.
+        print(
+            "check_perf_baseline: FAIL — sharded-scaling section requires "
+            f"hardware_concurrency >= 2, current run has {cur_cores!r}; "
+            "run the sharded guard on a multi-core machine (the rest of the "
+            "guard already ran above)",
+            file=sys.stderr,
+        )
+        return 1
+
+    by_shards = {p["shards"]: p for p in current["sharded"]}
+    base_by_shards = {p["shards"]: p for p in baseline["sharded"]}
+    one = by_shards.get(1)
+    if one is None:
+        print(
+            "check_perf_baseline: FAIL — sharded section has no 1-shard row",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"sharded 1-shard: vs_serial {one['speedup_vs_serial']:.3f}x "
+        f"(floor {SHARDED_VS_SERIAL_FLOOR:.1f}x), batch_speedup "
+        f"{one['batch_speedup']:.3f}x (floor {SHARDED_BATCH_SPEEDUP_FLOOR:.1f}x)"
+    )
+    if one["speedup_vs_serial"] < SHARDED_VS_SERIAL_FLOOR:
+        print(
+            f"check_perf_baseline: FAIL — 1-shard sharded batch ingest runs at "
+            f"{one['speedup_vs_serial']:.3f}x serial, below the "
+            f"{SHARDED_VS_SERIAL_FLOOR:.1f}x hand-off-tax cap",
+            file=sys.stderr,
+        )
+        failed = True
+    if one["batch_speedup"] < SHARDED_BATCH_SPEEDUP_FLOOR:
+        print(
+            f"check_perf_baseline: FAIL — in-shard batch speedup collapsed to "
+            f"{one['batch_speedup']:.3f}x, below the "
+            f"{SHARDED_BATCH_SPEEDUP_FLOOR:.1f}x floor (batching did not "
+            "survive the ring)",
+            file=sys.stderr,
+        )
+        failed = True
+
+    four = by_shards.get(4)
+    if four is not None:
+        agg = four["batch_packets_per_sec"] / one["batch_packets_per_sec"]
+        print(
+            f"sharded 4-vs-1 aggregate: {agg:.3f}x "
+            f"(floor {SHARDED_4V1_FLOOR:.1f}x, needs >= 4 hardware threads)"
+        )
+        if agg < SHARDED_4V1_FLOOR:
+            message = (
+                f"4-shard aggregate throughput is only {agg:.3f}x the 1-shard "
+                f"run (floor {SHARDED_4V1_FLOOR:.1f}x)"
+            )
+            if cur_cores >= 4:
+                print(f"check_perf_baseline: FAIL — {message}", file=sys.stderr)
+                failed = True
+            else:
+                print(
+                    f"check_perf_baseline: WARN — {cur_cores} hardware threads "
+                    f"cannot run 4 workers in parallel; not failing on: "
+                    f"{message}",
+                    file=sys.stderr,
+                )
+
+    # Baseline-relative drift on the per-shard-count vs-serial ratios: only
+    # meaningful when the committed baseline itself has multi-core provenance
+    # AND the machine classes match (absolute pps stays warn-only as ever).
+    base_cores = baseline.get("hardware_concurrency")
+    if base_cores is not None and base_cores >= 2:
+        comparable = same_machine_class(baseline, current)
+        for shards, base_point in sorted(base_by_shards.items()):
+            cur_point = by_shards.get(shards)
+            if cur_point is None:
+                continue
+            base_ratio = base_point["speedup_vs_serial"]
+            cur_ratio = cur_point["speedup_vs_serial"]
+            floor = base_ratio * (1.0 - args.tolerance)
+            if cur_ratio < floor:
+                message = (
+                    f"{shards}-shard speedup_vs_serial {cur_ratio:.3f}x "
+                    f"regressed more than {args.tolerance:.0%} below the "
+                    f"committed {base_ratio:.3f}x"
+                )
+                if comparable:
+                    print(
+                        f"check_perf_baseline: FAIL — {message}",
+                        file=sys.stderr,
+                    )
+                    failed = True
+                else:
+                    print(
+                        "check_perf_baseline: WARN — core count differs from "
+                        f"the baseline recording; not failing on: {message}",
+                        file=sys.stderr,
+                    )
+    else:
+        print(
+            "check_perf_baseline: NOTE — committed baseline's sharded section "
+            f"was recorded with hardware_concurrency={base_cores!r}; skipping "
+            "baseline-relative scaling drift (floors above still apply)"
+        )
     return 1 if failed else 0
 
 

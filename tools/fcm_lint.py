@@ -102,6 +102,23 @@ Rules:
                    primitive) so a truncated or lying caplen can never turn
                    into an out-of-bounds read.
 
+  staging-ownership
+                   Inside ``src/runtime`` (the block-staged ingest layer),
+                   per-producer staging state — open-block buffers
+                   (``open_``), staging arrays (``*staging*_``), and
+                   round-robin cursors (``rr_*_``) — must be declared
+                   ``FCM_GUARDED_BY`` a producer role on the same line, so
+                   the ownership rule "one producer drives a handle at a
+                   time" is visible to Clang's thread-safety analysis.
+                   Additionally, the span-ingest bodies (``ingest``,
+                   ``ingest_keys``, ``ingest_packets``, ``stage_*``,
+                   ``route_item``, ``flush``) may not call per-item
+                   ``try_push``/``try_push_bulk``: the hand-off is
+                   whole blocks through ``BlockQueue::try_open``/
+                   ``publish`` — per-packet queue pushes reintroduce the
+                   fan-out tax the block staging exists to kill
+                   (DESIGN.md §13).
+
   unused-suppression
                    Every ``// fcm-lint: allow(<rule>)`` marker must name a
                    known rule that actually fires on its line; stale or
@@ -150,6 +167,7 @@ KNOWN_RULES = {
     "hot-path-alloc",
     "wire-encoding",
     "datapath-bounds",
+    "staging-ownership",
 }
 
 # Rule: narrowing-cast — only inside these top-level directories.
@@ -225,6 +243,36 @@ HOTPATH_ALLOC_RE = re.compile(r"(?<![\w:])new\b|\bmake_unique\b|std::vector\s*<"
 HOTPATH_LOCK_RE = re.compile(
     r"\b(?:MutexLock|lock_guard|unique_lock|scoped_lock)\b|\.\s*lock\s*\("
 )
+
+# Rule: staging-ownership — src/runtime only. The block-staged ingest path
+# (DESIGN.md §13) keeps per-producer staging state (open blocks, staging
+# buffers, round-robin cursors) as plain unsynchronized members whose
+# safety contract is "exactly one producer drives a handle at a time";
+# that contract only holds if the members are FCM_GUARDED_BY a producer
+# role so Clang's analysis can see violations. Declaration heuristic: a
+# type token, then a staging-style member name, then ;/=/{ — a guarded
+# declaration has FCM_GUARDED_BY between the name and the terminator, so
+# it never matches. The leading keyword guard keeps `return rr_next_;`
+# from parsing as a declaration.
+STAGING_DIRS = ("src/runtime",)
+STAGING_DECL_RE = re.compile(
+    r"^\s*(?!return\b|throw\b|case\b|using\b|delete\b|goto\b|co_return\b)"
+    r"[A-Za-z_][\w:]*(?:\s*<[^;{}()=]*>)?[\s*&]+"
+    r"(\w*staging\w*_|rr_\w+_|open_|pending_block\w*_)\s*[;={]"
+)
+# Span-ingest bodies must hand off whole blocks; per-item queue pushes are
+# the fan-out tax the staging layer exists to remove.
+STAGING_PUSH_RE = re.compile(r"\.\s*try_push(?:_bulk)?\s*\(")
+STAGING_INGEST_FN_NAMES = {
+    "ingest",
+    "ingest_keys",
+    "ingest_packets",
+    "stage_unit",
+    "stage_pair",
+    "stage_weighted",
+    "route_item",
+    "flush",
+}
 
 # Tokens that mark a function as visibly holding/entering a capability.
 CAPABILITY_TOKEN_RE = re.compile(
@@ -705,6 +753,7 @@ def lint_file(
     check_atomics = in_dirs(ATOMIC_DIRS) and not in_dirs(ATOMIC_EXEMPT_DIRS)
     check_wire = in_dirs(WIRE_DIRS)
     check_datapath = in_dirs(DATAPATH_DIRS) and rel not in DATAPATH_EXEMPT_FILES
+    check_staging = in_dirs(STAGING_DIRS)
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         if check_narrowing and NARROWING_RE.search(line):
@@ -756,6 +805,20 @@ def lint_file(
                 "hostile captures control every length field — go through "
                 "the bounds-checked ByteCursor (byte_cursor.h) "
                 "(or '// fcm-lint: allow(datapath-bounds)')",
+            )
+        if (
+            check_staging
+            and "FCM_GUARDED_BY" not in line
+            and STAGING_DECL_RE.search(line)
+        ):
+            add(
+                lineno,
+                "staging-ownership",
+                "per-producer staging state declared without "
+                "FCM_GUARDED_BY(<producer role>); the single-producer "
+                "ownership contract must be visible to thread-safety "
+                "analysis (DESIGN.md §13) "
+                "(or '// fcm-lint: allow(staging-ownership)')",
             )
         if check_threads and THREAD_RE.search(line):
             add(
@@ -836,7 +899,7 @@ def lint_file(
     # --- function-body rules ------------------------------------------------
     need_guarded = in_dirs(GUARDED_DIRS)
     need_hotpath = in_dirs(HOTPATH_DIRS)
-    if need_guarded or need_hotpath:
+    if need_guarded or need_hotpath or check_staging:
         defs = function_definitions(scan)
         members = guarded_members(scan)
         requires_fns = functions_with_requires(scan)
@@ -904,6 +967,25 @@ def lint_file(
                         "loop serializes every shard — move synchronization "
                         "to an epoch boundary "
                         "(or '// fcm-lint: allow(hot-path-lock)')",
+                    )
+
+        if check_staging:
+            for fn in defs:
+                if fn.name not in STAGING_INGEST_FN_NAMES:
+                    continue
+                body = scan[fn.body_open : fn.body_end]
+                base_line = fn.line + scan.count("\n", fn.start, fn.body_open)
+                for push in STAGING_PUSH_RE.finditer(body):
+                    lineno = base_line + body.count("\n", 0, push.start())
+                    add(
+                        lineno,
+                        "staging-ownership",
+                        f"per-item try_push inside span-ingest function "
+                        f"'{fn.name}'; the runtime hand-off is whole blocks "
+                        "through BlockQueue::try_open/publish — per-packet "
+                        "queue pushes reintroduce the fan-out tax "
+                        "(DESIGN.md §13) "
+                        "(or '// fcm-lint: allow(staging-ownership)')",
                     )
 
     # --- unused / unknown suppressions --------------------------------------
