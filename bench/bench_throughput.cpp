@@ -13,7 +13,17 @@
 // (uninstrumented) and once against the global registry, and the JSON
 // records the relative cost (DESIGN.md §8 budgets it at < 2%).
 //
+// The kernel-tier study (DESIGN.md §14) times the same serial ingest under
+// every kernel tier the machine supports — scalar, autovec, and the
+// hand-written AVX2 kernel — by forcing the dispatch in-process. The tiers
+// are bit-exact (tests/test_batch_equivalence.cpp), so the per-tier ratios
+// are pure kernel speedups; `avx2_index_speedup_vs_scalar` is the ratio
+// check_perf_baseline.py holds to the >= 2.5x acceptance floor.
+//
 // Flags: --scaling-only        run just the scaling study (skip micro-benches)
+//        --kernels-only        run just the kernel-tier study and write a
+//                              small fcm.bench.kernels.v1 JSON (CI perf-smoke
+//                              runs this once per FCM_FORCE_KERNEL tier)
 //        --sweep               run the flush_batch x queue_capacity operating-
 //                              point sweep instead (table for EXPERIMENTS.md)
 //        --json=PATH           where to write the JSON (default
@@ -26,6 +36,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <span>
@@ -34,6 +45,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/hash.h"
+#include "common/simd_dispatch.h"
 #include "datapath/cached_framework.h"
 #include "fcm/fcm_estimator.h"
 #include "flow/synthetic.h"
@@ -457,9 +470,200 @@ CacheStudy run_cache_study(const flow::Trace& trace) {
   return study;
 }
 
+// --- per-kernel-tier study (DESIGN.md §14) -----------------------------------
+
+namespace simd = common::simd;
+
+// One row per kernel tier, every column forced to that tier in-process via
+// force_kernel_tier(). All rows run in one process on one machine and the
+// tiers are bit-exact, so the cross-row ratios are pure kernel speedups —
+// machine-portable the same way batch_speedup and cache_speedup are.
+struct KernelTierPoint {
+  simd::KernelTier tier = simd::KernelTier::kScalar;
+  // SeededHash::index_hash_batch alone, kBatchBlock chunks over the
+  // dispersed trace: the hash+fast-range kernel the AVX2 TU vectorizes.
+  double index_keys_per_sec = 0.0;
+  // Serial FcmFramework::process_batch — hash kernel + level-1 fast path.
+  double ingest_pps = 0.0;
+  // Same with the single-pass sweep enabled: measures what folding the
+  // cardinality sidecars into the ingest sweep costs on top of ingest_pps.
+  double sweep_pps = 0.0;
+};
+
+struct KernelStudy {
+  bool cpu_supports_avx2 = false;
+  std::string forced_env;   // FCM_FORCE_KERNEL at startup ("" when unset)
+  std::string active_tier;  // what the dispatch resolved before any forcing
+  std::vector<KernelTierPoint> points;
+  // avx2 row / scalar row; 0 when either row is absent (non-AVX2 machine or
+  // a forced single-tier run).
+  double avx2_index_speedup = 0.0;
+  double avx2_ingest_speedup = 0.0;
+};
+
+KernelStudy run_kernel_study(const flow::Trace& trace) {
+  KernelStudy study;
+  study.cpu_supports_avx2 = simd::cpu_supports_avx2();
+  study.active_tier = std::string(simd::kernel_tier_name(simd::active_kernel_tier()));
+  const char* forced = std::getenv("FCM_FORCE_KERNEL");
+  if (forced != nullptr) study.forced_env = forced;
+
+  // A forced run (CI perf-smoke) measures only the forced tier — the smoke
+  // wants one fast per-tier datapoint per job, not the full matrix. An
+  // unforced run measures every tier the machine can execute.
+  std::vector<simd::KernelTier> tiers;
+  const std::optional<simd::KernelTier> forced_tier =
+      forced != nullptr ? simd::parse_kernel_tier(forced) : std::nullopt;
+  if (forced_tier.has_value()) {
+    tiers.push_back(simd::resolve_kernel_tier());  // honors avx2 fallback
+  } else {
+    tiers.push_back(simd::KernelTier::kScalar);
+    tiers.push_back(simd::KernelTier::kAutovec);
+    if (study.cpu_supports_avx2) tiers.push_back(simd::KernelTier::kAvx2);
+  }
+  study.points.resize(tiers.size());
+  for (std::size_t t = 0; t < tiers.size(); ++t) study.points[t].tier = tiers[t];
+
+  framework::FcmFramework::Options fw;
+  fw.fcm = core::FcmConfig::for_memory(kMemory, 2, 8, {8, 16, 32});
+  framework::FcmFramework::Options fw_sweep = fw;
+  fw_sweep.single_pass_sweep = true;
+
+  std::vector<flow::FlowKey> keys;
+  keys.reserve(trace.size());
+  for (const flow::Packet& packet : trace.packets()) keys.push_back(packet.key);
+  const std::span<const flow::FlowKey> key_span(keys);
+
+  // The index column hashes into a dispersed non-power-of-two table so the
+  // Lemire reduction is exercised the way FCM's leaf stage uses it.
+  const common::SeededHash hash(static_cast<std::uint32_t>(g_trace_seed));
+  constexpr std::size_t kIndexWidth = 600'011;
+
+  // Tiers interleaved repeat-by-repeat, best-of-9 per column, like every
+  // other ratio this bench guards.
+  for (int r = 0; r < kInterleavedRepeats; ++r) {
+    for (KernelTierPoint& point : study.points) {
+      simd::force_kernel_tier(point.tier);
+      {
+        std::uint32_t idx[common::kBatchBlock];
+        std::uint32_t sink = 0;
+        point.index_keys_per_sec =
+            std::max(point.index_keys_per_sec, time_packets_per_sec(trace, [&] {
+              for (std::size_t base = 0; base < keys.size();
+                   base += common::kBatchBlock) {
+                const std::size_t n =
+                    std::min(common::kBatchBlock, keys.size() - base);
+                hash.index_batch(key_span.subspan(base, n), kIndexWidth,
+                                 std::span<std::uint32_t>(idx, n));
+                sink += idx[0];
+              }
+            }));
+        benchmark::DoNotOptimize(sink);
+      }
+      {
+        framework::FcmFramework framework(fw);
+        point.ingest_pps =
+            std::max(point.ingest_pps, time_packets_per_sec(trace, [&] {
+              framework.process_batch(key_span);
+            }));
+      }
+      {
+        framework::FcmFramework framework(fw_sweep);
+        point.sweep_pps =
+            std::max(point.sweep_pps, time_packets_per_sec(trace, [&] {
+              framework.process_batch(key_span);
+            }));
+      }
+    }
+  }
+  simd::force_kernel_tier(std::nullopt);
+
+  const KernelTierPoint* scalar = nullptr;
+  const KernelTierPoint* avx2 = nullptr;
+  for (const KernelTierPoint& point : study.points) {
+    if (point.tier == simd::KernelTier::kScalar) scalar = &point;
+    if (point.tier == simd::KernelTier::kAvx2) avx2 = &point;
+  }
+  if (scalar != nullptr && avx2 != nullptr) {
+    study.avx2_index_speedup = avx2->index_keys_per_sec / scalar->index_keys_per_sec;
+    study.avx2_ingest_speedup = avx2->ingest_pps / scalar->ingest_pps;
+  }
+  return study;
+}
+
+void write_kernels_object(std::ostream& out, const KernelStudy& study,
+                          const char* indent) {
+  out << indent << "\"kernels\": {\n";
+  out << indent << "  \"cpu_supports_avx2\": "
+      << (study.cpu_supports_avx2 ? "true" : "false") << ",\n";
+  if (study.forced_env.empty()) {
+    out << indent << "  \"forced_env\": null,\n";
+  } else {
+    out << indent << "  \"forced_env\": \"" << study.forced_env << "\",\n";
+  }
+  out << indent << "  \"active_tier\": \"" << study.active_tier << "\",\n";
+  out << indent << "  \"tiers\": [\n";
+  for (std::size_t i = 0; i < study.points.size(); ++i) {
+    const KernelTierPoint& point = study.points[i];
+    out << indent << "    {\"tier\": \"" << simd::kernel_tier_name(point.tier)
+        << "\", \"index_keys_per_sec\": " << point.index_keys_per_sec
+        << ", \"ingest_packets_per_sec\": " << point.ingest_pps
+        << ", \"sweep_packets_per_sec\": " << point.sweep_pps << "}"
+        << (i + 1 < study.points.size() ? "," : "") << "\n";
+  }
+  out << indent << "  ],\n";
+  out << indent << "  \"avx2_index_speedup_vs_scalar\": "
+      << study.avx2_index_speedup << ",\n";
+  out << indent << "  \"avx2_ingest_speedup_vs_scalar\": "
+      << study.avx2_ingest_speedup << "\n";
+  out << indent << "}";
+}
+
+void write_kernels_json(const std::string& path, const flow::Trace& trace,
+                        const KernelStudy& study) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_throughput: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"kernel_dispatch\",\n";
+  out << "  \"schema\": \"fcm.bench.kernels.v1\",\n";
+  out << "  \"packet_count\": " << trace.size() << ",\n";
+  out << "  \"seed\": " << g_trace_seed << ",\n";
+  out << "  \"repeats\": " << kInterleavedRepeats << ",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"git_rev\": \"" << FCM_GIT_REV << "\",\n";
+  write_kernels_object(out, study, "  ");
+  out << "\n}\n";
+}
+
+void print_kernel_study(const KernelStudy& study) {
+  std::printf("\nkernel-tier study (cpu avx2: %s, active tier: %s%s%s, "
+              "best of %d interleaved)\n",
+              study.cpu_supports_avx2 ? "yes" : "no",
+              study.active_tier.c_str(),
+              study.forced_env.empty() ? "" : ", FCM_FORCE_KERNEL=",
+              study.forced_env.c_str(), kInterleavedRepeats);
+  std::printf("%-10s %16s %14s %14s\n", "tier", "index keys/s", "ingest pps",
+              "sweep pps");
+  for (const KernelTierPoint& point : study.points) {
+    std::printf("%-10s %16.0f %14.0f %14.0f\n",
+                std::string(simd::kernel_tier_name(point.tier)).c_str(),
+                point.index_keys_per_sec, point.ingest_pps, point.sweep_pps);
+  }
+  if (study.avx2_index_speedup > 0.0) {
+    std::printf("avx2 vs scalar: index %.2fx, ingest %.2fx\n",
+                study.avx2_index_speedup, study.avx2_ingest_speedup);
+    std::printf("acceptance: avx2 index kernel >= 2.5x scalar "
+                "(check_perf_baseline.py, AVX2 machines)\n");
+  }
+}
+
 void write_scaling_json(const std::string& path, const flow::Trace& trace,
                         const std::vector<ScalingPoint>& points,
-                        const CacheStudy& cache) {
+                        const CacheStudy& cache, const KernelStudy& kernels) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_throughput: cannot write %s\n", path.c_str());
@@ -471,7 +675,7 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
   }
   out << "{\n";
   out << "  \"bench\": \"sharded_runtime_scaling\",\n";
-  out << "  \"schema\": \"fcm.bench.throughput.v4\",\n";
+  out << "  \"schema\": \"fcm.bench.throughput.v5\",\n";
   out << "  \"packet_count\": " << trace.size() << ",\n";
   out << "  \"seed\": " << g_trace_seed << ",\n";
   out << "  \"repeats\": " << kInterleavedRepeats << ",\n";
@@ -489,6 +693,8 @@ void write_scaling_json(const std::string& path, const flow::Trace& trace,
       << ", \"cached_packets_per_sec\": " << cache.cached_pps
       << ", \"cache_speedup\": " << cache.cache_speedup
       << ", \"hit_rate\": " << cache.hit_rate << "},\n";
+  write_kernels_object(out, kernels, "  ");
+  out << ",\n";
   out << "  \"sharded\": [\n";
   bool first = true;
   for (const ScalingPoint& p : points) {
@@ -558,6 +764,7 @@ int main(int argc, char** argv) {
   g_trace_seed = cli.seed;
 
   bool scaling_only = false;
+  bool kernels_only = false;
   bool sweep = false;
   std::string json_path = "BENCH_throughput.json";
   std::vector<char*> forwarded;
@@ -567,6 +774,8 @@ int main(int argc, char** argv) {
       forwarded.push_back(cli.forwarded[i]);  // argv[0]
     } else if (arg == "--scaling-only") {
       scaling_only = true;
+    } else if (arg == "--kernels-only") {
+      kernels_only = true;
     } else if (arg == "--sweep") {
       sweep = true;
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -584,11 +793,23 @@ int main(int argc, char** argv) {
     cli.finish();
     return 0;
   }
+  if (kernels_only) {
+    // CI perf-smoke entry: one fast kernel-tier datapoint (all tiers when
+    // unforced, just the forced one under FCM_FORCE_KERNEL), small JSON.
+    const KernelStudy kernels = run_kernel_study(trace);
+    print_kernel_study(kernels);
+    write_kernels_json(json_path, trace, kernels);
+    std::printf("wrote %s\n", json_path.c_str());
+    cli.finish();
+    return 0;
+  }
   const std::vector<ScalingPoint> points = run_scaling_study(trace);
   print_scaling(points);
   const CacheStudy cache = run_cache_study(cache_trace());
   print_cache_study(cache);
-  write_scaling_json(json_path, trace, points, cache);
+  const KernelStudy kernels = run_kernel_study(trace);
+  print_kernel_study(kernels);
+  write_scaling_json(json_path, trace, points, cache, kernels);
   std::printf("wrote %s\n", json_path.c_str());
 
   if (scaling_only) {

@@ -1,0 +1,109 @@
+// Runtime CPU dispatch for the batched ingest kernels (DESIGN.md §14).
+//
+// Three tiers share one contract — bit-identical output to the scalar
+// per-key path:
+//
+//   kScalar   the pre-batching shape: one bob_hash_value + fast_range32 per
+//             key, loads typed through the key struct (the form GCC declines
+//             to auto-vectorize). Ground truth for the dispatch-matrix tests
+//             and the denominator of the bench speedup columns.
+//   kAutovec  the PR-5 kernel: keys staged into the output array, then a
+//             uniform u32 -> u32 in-place loop the auto-vectorizer packs.
+//   kAvx2     hand-written 8-lane AVX2 (fcm_kernel_avx2.cpp): vectorized
+//             BobHash + Lemire fast-range, and a gather/compare/store level-1
+//             saturating-increment fast path for FcmTree::apply_block.
+//
+// The tier is resolved once per process: FCM_FORCE_KERNEL=scalar|autovec|avx2
+// wins if set (an avx2 request on a CPU without AVX2 falls back to autovec),
+// otherwise the cpuid probe picks kAvx2 when available and kAutovec when not.
+// Tests and the bench force tiers in-process via force_kernel_tier().
+//
+// This header deliberately contains no intrinsics and never includes
+// <immintrin.h>: the AVX2 entry points below are declared on plain pointers
+// so only fcm_kernel_avx2.cpp (the sole TU built with -mavx2) touches vector
+// types. tools/fcm_lint.py rule `simd-confinement` enforces that split.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+// x86-64 is the only ISA we hand-vectorize for; everything else resolves to
+// kAutovec at most. (MSVC would need a cpuid path; this tree is gcc/clang.)
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define FCM_SIMD_X86 1
+#else
+#define FCM_SIMD_X86 0
+#endif
+
+namespace fcm::common::simd {
+
+enum class KernelTier : int {
+  kScalar = 0,
+  kAutovec = 1,
+  kAvx2 = 2,
+};
+
+// Stable lowercase names, matching the FCM_FORCE_KERNEL spellings.
+std::string_view kernel_tier_name(KernelTier tier) noexcept;
+
+// Parses a FCM_FORCE_KERNEL value; nullopt for anything unrecognized.
+std::optional<KernelTier> parse_kernel_tier(std::string_view name) noexcept;
+
+// True when the running CPU supports AVX2 (false off x86).
+bool cpu_supports_avx2() noexcept;
+
+// Resolves the tier from scratch: FCM_FORCE_KERNEL if set and valid (with
+// the avx2-on-unsupported-CPU fallback to autovec), else the cpuid probe.
+// Ignores force_kernel_tier(); exists so tests can pin the env contract.
+KernelTier resolve_kernel_tier() noexcept;
+
+// The tier every batched kernel dispatches on. First call resolves and
+// caches; later calls are a single relaxed atomic load. Out-of-line on
+// purpose — callers amortize it once per kBatchBlock, not per key.
+KernelTier active_kernel_tier() noexcept;
+
+// Test/bench hook: overrides active_kernel_tier() process-wide until called
+// with nullopt (which restores the cached resolve_kernel_tier() result).
+// Not for concurrent use with live ingest: switching tiers mid-batch is
+// benign for correctness (every tier is bit-exact) but makes timings lie.
+void force_kernel_tier(std::optional<KernelTier> tier) noexcept;
+
+#if FCM_SIMD_X86
+// --- AVX2 kernel entry points (defined in src/fcm/fcm_kernel_avx2.cpp) ---
+// Callers must check active_kernel_tier() == kAvx2 first; the symbols exist
+// whenever FCM_SIMD_X86 but execute AVX2 instructions unconditionally.
+
+// 8-lane bob_hash_u32 over `n` contiguous 4-byte keys. `keys` must point to
+// n * 4 readable bytes (FlowKey or uint32_t — same bytes either way).
+void avx2_hash_batch_u32(const void* keys, std::size_t n, std::uint32_t seed,
+                         std::uint32_t* hashes) noexcept;
+
+// Fused hash + Lemire fast-range: idx[i] = (u64(bob(keys[i])) * width) >> 32.
+// When `raw_hashes` is non-null the pre-reduction hashes are stored too (the
+// single-pass sweep reuses them for the cardinality sidecars).
+void avx2_index_batch_u32(const void* keys, std::size_t n, std::uint32_t seed,
+                          std::uint32_t width, std::uint32_t* idx,
+                          std::uint32_t* raw_hashes) noexcept;
+
+// Level-1 saturating-increment fast path: processes leading groups of 8
+// indices (gather counters, verify every lane < cap and no duplicate index
+// within the group, increment, store back) and returns how many indices it
+// consumed — always a multiple of 8, stopping at the first group with an
+// at-cap lane or an intra-group duplicate, or at the <8 tail. The caller
+// scalar-processes at most 8 entries (running the add_at carry walk for
+// overflowed lanes) and calls again, preserving exact per-key order so
+// promotion counts and counter state stay bit-identical to the scalar path.
+// When `new_values` is non-null the post-increment counter value of every
+// consumed index is stored at the matching offset (conservative-update
+// callers fold these into their running minima). Indices must be < 2^31
+// (vpgatherdd treats them as signed); FcmConfig keeps stage widths far below
+// that.
+std::size_t avx2_apply_saturating(std::uint32_t* level1,
+                                  const std::uint32_t* idx, std::size_t n,
+                                  std::uint32_t cap,
+                                  std::uint32_t* new_values) noexcept;
+#endif  // FCM_SIMD_X86
+
+}  // namespace fcm::common::simd

@@ -75,6 +75,7 @@ struct ShardedFcmFramework::Instruments {
   obs::Gauge* epoch_packets = nullptr;          // last epoch's packet count
   obs::Gauge* fanout_imbalance = nullptr;       // last epoch max/mean ratio
   std::vector<obs::Counter*> shard_packets;     // one series per shard
+  std::vector<obs::Counter*> shard_bytes;       // one series per shard (kBytes)
   std::vector<obs::MetricsRegistry::CallbackHandle> queue_depth_gauges;
 };
 
@@ -104,6 +105,7 @@ struct ShardedFcmFramework::Shard {
   std::vector<framework::FcmFramework> replicas;
   std::size_t active = 0;                    // worker thread only
   std::uint64_t packets_in_generation[2] = {0, 0};  // worker writes, see above
+  std::uint64_t bytes_in_generation[2] = {0, 0};    // kBytes mode, same rules
   // (The flip counter lives in ShardedFcmFramework::shard_flips_, guarded by
   // its mutex_, so the analysis can name the guarding capability.)
 
@@ -263,10 +265,15 @@ void ShardedFcmFramework::init_instruments() {
       "fcm_runtime_fanout_imbalance", base_labels(),
       "Max-shard over mean-shard packets in the last epoch (1.0 = balanced)");
   instruments->shard_packets.reserve(shards_.size());
+  instruments->shard_bytes.reserve(shards_.size());
   for (const auto& shard : shards_) {
     instruments->shard_packets.push_back(&registry->counter(
         "fcm_runtime_shard_packets_total", shard_labels(shard->index),
         "Packets ingested per shard worker"));
+    instruments->shard_bytes.push_back(&registry->counter(
+        "fcm_runtime_shard_bytes_total", shard_labels(shard->index),
+        "Payload bytes ingested per shard worker (kBytes mode; tallied in "
+        "the block-apply sweep, batched per block)"));
   }
   // Pull-style occupancy gauges. Two live instances sharing one registry
   // without distinct metrics_instance labels would collide here; the later
@@ -741,6 +748,7 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
   // feed the batched kernel IN PLACE from ring memory — the span is only
   // valid until release(), which every caller performs right after.
   std::uint64_t data_items = 0;
+  std::uint64_t data_bytes = 0;
   const auto apply_block =
       [&](const common::BlockQueue<flow::FlowKey>::View& view) {
         switch (view.kind) {
@@ -750,15 +758,22 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
             shard.packets_in_generation[shard.active] += view.count;
             data_items += view.count;
             break;
-          case kPairs:
+          case kPairs: {
+            // Byte accounting folds into the same decode loop that feeds the
+            // replica — no second sweep over the block (DESIGN.md §14).
+            std::uint64_t block_bytes = 0;
             for (std::uint32_t i = 0; i + 1 < view.count; i += 2) {
-              shard.replicas[shard.active].process(flow::Packet{
-                  view.data[i], std::bit_cast<std::uint32_t>(view.data[i + 1]),
-                  0});
+              const auto bytes = std::bit_cast<std::uint32_t>(view.data[i + 1]);
+              shard.replicas[shard.active].process(
+                  flow::Packet{view.data[i], bytes, 0});
+              block_bytes += bytes;
             }
             shard.packets_in_generation[shard.active] += view.count / 2;
+            shard.bytes_in_generation[shard.active] += block_bytes;
             data_items += view.count / 2;
+            data_bytes += block_bytes;
             break;
+          }
           case kWeighted: {
             shard.replicas[shard.active].process_weighted(view.data[0],
                                                           view.aux);
@@ -767,6 +782,10 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
             const std::uint64_t units = byte_mode_ ? 1 : view.aux;
             shard.packets_in_generation[shard.active] += units;
             data_items += units;
+            if (byte_mode_) {
+              shard.bytes_in_generation[shard.active] += view.aux;
+              data_bytes += view.aux;
+            }
             break;
           }
           default:
@@ -778,8 +797,12 @@ void ShardedFcmFramework::worker_loop(Shard& shard) {
       // Per-block, not per-packet: one relaxed fetch_add on this worker's
       // own cache-line-aligned cell covers a whole block run.
       instruments_->shard_packets[shard.index]->inc_at(shard.index, data_items);
+      if (data_bytes > 0) {
+        instruments_->shard_bytes[shard.index]->inc_at(shard.index, data_bytes);
+      }
     }
     data_items = 0;
+    data_bytes = 0;
   };
   // Drains one secondary ring to empty; returns true if anything was popped.
   const auto drain_ring = [&](common::BlockQueue<flow::FlowKey>& ring) {
@@ -886,9 +909,11 @@ void ShardedFcmFramework::coordinator_loop() {
     std::uint64_t max_shard_packets = 0;
     for (auto& shard : shards_) {
       report.packets += shard->packets_in_generation[gen];
+      report.bytes += shard->bytes_in_generation[gen];
       max_shard_packets =
           std::max(max_shard_packets, shard->packets_in_generation[gen]);
       shard->packets_in_generation[gen] = 0;
+      shard->bytes_in_generation[gen] = 0;
       shard->replicas[gen].reset();  // ready for the epoch after next
     }
     if (report.packets > 0) {
@@ -900,6 +925,9 @@ void ShardedFcmFramework::coordinator_loop() {
     // above), so they are exactly this epoch's deltas.
     report.overflow_promotions = merged.overflow_promotion_count();
     report.cardinality = merged.cardinality();
+    if (merged.single_pass_sweep_enabled()) {
+      report.sweep_cardinality = merged.sweep_hll().estimate();
+    }
     report.heavy_hitters = merged.heavy_hitters();
     if (instruments_ != nullptr) {
       instruments_->merge_seconds->observe(merge_seconds);

@@ -172,7 +172,16 @@ class ShardedFcmFramework {
   struct EpochReport {
     std::size_t index = 0;
     std::uint64_t packets = 0;
+    // Payload bytes this epoch, tallied per shard in the same worker sweep
+    // that applies the blocks (DESIGN.md §14's fold-into-one-pass rule).
+    // Meaningful in kBytes mode (pairs carry the size, weighted demotions
+    // carry summed bytes); 0 in kPackets mode, where sizes never cross the
+    // rings. Also exported per shard as fcm_runtime_shard_bytes_total.
+    std::uint64_t bytes = 0;
     double cardinality = 0.0;
+    // HyperLogLog sidecar estimate when framework.single_pass_sweep is on
+    // (folded into the ingest sweep; exact-merged across shards), else 0.
+    double sweep_cardinality = 0.0;
     std::vector<flow::FlowKey> heavy_hitters;   // re-qualified at global T
     std::vector<flow::FlowKey> heavy_changes;   // vs. previous merged epoch
     std::optional<framework::FcmFramework::Report> analysis;

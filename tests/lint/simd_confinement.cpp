@@ -1,0 +1,39 @@
+// fcm-lint-path: src/sketch/bad_vector_sketch.cpp
+//
+// Corpus: simd-confinement — intrinsics leaking out of the sanctioned AVX2
+// kernel TU. Only src/fcm/fcm_kernel_avx2.cpp is compiled with -mavx2; an
+// intrinsic or a __m256-family vector type anywhere else either breaks the
+// build on baseline-ISA targets or compiles into an instruction that
+// SIGILLs on CPUs without the extension. The clean spelling routes through
+// the plain-pointer entry points simd_dispatch.h declares.
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>  // fcm-lint-expect: simd-confinement
+
+#include "common/simd_dispatch.h"
+
+namespace corpus {
+
+inline void hash_lanes(const std::uint32_t* keys, std::uint32_t* out) {
+  __m256i lanes = _mm256_loadu_si256(  // fcm-lint-expect: simd-confinement
+      reinterpret_cast<const __m256i*>(keys));  // fcm-lint-expect: simd-confinement
+  lanes = _mm256_add_epi32(lanes, lanes);  // fcm-lint-expect: simd-confinement
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),  // fcm-lint-expect: simd-confinement
+                      lanes);
+}
+
+inline void hash_lanes_confined(const std::uint32_t* keys, std::size_t n,
+                                std::uint32_t seed, std::uint32_t* out) {
+  // Clean: the dispatch layer's plain-pointer entry point; the vector code
+  // stays inside the kernel TU. (Callers check the active tier first.)
+#if FCM_SIMD_X86
+  fcm::common::simd::avx2_hash_batch_u32(keys, n, seed, out);
+#else
+  (void)keys;
+  (void)n;
+  (void)seed;
+  (void)out;
+#endif
+}
+
+}  // namespace corpus

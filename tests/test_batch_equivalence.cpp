@@ -19,12 +19,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <random>
 #include <span>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/simd_dispatch.h"
 #include "fcm/fcm_sketch.h"
 #include "fcm/fcm_topk.h"
 #include "fcm/fcm_tree.h"
@@ -32,6 +34,7 @@
 #include "flow/packet.h"
 #include "framework/fcm_framework.h"
 #include "runtime/sharded_framework.h"
+#include "sketch/cardinality.h"
 #include "sketch/cm_sketch.h"
 
 namespace {
@@ -456,6 +459,416 @@ TEST(BatchEquivalence, ShardedBlockStagedSpansBitExactAcrossSizesAndShards) {
     expect_trees_identical(serial1.sketch(), sharded.merged_epoch(0).sketch());
     sharded.stop();
   }
+}
+
+// --- kernel dispatch matrix (DESIGN.md §14) ----------------------------------
+//
+// Every kernel tier — scalar, autovec, and (on capable CPUs) the hand-written
+// AVX2 kernel — forced in-process through force_kernel_tier(), must produce
+// bit-identical hashes, indices, tree state, promotion counters, and per-key
+// estimates. The scalar per-key entry points (FcmTree::add, FcmSketch::update)
+// never dispatch, so they are the tier-independent ground truth throughout.
+
+using fcm::common::simd::KernelTier;
+
+// Tiers available on this machine. AVX2 joins the matrix only when the CPU
+// supports it; CI's perf-smoke asserts capable runners actually take it.
+std::vector<KernelTier> equivalence_tiers() {
+  std::vector<KernelTier> tiers{KernelTier::kScalar, KernelTier::kAutovec};
+  if (fcm::common::simd::cpu_supports_avx2()) tiers.push_back(KernelTier::kAvx2);
+  return tiers;
+}
+
+// RAII tier override; restores the probed default on scope exit so test
+// order never leaks a forced tier.
+class ForcedTier {
+ public:
+  explicit ForcedTier(KernelTier tier) {
+    fcm::common::simd::force_kernel_tier(tier);
+  }
+  ~ForcedTier() { fcm::common::simd::force_kernel_tier(std::nullopt); }
+  ForcedTier(const ForcedTier&) = delete;
+  ForcedTier& operator=(const ForcedTier&) = delete;
+};
+
+// The ISSUE's dispatch-matrix sizes: below / straddling / well above both the
+// kBatchBlock stride and the AVX2 8-lane group width.
+constexpr std::size_t kMatrixSizes[] = {1, 7, 63, 64, 65, 1000};
+
+TEST(DispatchMatrix, IndexBatchBitExactAcrossTiers) {
+  const fcm::common::SeededHash hash(0xfeedf00d);
+  for (const KernelTier tier : equivalence_tiers()) {
+    ForcedTier forced(tier);
+    for (const std::size_t n : kMatrixSizes) {
+      const auto keys = skewed_keys(n, 17 + n);
+      std::vector<std::uint32_t> idx(n);
+      std::vector<std::uint32_t> raw(n);
+      for (const std::size_t width : {1ul, 7ul, 2048ul, 600000ul}) {
+        hash.index_hash_batch(std::span<const FlowKey>(keys), width,
+                              std::span<std::uint32_t>(idx),
+                              std::span<std::uint32_t>(raw));
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(idx[i], hash.index(keys[i], width))
+              << "tier " << fcm::common::simd::kernel_tier_name(tier)
+              << " n=" << n << " width=" << width << " i=" << i;
+          ASSERT_EQ(raw[i], hash(keys[i]));
+        }
+        // The raw-less overload takes the same tiered path.
+        hash.index_batch(std::span<const FlowKey>(keys), width,
+                         std::span<std::uint32_t>(idx));
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(idx[i], hash.index(keys[i], width));
+        }
+      }
+    }
+  }
+}
+
+TEST(DispatchMatrix, HashBatchMatchesScalarOperator) {
+  const fcm::common::SeededHash hash(0x9a27);
+  for (const KernelTier tier : equivalence_tiers()) {
+    ForcedTier forced(tier);
+    for (const std::size_t n : kMatrixSizes) {
+      const auto keys = skewed_keys(n, 29 + n);
+      std::vector<std::uint32_t> hashes(n);
+      hash.hash_batch(std::span<const FlowKey>(keys),
+                      std::span<std::uint32_t>(hashes));
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hashes[i], hash(keys[i]))
+            << "tier " << fcm::common::simd::kernel_tier_name(tier)
+            << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(DispatchMatrix, TreeBatchBitExactAcrossTiers) {
+  for (const KernelTier tier : equivalence_tiers()) {
+    ForcedTier forced(tier);
+    for (const std::size_t n : kMatrixSizes) {
+      // Dup-heavy skew: plenty of repeated keys inside single 8-lane groups,
+      // so the AVX2 duplicate-detect bailout runs on real collisions.
+      const auto keys = skewed_keys(n, 42 + n);
+      FcmTree scalar(small_config(), fcm::common::SeededHash(0xabc));
+      FcmTree batched(small_config(), fcm::common::SeededHash(0xabc));
+
+      std::vector<std::uint64_t> scalar_estimates;
+      scalar_estimates.reserve(n);
+      for (const FlowKey key : keys) scalar_estimates.push_back(scalar.add(key));
+
+      std::vector<std::uint64_t> batch_estimates(
+          n, std::numeric_limits<std::uint64_t>::max());
+      batched.add_batch(std::span<const FlowKey>(keys),
+                        std::span<std::uint64_t>(batch_estimates));
+
+      for (std::size_t l = 1; l <= small_config().stage_count(); ++l) {
+        const auto sa = scalar.stage(l);
+        const auto sb = batched.stage(l);
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+          ASSERT_EQ(sa[i], sb[i])
+              << "tier " << fcm::common::simd::kernel_tier_name(tier)
+              << " n=" << n << " stage " << l << " node " << i;
+        }
+      }
+      EXPECT_EQ(scalar.overflow_promotion_count(),
+                batched.overflow_promotion_count());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(batch_estimates[i], scalar_estimates[i])
+            << "tier " << fcm::common::simd::kernel_tier_name(tier)
+            << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(DispatchMatrix, TreeOverflowLaneFallbackAcrossTiers) {
+  // A 4-bit leaf stage (counting max 14) over 64 leaves: most groups of 8
+  // contain at-cap lanes after a few hundred adds, so the AVX2 kernel's
+  // partial-consume + scalar-resume protocol runs constantly, interleaved
+  // with add_at carry walks. Promotions must land in the SAME key positions
+  // as the scalar path — any lane-order slip shows up in the estimates.
+  FcmConfig config;
+  config.tree_count = 2;
+  config.k = 8;
+  config.stage_bits = {4, 8, 32};
+  config.leaf_count = 64;
+  config.seed = 0x1234;
+
+  for (const KernelTier tier : equivalence_tiers()) {
+    ForcedTier forced(tier);
+    const auto keys = skewed_keys(4000, 7, 512);
+    FcmTree scalar(config, fcm::common::SeededHash(0x55));
+    FcmTree batched(config, fcm::common::SeededHash(0x55));
+
+    std::vector<std::uint64_t> scalar_estimates;
+    for (const FlowKey key : keys) scalar_estimates.push_back(scalar.add(key));
+    std::vector<std::uint64_t> batch_estimates(
+        keys.size(), std::numeric_limits<std::uint64_t>::max());
+    batched.add_batch(std::span<const FlowKey>(keys),
+                      std::span<std::uint64_t>(batch_estimates));
+
+    // The point of the fixture: the overflow slow path actually ran.
+    ASSERT_GT(scalar.overflow_promotion_count(), 0u);
+    EXPECT_EQ(scalar.overflow_promotion_count(),
+              batched.overflow_promotion_count())
+        << "tier " << fcm::common::simd::kernel_tier_name(tier);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(batch_estimates[i], scalar_estimates[i])
+          << "tier " << fcm::common::simd::kernel_tier_name(tier) << " i=" << i;
+    }
+    for (std::size_t l = 1; l <= config.stage_count(); ++l) {
+      const auto sa = scalar.stage(l);
+      const auto sb = batched.stage(l);
+      for (std::size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_EQ(sa[i], sb[i]) << "stage " << l << " node " << i;
+      }
+    }
+  }
+}
+
+TEST(DispatchMatrix, TreeDuplicateHeavyKeyAcrossTiers) {
+  // One key repeated 1000 times: every 8-lane group is all-duplicates, so
+  // the AVX2 kernel consumes nothing and the scalar-resume path does all the
+  // work — the degenerate worst case for the bailout protocol.
+  for (const KernelTier tier : equivalence_tiers()) {
+    ForcedTier forced(tier);
+    FcmTree scalar(small_config(), fcm::common::SeededHash(0x77));
+    FcmTree batched(small_config(), fcm::common::SeededHash(0x77));
+    const std::vector<FlowKey> keys(1000, FlowKey{0xdecafbad});
+
+    std::vector<std::uint64_t> scalar_estimates;
+    for (const FlowKey key : keys) scalar_estimates.push_back(scalar.add(key));
+    std::vector<std::uint64_t> batch_estimates(
+        keys.size(), std::numeric_limits<std::uint64_t>::max());
+    batched.add_batch(std::span<const FlowKey>(keys),
+                      std::span<std::uint64_t>(batch_estimates));
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(batch_estimates[i], scalar_estimates[i])
+          << "tier " << fcm::common::simd::kernel_tier_name(tier) << " i=" << i;
+    }
+    EXPECT_EQ(scalar.overflow_promotion_count(),
+              batched.overflow_promotion_count());
+  }
+}
+
+TEST(DispatchMatrix, SketchSplitBatchesAcrossTiers) {
+  for (const KernelTier tier : equivalence_tiers()) {
+    ForcedTier forced(tier);
+    const auto keys = skewed_keys(2144, 9);
+    FcmSketch scalar(small_config());
+    FcmSketch batched(small_config());
+    scalar.set_heavy_hitter_threshold(20);
+    batched.set_heavy_hitter_threshold(20);
+    for (const FlowKey key : keys) scalar.update(key);
+
+    std::span<const FlowKey> rest(keys);
+    for (const std::size_t n : kMatrixSizes) {
+      batched.add_batch(rest.subspan(0, n));
+      rest = rest.subspan(n);
+    }
+    batched.add_batch(rest);
+
+    expect_sketch_identical(scalar, batched);
+  }
+}
+
+TEST(DispatchMatrix, TierParsingAndEnvResolution) {
+  using fcm::common::simd::parse_kernel_tier;
+  using fcm::common::simd::resolve_kernel_tier;
+  EXPECT_EQ(parse_kernel_tier("scalar"), KernelTier::kScalar);
+  EXPECT_EQ(parse_kernel_tier("autovec"), KernelTier::kAutovec);
+  EXPECT_EQ(parse_kernel_tier("avx2"), KernelTier::kAvx2);
+  EXPECT_EQ(parse_kernel_tier("AVX2"), std::nullopt);
+  EXPECT_EQ(parse_kernel_tier(""), std::nullopt);
+
+  // The FCM_FORCE_KERNEL contract: a valid value wins; avx2 on a CPU
+  // without AVX2 degrades to autovec; garbage falls back to the probe.
+  const KernelTier probed = resolve_kernel_tier();
+  ASSERT_EQ(setenv("FCM_FORCE_KERNEL", "scalar", 1), 0);
+  EXPECT_EQ(resolve_kernel_tier(), KernelTier::kScalar);
+  ASSERT_EQ(setenv("FCM_FORCE_KERNEL", "avx2", 1), 0);
+  EXPECT_EQ(resolve_kernel_tier(), fcm::common::simd::cpu_supports_avx2()
+                                       ? KernelTier::kAvx2
+                                       : KernelTier::kAutovec);
+  ASSERT_EQ(setenv("FCM_FORCE_KERNEL", "bogus", 1), 0);
+  EXPECT_EQ(resolve_kernel_tier(), probed);
+  ASSERT_EQ(unsetenv("FCM_FORCE_KERNEL"), 0);
+  EXPECT_EQ(resolve_kernel_tier(), probed);
+}
+
+// --- single-pass multi-query sweep (DESIGN.md §14) ---------------------------
+//
+// Options::single_pass_sweep folds the cardinality sidecars into the ingest
+// sweep, reusing tree-0's raw hashes. "Identical to the separate-pass path"
+// is literal: the sidecar state (hence every estimate) must be bit-equal to
+// LinearCounting/HyperLogLog instances fed the same keys on their own, and
+// the sketch state must be untouched by the sweep.
+
+FcmFramework::Options sweep_options() {
+  FcmFramework::Options options;
+  options.fcm = small_config();
+  options.single_pass_sweep = true;
+  options.metrics = nullptr;
+  return options;
+}
+
+TEST(SinglePassSweep, MatchesSeparatePassAcrossTiers) {
+  for (const KernelTier tier : equivalence_tiers()) {
+    ForcedTier forced(tier);
+    for (const std::size_t n : kMatrixSizes) {
+      const auto keys = skewed_keys(n, 61 + n);
+      FcmFramework swept(sweep_options());
+      FcmFramework plain(sweep_options());
+      // Batched single-pass ingest vs the scalar per-key entry point.
+      swept.process_batch(std::span<const FlowKey>(keys));
+      for (const FlowKey key : keys) plain.process(key);
+
+      // Separate-pass reference: standalone sidecars over the same hash.
+      const auto h0 = swept.sketch().tree(0).hash();
+      fcm::sketch::LinearCounting ref_lc(
+          sweep_options().sweep_linear_bits, h0);
+      fcm::sketch::HyperLogLog ref_hll(
+          sweep_options().sweep_hll_registers, h0);
+      for (const FlowKey key : keys) {
+        ref_lc.update(key);
+        ref_hll.update(key);
+      }
+
+      const char* name = fcm::common::simd::kernel_tier_name(tier).data();
+      EXPECT_EQ(swept.sweep_linear().zero_bits(), ref_lc.zero_bits())
+          << "tier " << name << " n=" << n;
+      EXPECT_EQ(swept.sweep_linear().estimate(), ref_lc.estimate());
+      EXPECT_EQ(swept.sweep_hll().estimate(), ref_hll.estimate())
+          << "tier " << name << " n=" << n;
+      // Scalar-entry sidecars agree bit for bit with the batched sweep.
+      EXPECT_EQ(plain.sweep_linear().zero_bits(),
+                swept.sweep_linear().zero_bits());
+      EXPECT_EQ(plain.sweep_hll().estimate(), swept.sweep_hll().estimate());
+      // And the sweep changed nothing in the sketch itself.
+      expect_sketch_identical(plain.sketch(), swept.sketch());
+    }
+  }
+}
+
+TEST(SinglePassSweep, WeightedAndByteModeCountDistinctFlows) {
+  // Weighted inserts and byte-mode packets update the sidecars once per
+  // call — bit-identical to the separate-pass sidecars fed one update per
+  // packet, because repeated updates of one key are idempotent.
+  const auto keys = skewed_keys(500, 83, 64);
+
+  FcmFramework::Options byte_options = sweep_options();
+  byte_options.count_mode = FcmFramework::CountMode::kBytes;
+  FcmFramework bytes_fw(byte_options);
+  FcmFramework weighted_fw(sweep_options());
+  for (const FlowKey key : keys) {
+    bytes_fw.process(Packet{key, 1400, 0});
+    weighted_fw.process_weighted(key, 37);
+  }
+
+  const auto h0 = bytes_fw.sketch().tree(0).hash();
+  fcm::sketch::LinearCounting ref_lc(sweep_options().sweep_linear_bits, h0);
+  fcm::sketch::HyperLogLog ref_hll(sweep_options().sweep_hll_registers, h0);
+  for (const FlowKey key : keys) {
+    ref_lc.update(key);
+    ref_hll.update(key);
+  }
+  EXPECT_EQ(bytes_fw.sweep_linear().zero_bits(), ref_lc.zero_bits());
+  EXPECT_EQ(bytes_fw.sweep_hll().estimate(), ref_hll.estimate());
+  EXPECT_EQ(weighted_fw.sweep_linear().zero_bits(), ref_lc.zero_bits());
+  EXPECT_EQ(weighted_fw.sweep_hll().estimate(), ref_hll.estimate());
+}
+
+TEST(SinglePassSweep, MergeAndResetPreserveSidecars) {
+  const auto keys = skewed_keys(4000, 91, 700);
+  const std::size_t half = keys.size() / 2;
+
+  FcmFramework left(sweep_options());
+  FcmFramework right(sweep_options());
+  FcmFramework whole(sweep_options());
+  left.process_batch(std::span<const FlowKey>(keys).subspan(0, half));
+  right.process_batch(std::span<const FlowKey>(keys).subspan(half));
+  whole.process_batch(std::span<const FlowKey>(keys));
+
+  left.merge(right);
+  EXPECT_EQ(left.sweep_linear().zero_bits(), whole.sweep_linear().zero_bits());
+  EXPECT_EQ(left.sweep_linear().estimate(), whole.sweep_linear().estimate());
+  EXPECT_EQ(left.sweep_hll().estimate(), whole.sweep_hll().estimate());
+  expect_trees_identical(left.sketch(), whole.sketch());
+
+  left.reset();
+  EXPECT_EQ(left.sweep_linear().zero_bits(),
+            sweep_options().sweep_linear_bits);
+}
+
+TEST(SinglePassSweep, ShardedSweepMatchesSerialSinglePass) {
+  // The sweep rides the sharded workers' process_batch calls; the exact
+  // OR/max sidecar merges make each merged epoch's sidecars bit-equal to a
+  // serial single-pass framework fed that epoch's keys. Runs under TSan via
+  // the sanitizer jobs (worker threads + coordinator merge).
+  const auto keys = skewed_keys(20000, 131, 1500);
+  const std::size_t half = keys.size() / 2;
+
+  for (const std::size_t shards : {1ul, 4ul}) {
+    ShardedFcmFramework::Options options;
+    options.framework = sweep_options();
+    options.metrics = nullptr;
+    options.shard_count = shards;
+    ShardedFcmFramework sharded(options);
+
+    std::span<const FlowKey> all(keys);
+    sharded.ingest(all.subspan(0, half));
+    const std::size_t epoch0 = sharded.rotate_async();
+    sharded.ingest(all.subspan(half));
+    const std::size_t epoch1 = sharded.rotate_async();
+    const auto report0 = sharded.wait_epoch(epoch0);
+    sharded.wait_epoch(epoch1);
+
+    FcmFramework serial0(sweep_options());
+    serial0.process_batch(all.subspan(0, half));
+    FcmFramework serial1(sweep_options());
+    serial1.process_batch(all.subspan(half));
+
+    const FcmFramework merged0 = sharded.merged_epoch(1);
+    const FcmFramework merged1 = sharded.merged_epoch(0);
+    EXPECT_EQ(merged0.sweep_linear().zero_bits(),
+              serial0.sweep_linear().zero_bits())
+        << "shards=" << shards;
+    EXPECT_EQ(merged0.sweep_hll().estimate(), serial0.sweep_hll().estimate());
+    EXPECT_EQ(merged1.sweep_linear().zero_bits(),
+              serial1.sweep_linear().zero_bits());
+    EXPECT_EQ(merged1.sweep_hll().estimate(), serial1.sweep_hll().estimate());
+    // The report surfaces the HLL sidecar estimate directly.
+    EXPECT_EQ(report0.sweep_cardinality, serial0.sweep_hll().estimate());
+    expect_trees_identical(merged0.sketch(), serial0.sketch());
+    sharded.stop();
+  }
+}
+
+TEST(SinglePassSweep, ShardedByteModeReportsBytes) {
+  // Byte accounting folded into the worker's block-apply sweep: the epoch
+  // report's bytes equal the exact sum of ingested packet sizes.
+  ShardedFcmFramework::Options options;
+  options.framework = sweep_options();
+  options.framework.count_mode = FcmFramework::CountMode::kBytes;
+  options.metrics = nullptr;
+  options.shard_count = 2;
+  ShardedFcmFramework sharded(options);
+
+  const auto keys = skewed_keys(3000, 151, 400);
+  std::mt19937_64 rng(152);
+  std::vector<Packet> packets;
+  std::uint64_t total_bytes = 0;
+  packets.reserve(keys.size());
+  for (const FlowKey key : keys) {
+    const auto bytes = static_cast<std::uint32_t>(40 + rng() % 1460);
+    packets.push_back({key, bytes, 0});
+    total_bytes += bytes;
+  }
+  sharded.ingest(std::span<const Packet>(packets));
+  const auto report = sharded.wait_epoch(sharded.rotate_async());
+  EXPECT_EQ(report.bytes, total_bytes);
+  EXPECT_EQ(report.packets, packets.size());
 }
 
 TEST(BatchEquivalence, ShardedAdaptiveFlushStillBitExact) {

@@ -28,6 +28,23 @@ Two baseline families, dispatched on the JSON ``schema`` field:
          traffic is not pulling its weight). Machine-local ratio, so this
          check stays fatal across machine classes.
 
+    v5 adds the kernel-tier study (DESIGN.md §14) plus two provenance rules:
+      9. the ``kernels`` section records every kernel tier's serial
+         throughput, forced in-process; when both the scalar and avx2 rows
+         are present, ``avx2_index_speedup_vs_scalar`` must stay >= 2.5
+         (the ISSUE-10 acceptance floor — an in-run same-machine ratio, so
+         fatal on every machine class) and >= 1.0 for the end-to-end ingest
+         ratio (the AVX2 kernel must never lose to scalar);
+      10. v5 baselines must carry real provenance: a committed baseline
+         with ``git_rev: "unknown"`` is rejected outright (exit 2), and a
+         current run with an unknown rev only warns (it cannot be blessed
+         as a baseline without fixing the build first). Baseline-relative
+         drift checks (serial batch_speedup, cache_speedup, sharded
+         vs-serial ratios) FAIL instead of warning whenever the committed
+         baseline itself has ``hardware_concurrency >= 2`` — those are
+         in-run ratios, so a multi-core-provenance baseline makes them
+         binding even when the current runner's core count differs.
+
     v4 adds the block-staged sharded hand-off columns (DESIGN.md §13) and a
     sharded-scaling section with its own provenance rule:
       6. the CURRENT run must have ``hardware_concurrency >= 2`` — on a
@@ -79,16 +96,22 @@ KNOWN_SCHEMAS = (
     "fcm.bench.throughput.v2",
     "fcm.bench.throughput.v3",
     "fcm.bench.throughput.v4",
+    "fcm.bench.throughput.v5",
     "fcm.bench.agg.v1",
 )
+# Schemas whose committed baselines must carry real git provenance.
+PROVENANCE_REQUIRED_SCHEMAS = ("fcm.bench.throughput.v5",)
 CACHE_SPEEDUP_FLOOR = 1.2
+# v5 kernel-tier floors (in-run same-machine ratios, DESIGN.md §14):
+AVX2_INDEX_VS_SCALAR_FLOOR = 2.5  # hash+fast-range kernel, ISSUE-10 target
+AVX2_INGEST_VS_SCALAR_FLOOR = 1.0  # end-to-end serial ingest sanity
 # v4 sharded-scaling floors (in-run ratios, DESIGN.md §13 / ISSUE 9):
 SHARDED_VS_SERIAL_FLOOR = 0.9  # 1-shard sharded batch vs serial batch
 SHARDED_BATCH_SPEEDUP_FLOOR = 1.4  # in-shard batch vs scalar at 1 shard
 SHARDED_4V1_FLOOR = 1.6  # 4-shard vs 1-shard aggregate batch pps
 
 
-def load(path: str) -> dict:
+def load(path: str, *, is_baseline: bool = False) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
@@ -103,6 +126,25 @@ def load(path: str) -> dict:
             file=sys.stderr,
         )
         sys.exit(2)
+    if schema in PROVENANCE_REQUIRED_SCHEMAS:
+        rev = data.get("git_rev")
+        if rev in (None, "", "unknown"):
+            if is_baseline:
+                # A baseline nobody can trace to a commit can never be
+                # diagnosed as stale; refuse it rather than guard against it.
+                print(
+                    f"check_perf_baseline: {path} has git_rev {rev!r} — "
+                    "committed baselines must be recorded from a build with "
+                    "real git provenance (re-run cmake in a git checkout and "
+                    "re-record)",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            print(
+                f"check_perf_baseline: WARN — {path} has git_rev {rev!r}; "
+                "this run cannot be blessed as a committed baseline",
+                file=sys.stderr,
+            )
     return data
 
 
@@ -120,11 +162,25 @@ def same_machine_class(baseline: dict, current: dict) -> bool:
     return base is not None and base == cur
 
 
+def drift_is_fatal(baseline: dict, current: dict) -> bool:
+    """Baseline-relative ratio drift fails (instead of warning) when the runs
+    are the same machine class, OR when the committed baseline itself has
+    multi-core provenance: the guarded quantities are in-run ratios that
+    mostly cancel the machine, so a trustworthy (>= 2 core) baseline makes
+    them binding everywhere. Single-core-provenance baselines keep the old
+    warn-only behavior — they are the thing being phased out, not a license
+    to ignore drift forever."""
+    if same_machine_class(baseline, current):
+        return True
+    base_cores = baseline.get("hardware_concurrency")
+    return base_cores is not None and base_cores >= 2
+
+
 def check_throughput(baseline: dict, current: dict, args) -> int:
     base_ratio = baseline["serial"]["batch_speedup"]
     cur_ratio = current["serial"]["batch_speedup"]
     floor = base_ratio * (1.0 - args.tolerance)
-    comparable = same_machine_class(baseline, current)
+    comparable = drift_is_fatal(baseline, current)
 
     print(
         f"serial batch_speedup: baseline {base_ratio:.3f}x, "
@@ -143,8 +199,9 @@ def check_throughput(baseline: dict, current: dict, args) -> int:
             failed = True
         else:
             print(
-                "check_perf_baseline: WARN — core count differs from the "
-                f"baseline recording; not failing on: {message}",
+                "check_perf_baseline: WARN — committed baseline has "
+                "single-core provenance and the core count differs; not "
+                f"failing on: {message}",
                 file=sys.stderr,
             )
     if cur_ratio < 1.0:
@@ -157,7 +214,8 @@ def check_throughput(baseline: dict, current: dict, args) -> int:
         failed = True
 
     if baseline["schema"] in ("fcm.bench.throughput.v3",
-                              "fcm.bench.throughput.v4"):
+                              "fcm.bench.throughput.v4",
+                              "fcm.bench.throughput.v5"):
         base_cache = baseline["cache"]["cache_speedup"]
         cur_cache = current["cache"]["cache_speedup"]
         cache_floor = base_cache * (1.0 - args.tolerance)
@@ -176,8 +234,9 @@ def check_throughput(baseline: dict, current: dict, args) -> int:
                 failed = True
             else:
                 print(
-                    "check_perf_baseline: WARN — core count differs from the "
-                    f"baseline recording; not failing on: {message}",
+                    "check_perf_baseline: WARN — committed baseline has "
+                    "single-core provenance and the core count differs; not "
+                    f"failing on: {message}",
                     file=sys.stderr,
                 )
         if cur_cache < CACHE_SPEEDUP_FLOOR:
@@ -190,9 +249,76 @@ def check_throughput(baseline: dict, current: dict, args) -> int:
             )
             failed = True
 
-    if baseline["schema"] == "fcm.bench.throughput.v4":
+    if baseline["schema"] in ("fcm.bench.throughput.v4",
+                              "fcm.bench.throughput.v5"):
         if check_sharded_scaling(baseline, current, args):
             failed = True
+
+    if baseline["schema"] == "fcm.bench.throughput.v5":
+        if check_kernels(baseline, current):
+            failed = True
+    return 1 if failed else 0
+
+
+def check_kernels(baseline: dict, current: dict) -> int:
+    """The v5 kernel-tier section: the AVX2 kernel's in-run advantage over
+    the forced scalar tier, same process, same machine — fatal everywhere."""
+    failed = False
+    kernels = current.get("kernels")
+    if kernels is None:
+        print(
+            "check_perf_baseline: FAIL — v5 run is missing the kernels "
+            "section (bench too old for the baseline schema?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    tiers = {row["tier"]: row for row in kernels.get("tiers", [])}
+    print(
+        f"kernels: cpu_supports_avx2 {kernels.get('cpu_supports_avx2')}, "
+        f"active tier {kernels.get('active_tier')!r}, rows "
+        f"{sorted(tiers)}"
+    )
+    if not kernels.get("cpu_supports_avx2"):
+        # Nothing to hold to the floor on a non-AVX2 machine; the dispatch
+        # matrix tests still cover scalar/autovec equivalence there.
+        print(
+            "check_perf_baseline: NOTE — no AVX2 on this machine; skipping "
+            "the kernel-speedup floors"
+        )
+        return 0
+    if "scalar" not in tiers or "avx2" not in tiers:
+        print(
+            "check_perf_baseline: FAIL — AVX2-capable machine but the "
+            "kernels section lacks a scalar+avx2 row pair (was the bench run "
+            "with FCM_FORCE_KERNEL set?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    index_speedup = kernels["avx2_index_speedup_vs_scalar"]
+    ingest_speedup = kernels["avx2_ingest_speedup_vs_scalar"]
+    print(
+        f"avx2 vs scalar: index {index_speedup:.3f}x "
+        f"(floor {AVX2_INDEX_VS_SCALAR_FLOOR:.1f}x), ingest "
+        f"{ingest_speedup:.3f}x (floor {AVX2_INGEST_VS_SCALAR_FLOOR:.1f}x)"
+    )
+    if index_speedup < AVX2_INDEX_VS_SCALAR_FLOOR:
+        print(
+            f"check_perf_baseline: FAIL — AVX2 index kernel is only "
+            f"{index_speedup:.3f}x the scalar tier, below the "
+            f"{AVX2_INDEX_VS_SCALAR_FLOOR:.1f}x acceptance floor",
+            file=sys.stderr,
+        )
+        failed = True
+    if ingest_speedup < AVX2_INGEST_VS_SCALAR_FLOOR:
+        print(
+            f"check_perf_baseline: FAIL — AVX2 end-to-end serial ingest is "
+            f"slower than the scalar tier ({ingest_speedup:.3f}x < "
+            f"{AVX2_INGEST_VS_SCALAR_FLOOR:.1f}x)",
+            file=sys.stderr,
+        )
+        failed = True
     return 1 if failed else 0
 
 
@@ -276,7 +402,8 @@ def check_sharded_scaling(baseline: dict, current: dict, args) -> int:
     # AND the machine classes match (absolute pps stays warn-only as ever).
     base_cores = baseline.get("hardware_concurrency")
     if base_cores is not None and base_cores >= 2:
-        comparable = same_machine_class(baseline, current)
+        # Multi-core baseline provenance makes these in-run ratios binding on
+        # every runner (drift_is_fatal); no warn-only escape hatch here.
         for shards, base_point in sorted(base_by_shards.items()):
             cur_point = by_shards.get(shards)
             if cur_point is None:
@@ -285,23 +412,14 @@ def check_sharded_scaling(baseline: dict, current: dict, args) -> int:
             cur_ratio = cur_point["speedup_vs_serial"]
             floor = base_ratio * (1.0 - args.tolerance)
             if cur_ratio < floor:
-                message = (
-                    f"{shards}-shard speedup_vs_serial {cur_ratio:.3f}x "
-                    f"regressed more than {args.tolerance:.0%} below the "
-                    f"committed {base_ratio:.3f}x"
+                print(
+                    f"check_perf_baseline: FAIL — {shards}-shard "
+                    f"speedup_vs_serial {cur_ratio:.3f}x regressed more than "
+                    f"{args.tolerance:.0%} below the committed "
+                    f"{base_ratio:.3f}x",
+                    file=sys.stderr,
                 )
-                if comparable:
-                    print(
-                        f"check_perf_baseline: FAIL — {message}",
-                        file=sys.stderr,
-                    )
-                    failed = True
-                else:
-                    print(
-                        "check_perf_baseline: WARN — core count differs from "
-                        f"the baseline recording; not failing on: {message}",
-                        file=sys.stderr,
-                    )
+                failed = True
     else:
         print(
             "check_perf_baseline: NOTE — committed baseline's sharded section "
@@ -374,7 +492,7 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
+    baseline = load(args.baseline, is_baseline=True)
     current = load(args.current)
 
     if baseline["schema"] != current["schema"]:

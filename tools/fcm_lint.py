@@ -119,6 +119,17 @@ Rules:
                    fan-out tax the block staging exists to kill
                    (DESIGN.md §13).
 
+  simd-confinement Everywhere except the two sanctioned homes
+                   (``src/fcm/fcm_kernel_avx2.cpp`` — the only TU built
+                   with ``-mavx2`` — and ``src/common/simd_dispatch.h``,
+                   which declares its entry points on plain pointers):
+                   no ``<immintrin.h>``-family includes, no ``_mm*_``
+                   intrinsic calls, no ``__m128``/``__m256``/``__m512``
+                   vector types. Vector code that leaks into a baseline-ISA
+                   TU either fails to compile on older CPUs or, worse,
+                   compiles and SIGILLs at runtime only on machines the CI
+                   fleet does not have (DESIGN.md §14).
+
   unused-suppression
                    Every ``// fcm-lint: allow(<rule>)`` marker must name a
                    known rule that actually fires on its line; stale or
@@ -168,6 +179,7 @@ KNOWN_RULES = {
     "wire-encoding",
     "datapath-bounds",
     "staging-ownership",
+    "simd-confinement",
 }
 
 # Rule: narrowing-cast — only inside these top-level directories.
@@ -273,6 +285,25 @@ STAGING_INGEST_FN_NAMES = {
     "route_item",
     "flush",
 }
+
+# Rule: simd-confinement — every linted file except the two sanctioned
+# homes. The AVX2 kernel TU is the only one compiled with -mavx2; an
+# intrinsic (or a vector type, which only exists under the intrinsic
+# headers) anywhere else either breaks the build on baseline-ISA targets or
+# SIGILLs at runtime on CPUs without the extension. The dispatch header
+# stays exempt so its doc comments and the kernel's entry points (declared
+# on plain pointers) can name the machinery.
+SIMD_EXEMPT_FILES = {
+    "src/fcm/fcm_kernel_avx2.cpp",
+    "src/common/simd_dispatch.h",
+}
+SIMD_RE = re.compile(
+    r"#\s*include\s*[<\"](?:[\w/]*/)?"
+    r"(?:immintrin|x86intrin|x86gprintrin|[a-z0-9]*mmintrin|avx\w*intrin)"
+    r"\.h[>\"]"
+    r"|(?<![\w:])_mm(?:256|512)?_\w+"
+    r"|(?<![\w:])__m(?:64|128|256|512)[di]?\b"
+)
 
 # Tokens that mark a function as visibly holding/entering a capability.
 CAPABILITY_TOKEN_RE = re.compile(
@@ -754,6 +785,7 @@ def lint_file(
     check_wire = in_dirs(WIRE_DIRS)
     check_datapath = in_dirs(DATAPATH_DIRS) and rel not in DATAPATH_EXEMPT_FILES
     check_staging = in_dirs(STAGING_DIRS)
+    check_simd = rel not in SIMD_EXEMPT_FILES
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         if check_narrowing and NARROWING_RE.search(line):
@@ -819,6 +851,16 @@ def lint_file(
                 "ownership contract must be visible to thread-safety "
                 "analysis (DESIGN.md §13) "
                 "(or '// fcm-lint: allow(staging-ownership)')",
+            )
+        if check_simd and SIMD_RE.search(line):
+            add(
+                lineno,
+                "simd-confinement",
+                "SIMD intrinsics / vector types outside the sanctioned "
+                "kernel TU; hand-written vector code lives only in "
+                "src/fcm/fcm_kernel_avx2.cpp behind the simd_dispatch.h "
+                "entry points (DESIGN.md §14) "
+                "(or '// fcm-lint: allow(simd-confinement)')",
             )
         if check_threads and THREAD_RE.search(line):
             add(
